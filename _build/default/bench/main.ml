@@ -1,0 +1,817 @@
+(* Benchmark & figure-reproduction harness.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe fig2 perf  -- selected sections
+
+   One section per paper artifact (DESIGN.md's experiment index):
+     fig1a    E1  Figure 1a — data races let weak hardware violate SC
+     fig1b    E2  Figure 1b — data-race-free executions are SC everywhere
+     fig2     E3  Figure 2  — the queue bug's non-SC data races
+     fig3     E4  Figure 3  — first / non-first race partitions
+     cond34   E5  Condition 3.4 & Theorem 3.5 Monte-Carlo
+     thm41-42 E6  Theorems 4.1 and 4.2 Monte-Carlo
+     overhead E7  §5 overhead claims (traces, buffers, SC-mode cost, accuracy)
+     envelope     exhaustive schedule/behaviour spaces per model (incl. TSO)
+     ablation     schedulers, detector baselines, so1 reconstruction
+     coherence    everything again on the delayed-invalidation machine
+     perf         bechamel microbenchmarks of the analysis pipeline
+
+   The paper has no quantitative tables; the tables printed here are the
+   mechanical counterparts of its worked figures and theorem statements.
+   EXPERIMENTS.md records paper-vs-measured for each. *)
+
+let section_header title =
+  Format.printf "@.==================================================================@.";
+  Format.printf "%s@." title;
+  Format.printf "==================================================================@."
+
+let run_weak ?(sched = `Adversarial) ~model ~seed p =
+  let sched =
+    match sched with
+    | `Adversarial -> Memsim.Sched.adversarial ~seed ()
+    | `Random -> Memsim.Sched.random ~seed
+  in
+  Minilang.Interp.run ~model ~sched p
+
+let value_of_label (e : Memsim.Exec.t) label =
+  Array.to_list e.Memsim.Exec.ops
+  |> List.find_map (fun (o : Memsim.Op.t) ->
+         if o.Memsim.Op.label = Some label then Some o.Memsim.Op.value else None)
+
+(* ================================================================== *)
+(* E1: Figure 1a                                                       *)
+(* ================================================================== *)
+
+let fig1a () =
+  section_header
+    "E1 (Figure 1a): P1 writes x then y; P2 reads y then x; no synchronization";
+  Format.printf
+    "paper: the execution has data races; on a weak system the new y can@.\
+     propagate before the new x, so P2 may read (y=1, x=0) — impossible under SC.@.@.";
+  let p = Minilang.Programs.fig1a in
+  let outcome e = (value_of_label e "P2:read-y", value_of_label e "P2:read-x") in
+  (* SC: enumerate everything *)
+  let sc = Memsim.Enumerate.explore (fun () -> Minilang.Interp.source p) in
+  let sc_outcomes =
+    List.map outcome sc.Memsim.Enumerate.executions |> List.sort_uniq compare
+  in
+  Format.printf "%-6s %-28s %s@." "model" "outcomes (y,x) over schedules" "(1,0) seen?";
+  let show_outcomes os =
+    String.concat " "
+      (List.map
+         (function
+           | Some a, Some b -> Printf.sprintf "(%d,%d)" a b
+           | _ -> "(?)")
+         os)
+  in
+  Format.printf "%-6s %-28s %b   [%d interleavings, exhaustive]@." "SC"
+    (show_outcomes sc_outcomes)
+    (List.mem (Some 1, Some 0) sc_outcomes)
+    (List.length sc.Memsim.Enumerate.executions);
+  List.iter
+    (fun model ->
+      let outcomes =
+        List.init 300 (fun seed -> outcome (run_weak ~model ~seed p))
+        |> List.sort_uniq compare
+      in
+      Format.printf "%-6s %-28s %b%s@." (Memsim.Model.name model) (show_outcomes outcomes)
+        (List.mem (Some 1, Some 0) outcomes)
+        (if model = Memsim.Model.TSO then "   [comparator: FIFO buffer forbids it]"
+         else ""))
+    (Memsim.Model.TSO :: Memsim.Model.weak);
+  (* and the detector flags the race on every model *)
+  let detected =
+    List.for_all
+      (fun model ->
+        not
+          (Racedetect.Postmortem.race_free
+             (Racedetect.Postmortem.analyze_execution (run_weak ~model ~seed:1 p))))
+      Memsim.Model.all
+  in
+  Format.printf "@.data race reported on every model: %b@." detected
+
+(* ================================================================== *)
+(* E2: Figure 1b                                                       *)
+(* ================================================================== *)
+
+let fig1b () =
+  section_header
+    "E2 (Figure 1b): the same writes published with Unset / spinning Test&Set";
+  Format.printf
+    "paper: the execution is data-race-free, so every weak model must appear@.\
+     sequentially consistent: P2 always reads (y=1, x=1) after acquiring s.@.@.";
+  let p = Minilang.Programs.fig1b in
+  Format.printf "%-6s %-22s %-12s %s@." "model" "outcomes (600 runs)" "race-free?"
+    "always SC?";
+  List.iter
+    (fun model ->
+      let outcomes = Hashtbl.create 4 in
+      let race_free = ref true in
+      for seed = 0 to 599 do
+        let e = run_weak ~model ~seed p in
+        Hashtbl.replace outcomes
+          (value_of_label e "P2:read-y", value_of_label e "P2:read-x")
+          ();
+        if not (Racedetect.Postmortem.race_free (Racedetect.Postmortem.analyze_execution e))
+        then race_free := false
+      done;
+      let os = Hashtbl.fold (fun k () acc -> k :: acc) outcomes [] in
+      Format.printf "%-6s %-22s %-12b %b@." (Memsim.Model.name model)
+        (String.concat " "
+           (List.map
+              (function
+                | Some a, Some b -> Printf.sprintf "(%d,%d)" a b
+                | _ -> "(?)")
+              os))
+        !race_free
+        (os = [ (Some 1, Some 1) ]))
+    Memsim.Model.all
+
+(* ================================================================== *)
+(* E3: Figure 2                                                        *)
+(* ================================================================== *)
+
+let region = 100
+let stale = 37
+
+let find_stale_execution ~model =
+  let p = Minilang.Programs.queue_bug ~region ~stale () in
+  let rec go seed =
+    if seed > 50_000 then None
+    else
+      let e = run_weak ~model ~seed p in
+      if
+        value_of_label e "P2:read-qempty" = Some 0
+        && value_of_label e "P2:dequeue" = Some stale
+      then Some (seed, e)
+      else go (seed + 1)
+  in
+  go 0
+
+let fig2 () =
+  section_header "E3 (Figure 2): the queue program with the missing Test&Set";
+  Format.printf
+    "paper: on a weak system P2 can find QEmpty reset yet dequeue the stale@.\
+     address 37 instead of 100, so its work region overlaps P3's and many@.\
+     non-sequentially-consistent data races appear.@.@.";
+  List.iter
+    (fun model ->
+      match find_stale_execution ~model with
+      | None -> Format.printf "%-6s anomaly not found in 50k schedules@." (Memsim.Model.name model)
+      | Some (seed, e) ->
+        let a = Racedetect.Postmortem.analyze_execution e in
+        let all = Racedetect.Postmortem.data_races a in
+        let reported = Racedetect.Postmortem.reported_races a in
+        let op_level =
+          List.length (Racedetect.Ophb.data_races (Racedetect.Ophb.build e))
+        in
+        Format.printf
+          "%-6s seed %-6d dequeued %d; naive: %d event / %d op-level data races; reported: %d first-partition race(s)@."
+          (Memsim.Model.name model) seed
+          (Option.value ~default:(-1) (value_of_label e "P2:dequeue"))
+          (List.length all) op_level (List.length reported))
+    Memsim.Model.weak;
+  (* the paper's point of comparison: under SC the stale dequeue can never
+     happen (QEmpty=0 implies Q=100) *)
+  let p = Minilang.Programs.queue_bug ~region:3 ~stale:1 () in
+  let sc = Memsim.Enumerate.explore ~limit:5_000_000 (fun () -> Minilang.Interp.source p) in
+  let stale_seen =
+    List.exists
+      (fun e ->
+        value_of_label e "P2:read-qempty" = Some 0
+        && value_of_label e "P2:dequeue" = Some 1)
+      sc.Memsim.Enumerate.executions
+  in
+  Format.printf
+    "@.SC check (region=3, exhaustive %d interleavings%s): stale dequeue possible: %b@."
+    (List.length sc.Memsim.Enumerate.executions)
+    (if sc.Memsim.Enumerate.complete then "" else ", truncated")
+    stale_seen
+
+(* ================================================================== *)
+(* E4: Figure 3                                                        *)
+(* ================================================================== *)
+
+let fig3 () =
+  section_header "E4 (Figure 3): augmented hb1 graph, first and non-first partitions";
+  match find_stale_execution ~model:Memsim.Model.WO with
+  | None -> Format.printf "anomaly not found@."
+  | Some (_, e) ->
+    let a = Racedetect.Postmortem.analyze_execution e in
+    let p = Minilang.Programs.queue_bug ~region ~stale () in
+    Format.printf "%a@."
+      (Racedetect.Report.pp_analysis ~loc_name:(Minilang.Ast.loc_name p))
+      a;
+    let parts = Racedetect.Partition.partitions a.Racedetect.Postmortem.partitions in
+    let first = Racedetect.Partition.first_partitions a.Racedetect.Postmortem.partitions in
+    Format.printf
+      "@.partitions with data races: %d; first: %d; ordering edges (Def 4.1):@."
+      (List.length parts) (List.length first);
+    List.iter
+      (fun p1 ->
+        List.iter
+          (fun p2 ->
+            if
+              Racedetect.Partition.ordered_before a.Racedetect.Postmortem.partitions p1 p2
+            then
+              Format.printf "  partition #%d  P  partition #%d@."
+                p1.Racedetect.Partition.component p2.Racedetect.Partition.component)
+          parts)
+      parts;
+    Format.printf
+      "@.paper: the Q/QEmpty races form the first partition; the work-region@.\
+       races of P2 x P3 are ordered after it and suppressed.  Reproduced.@."
+
+(* ================================================================== *)
+(* E5: Condition 3.4 / Theorem 3.5                                     *)
+(* ================================================================== *)
+
+let cond34 () =
+  section_header "E5 (Condition 3.4 / Theorem 3.5): weak hardware obeys it for free";
+  Format.printf
+    "paper: every weak implementation provides an SCP covering the first data@.\
+     races, and race-free executions are sequentially consistent.  We verify@.\
+     both clauses against exhaustive SC enumeration.@.@.";
+  let programs =
+    List.map (fun s -> ("racefree", Minilang.Gen.random_racefree ~seed:s ())) [ 1; 2; 3; 4; 5 ]
+    @ List.map (fun s -> ("rfree-ra", Minilang.Gen.random_racefree_ra ~seed:s ())) [ 1; 2; 3 ]
+    @ List.map (fun s -> ("racy", Minilang.Gen.random_racy ~seed:s ())) [ 1; 2; 3; 4; 5 ]
+    @ [ ("stock", Minilang.Programs.fig1a); ("stock", Minilang.Programs.dekker);
+        ("stock", Minilang.Programs.unguarded_handoff);
+        ("stock", Minilang.Programs.guarded_handoff);
+        ("stock", Minilang.Programs.mp_data_flag) ]
+  in
+  let seeds = List.init 6 (fun s -> s) in
+  Format.printf "%-9s %-12s %8s %8s %8s %8s@." "kind" "program" "checks" "holds"
+    "clause1" "clause2";
+  let grand_total = ref 0 and grand_holds = ref 0 in
+  List.iter
+    (fun (kind, p) ->
+      let pool =
+        (Memsim.Enumerate.explore ~limit:500_000 (fun () -> Minilang.Interp.source p))
+          .Memsim.Enumerate.executions
+      in
+      let total = ref 0 and holds = ref 0 and c1 = ref 0 and c2 = ref 0 in
+      List.iter
+        (fun model ->
+          List.iter
+            (fun seed ->
+              let e = run_weak ~model ~seed p in
+              let v = Racedetect.Condition.check ~sc:pool e in
+              incr total;
+              if v.Racedetect.Condition.holds then incr holds;
+              if v.Racedetect.Condition.cond1 = Racedetect.Condition.Holds then incr c1;
+              if v.Racedetect.Condition.cond2 = Racedetect.Condition.Holds then incr c2)
+            seeds)
+        Memsim.Model.weak;
+      grand_total := !grand_total + !total;
+      grand_holds := !grand_holds + !holds;
+      let short n = if String.length n > 12 then String.sub n 0 12 else n in
+      Format.printf "%-9s %-12s %8d %8d %8d %8d@." kind (short p.Minilang.Ast.name)
+        !total !holds !c1 !c2)
+    programs;
+  Format.printf "@.Condition 3.4 held on %d / %d weak executions@." !grand_holds
+    !grand_total
+
+(* ================================================================== *)
+(* E6: Theorems 4.1 and 4.2                                            *)
+(* ================================================================== *)
+
+let thm41_42 () =
+  section_header "E6 (Theorems 4.1 / 4.2): first partitions";
+  Format.printf
+    "4.1: no first partitions with data races iff no data races occurred.@.\
+     4.2: every first partition contains a data race belonging to an SCP.@.@.";
+  let module Iset = Set.Make (Int) in
+  let checks = ref 0 and t41 = ref 0 and t42_parts = ref 0 and t42_ok = ref 0 in
+  List.iter
+    (fun pseed ->
+      let p =
+        if pseed mod 2 = 0 then Minilang.Gen.random_racy ~seed:pseed ()
+        else Minilang.Gen.random_racefree ~seed:pseed ()
+      in
+      let pool =
+        (Memsim.Enumerate.explore ~limit:500_000 (fun () -> Minilang.Interp.source p))
+          .Memsim.Enumerate.executions
+      in
+      List.iter
+        (fun model ->
+          List.iter
+            (fun seed ->
+              let e = run_weak ~model ~seed p in
+              let a = Racedetect.Postmortem.analyze_execution e in
+              incr checks;
+              let races = Racedetect.Postmortem.data_races a <> [] in
+              let first = Racedetect.Postmortem.first_partitions a in
+              if races = (first <> []) then incr t41;
+              if first <> [] then begin
+                let v = Racedetect.Condition.check ~sc:pool e in
+                match v.Racedetect.Condition.scp_witness with
+                | None -> t42_parts := !t42_parts + List.length first
+                | Some scp ->
+                  let s = Iset.of_list scp in
+                  let ophb = Racedetect.Ophb.build e in
+                  let trace = a.Racedetect.Postmortem.trace in
+                  let ops_of eid =
+                    match trace.Tracing.Trace.events.(eid).Tracing.Event.body with
+                    | Tracing.Event.Computation { ops; _ } -> ops
+                    | Tracing.Event.Sync { op; _ } -> [ op ]
+                  in
+                  List.iter
+                    (fun (part : Racedetect.Partition.partition) ->
+                      incr t42_parts;
+                      let has_scp_race =
+                        List.exists
+                          (fun (race : Racedetect.Race.t) ->
+                            List.exists
+                              (fun (x : Memsim.Op.t) ->
+                                List.exists
+                                  (fun (y : Memsim.Op.t) ->
+                                    Memsim.Op.conflict x y
+                                    && (Memsim.Op.is_data x.Memsim.Op.cls
+                                        || Memsim.Op.is_data y.Memsim.Op.cls)
+                                    && (not
+                                          (Racedetect.Ophb.ordered ophb x.Memsim.Op.id
+                                             y.Memsim.Op.id))
+                                    && Iset.mem x.Memsim.Op.id s
+                                    && Iset.mem y.Memsim.Op.id s)
+                                  (ops_of race.Racedetect.Race.b))
+                              (ops_of race.Racedetect.Race.a))
+                          part.Racedetect.Partition.races
+                      in
+                      if has_scp_race then incr t42_ok)
+                    first
+              end)
+            (List.init 5 (fun s -> s)))
+        Memsim.Model.weak)
+    (List.init 8 (fun s -> s + 1));
+  Format.printf "Theorem 4.1: held on %d / %d executions@." !t41 !checks;
+  Format.printf "Theorem 4.2: %d / %d first partitions contained an SCP race@." !t42_ok
+    !t42_parts
+
+(* ================================================================== *)
+(* E7: overheads (§5)                                                  *)
+(* ================================================================== *)
+
+let overhead () =
+  section_header "E7 (§5): overheads — tracing, analysis, and the cost of an SC mode";
+  (* 1. trace size: event-level vs op-level *)
+  Format.printf "trace size: event-level (bit-vector READ/WRITE sets) vs op-level@.@.";
+  Format.printf "%-10s %10s %12s %12s %8s@." "region" "ops" "event-bytes" "op-bytes"
+    "ratio";
+  List.iter
+    (fun region ->
+      let p = Minilang.Programs.queue_bug ~region () in
+      let e = run_weak ~model:Memsim.Model.WO ~seed:3 p in
+      let t = Tracing.Trace.of_execution e in
+      let ev = Tracing.Trace.stats_bytes_event_level t in
+      let op = Tracing.Trace.stats_bytes_op_level t in
+      Format.printf "%-10d %10d %12d %12d %7.1fx@." region (Memsim.Exec.n_ops e) ev op
+        (float_of_int op /. float_of_int ev))
+    [ 25; 50; 100; 200; 400 ];
+  (* 2. the cost of a slow SC debug mode *)
+  Format.printf
+    "@.simulated cycles for the same instruction streams (write latency 20):@.@.";
+  Format.printf "%-18s %10s %10s %10s %10s@." "workload" "SC-mode" "WO" "RCsc"
+    "SC/WO";
+  List.iter
+    (fun (name, p, model, seed) ->
+      let e = run_weak ~model ~seed p in
+      let sc = (Memsim.Cost.estimate ~mode:Memsim.Model.SC e).Memsim.Cost.makespan in
+      let wo = (Memsim.Cost.estimate ~mode:Memsim.Model.WO e).Memsim.Cost.makespan in
+      let rc = (Memsim.Cost.estimate ~mode:Memsim.Model.RCsc e).Memsim.Cost.makespan in
+      Format.printf "%-18s %10d %10d %10d %9.1fx@." name sc wo rc
+        (float_of_int sc /. float_of_int wo))
+    [
+      ("queue_bug(100)", Minilang.Programs.queue_bug ~region:100 (), Memsim.Model.WO, 3);
+      ("queue_bug(400)", Minilang.Programs.queue_bug ~region:400 (), Memsim.Model.WO, 3);
+      ("counter_locked", Minilang.Programs.counter_locked, Memsim.Model.RCsc, 1);
+      ("fig1b", Minilang.Programs.fig1b, Memsim.Model.WO, 1);
+    ];
+  (* 3. store-buffer behaviour under increasingly adversarial schedules *)
+  Format.printf
+    "@.store-buffer statistics on queue_bug(100), WO, by retirement bias:@.@.";
+  Format.printf "%-22s %10s %12s %12s@." "scheduler" "peak-buf" "avg-delay" "retires";
+  List.iter
+    (fun (name, mk) ->
+      let peak = ref 0 and delay = ref 0 and retires = ref 0 and buffered = ref 0 in
+      for seed = 0 to 39 do
+        let _, st =
+          Memsim.Machine.run_with_stats ~model:Memsim.Model.WO ~sched:(mk seed)
+            (Minilang.Interp.source (Minilang.Programs.queue_bug ~region:100 ()))
+        in
+        peak := max !peak st.Memsim.Machine.max_buffer;
+        delay := !delay + st.Memsim.Machine.delay_total;
+        retires := !retires + st.Memsim.Machine.retires;
+        buffered := !buffered + st.Memsim.Machine.buffered_writes
+      done;
+      Format.printf "%-22s %10d %12.1f %12d@." name !peak
+        (float_of_int !delay /. float_of_int (max 1 !buffered))
+        !retires)
+    [
+      ("eager", fun seed -> Memsim.Sched.eager ~seed);
+      ("random", fun seed -> Memsim.Sched.random ~seed);
+      ("adversarial bias=4", fun seed -> Memsim.Sched.adversarial ~retire_bias:4 ~seed ());
+      ("adversarial bias=16", fun seed -> Memsim.Sched.adversarial ~retire_bias:16 ~seed ());
+    ];
+
+  (* 4. post-mortem vs on-the-fly accuracy *)
+  Format.printf
+    "@.accuracy: op-level hb1 races vs on-the-fly (last-access buffering):@.@.";
+  Format.printf "%-8s %10s %12s %10s %8s@." "config" "execs" "hb1-races" "otf-found"
+    "missed";
+  List.iter
+    (fun (tag, cfg) ->
+      let execs = ref 0 and truth = ref 0 and found = ref 0 in
+      for seed = 1 to 60 do
+        let p = Minilang.Gen.random_racy ~config:cfg ~seed () in
+        let e = run_weak ~sched:`Random ~model:Memsim.Model.WO ~seed p in
+        let t = Racedetect.Ophb.data_races (Racedetect.Ophb.build e) in
+        let o = Racedetect.Onthefly.race_pairs (Racedetect.Onthefly.detect e) in
+        incr execs;
+        truth := !truth + List.length t;
+        found := !found + List.length (List.filter (fun pr -> List.mem pr t) o)
+      done;
+      Format.printf "%-8s %10d %12d %10d %8d@." tag !execs !truth !found
+        (!truth - !found))
+    [
+      ("small", Minilang.Gen.default_config);
+      ( "medium",
+        { Minilang.Gen.n_procs = 3; n_shared = 4; n_locks = 2; ops_per_proc = 8;
+          sync_freq = 4 } );
+      ( "large",
+        { Minilang.Gen.n_procs = 4; n_shared = 6; n_locks = 3; ops_per_proc = 16;
+          sync_freq = 5 } );
+    ];
+  Format.printf
+    "@.(every on-the-fly report is a true race — soundness is checked by the@.\
+    \ test suite; the missed ones are overwritten accesses, the accuracy loss@.\
+    \ the paper attributes to on-the-fly buffering)@."
+
+(* ================================================================== *)
+(* envelope: exhaustive behaviour spaces                               *)
+(* ================================================================== *)
+
+let envelope () =
+  section_header
+    "envelope: exhaustive schedule/behaviour counts per model (litmus programs)";
+  Format.printf
+    "every schedule of every model is enumerated; 'behaviours' dedups by@.per-processor operation sequences and read values.@.@.";
+  Format.printf "%-18s %-6s %10s %12s %10s@." "program" "model" "schedules"
+    "behaviours" "racy-bhv";
+  List.iter
+    (fun p ->
+      let rows model =
+        let r =
+          match model with
+          | Memsim.Model.SC ->
+            Memsim.Enumerate.explore ~limit:2_000_000 (fun () -> Minilang.Interp.source p)
+          | m ->
+            Memsim.Enumerate.explore_weak ~limit:2_000_000 ~model:m (fun () ->
+                Minilang.Interp.source p)
+        in
+        let behaviours = Memsim.Enumerate.behaviours r.Memsim.Enumerate.executions in
+        let racy =
+          List.filter
+            (fun e ->
+              Racedetect.Postmortem.data_races (Racedetect.Postmortem.analyze_execution e)
+              <> [])
+            behaviours
+        in
+        Format.printf "%-18s %-6s %9d%s %12d %10d@." p.Minilang.Ast.name
+          (Memsim.Model.name model)
+          (List.length r.Memsim.Enumerate.executions)
+          (if r.Memsim.Enumerate.complete then "" else "+")
+          (List.length behaviours) (List.length racy)
+      in
+      List.iter rows [ Memsim.Model.SC; Memsim.Model.TSO; Memsim.Model.WO; Memsim.Model.RCsc ])
+    [
+      Minilang.Programs.fig1a;
+      Minilang.Programs.dekker;
+      Minilang.Programs.unguarded_handoff;
+      Minilang.Programs.guarded_handoff;
+      Minilang.Programs.mp_data_flag;
+      Minilang.Programs.mp_release_acquire;
+      Minilang.Programs.disjoint;
+    ];
+  Format.printf
+    "@.(WO and RCsc admit more behaviours than SC exactly on the racy programs;@.the data-race-free ones collapse to their SC behaviour sets — the DRF@.guarantee, verified over the entire envelope)@."
+
+(* ================================================================== *)
+(* ablation: design-choice studies                                     *)
+(* ================================================================== *)
+
+let ablation () =
+  section_header "ablation: schedulers, detectors, and so1 reconstruction";
+
+  (* 1. how schedule adversarialness drives anomaly discovery *)
+  Format.printf
+    "anomaly discovery rate on WO vs scheduling strategy (400 seeds each):@.@.";
+  Format.printf "%-22s %16s %18s@." "scheduler" "fig1a (1,0)" "queue stale-deq";
+  let queue_p = Minilang.Programs.queue_bug ~region:20 ~stale:7 () in
+  let fig1a_hit e =
+    (value_of_label e "P2:read-y", value_of_label e "P2:read-x") = (Some 1, Some 0)
+  in
+  let queue_hit e =
+    value_of_label e "P2:read-qempty" = Some 0 && value_of_label e "P2:dequeue" = Some 7
+  in
+  List.iter
+    (fun (name, mk) ->
+      let count p hit =
+        List.length
+          (List.filter
+             (fun seed ->
+               hit
+                 (Minilang.Interp.run ~model:Memsim.Model.WO ~sched:(mk seed) p))
+             (List.init 400 (fun s -> s)))
+      in
+      Format.printf "%-22s %12d/400 %14d/400@." name
+        (count Minilang.Programs.fig1a fig1a_hit)
+        (count queue_p queue_hit))
+    [
+      ("eager", fun seed -> Memsim.Sched.eager ~seed);
+      ("random", fun seed -> Memsim.Sched.random ~seed);
+      ("adversarial bias=16", fun seed -> Memsim.Sched.adversarial ~retire_bias:16 ~seed ());
+      ("adversarial bias=4", fun seed -> Memsim.Sched.adversarial ~retire_bias:4 ~seed ());
+      ("adversarial bias=2", fun seed -> Memsim.Sched.adversarial ~retire_bias:2 ~seed ());
+    ];
+
+  (* 2. detector comparison: exact hb1 vs on-the-fly vs lockset *)
+  Format.printf
+    "@.detector comparison (executions flagged, 60 WO schedules each):@.@.";
+  let ra_pingpong =
+    let open Minilang.Build in
+    program ~name:"ra_pingpong" ~locs:[ "data"; "flag" ]
+      [
+        [ store "data" (i 1); release_store "flag" (i 1) ];
+        [
+          acquire_load "f" "flag";
+          if_ (r "f" =: i 1) [ store "data" (i 2) ] [];
+        ];
+      ]
+  in
+  Format.printf "%-18s %12s %12s %12s   %s@." "program" "hb1" "on-the-fly" "lockset"
+    "ground truth";
+  List.iter
+    (fun (p, truth) ->
+      let hb = ref 0 and otf = ref 0 and ls = ref 0 in
+      for seed = 0 to 59 do
+        let e = run_weak ~model:Memsim.Model.WO ~seed p in
+        let a = Racedetect.Postmortem.analyze_execution e in
+        if Racedetect.Postmortem.data_races a <> [] then incr hb;
+        if Racedetect.Onthefly.detect e <> [] then incr otf;
+        if Racedetect.Lockset.check e <> [] then incr ls
+      done;
+      Format.printf "%-18s %9d/60 %9d/60 %9d/60   %s@." p.Minilang.Ast.name !hb !otf
+        !ls truth)
+    [
+      (Minilang.Programs.counter_locked, "race-free");
+      (Minilang.Programs.barrier_phases (), "race-free");
+      (ra_pingpong, "race-free (flag sync; lockset false alarms)");
+      (Minilang.Programs.counter_racy, "racy");
+      (Minilang.Programs.peterson, "racy");
+      (Minilang.Programs.lazy_init, "racy");
+      (Minilang.Programs.mp_data_flag, "racy (only when branch taken)");
+    ];
+
+  (* 3. so1: recorded pairing vs post-mortem reconstruction *)
+  Format.printf "@.so1 reconstruction from the per-location sync order alone:@.@.";
+  let agree = ref 0 and total = ref 0 in
+  for seed = 1 to 200 do
+    let p = Minilang.Gen.random_racy ~seed () in
+    let e = run_weak ~model:Memsim.Model.WO ~seed p in
+    let t = Tracing.Trace.of_execution e in
+    let races so1 =
+      Racedetect.Race.find_all (Racedetect.Hb.build ~so1 t)
+      |> List.map (fun (r : Racedetect.Race.t) -> (r.Racedetect.Race.a, r.Racedetect.Race.b))
+    in
+    incr total;
+    if races `Recorded = races `Reconstructed then incr agree
+  done;
+  Format.printf
+    "lock-disciplined random programs: identical race sets on %d / %d executions@."
+    !agree !total;
+  (* the counterexample requiring the recorded pairing: a data write to a
+     synchronization location can alias the release's value *)
+  let mixed =
+    let open Minilang.Build in
+    program ~name:"mixed" ~locs:[ "x"; "f" ] ~init:[ ("f", 1) ]
+      [
+        [ store "x" (i 1); unset "f" ];
+        [ store "f" (i 0) ];  (* data write of the same value! *)
+        [ test_and_set "t" "f"; load "rx" "x" ];
+      ]
+  in
+  let diverged = ref 0 in
+  for seed = 0 to 199 do
+    let e = run_weak ~model:Memsim.Model.WO ~seed mixed in
+    let t = Tracing.Trace.of_execution e in
+    if
+      List.sort compare t.Tracing.Trace.so1
+      <> List.sort compare (Tracing.Trace.so1_reconstruct t)
+    then incr diverged
+  done;
+  Format.printf
+    "mixed data/sync writes to one location: reconstruction diverged on %d / 200@.(why real tracers record which release each acquire observed)@."
+    !diverged
+
+(* ================================================================== *)
+(* coherence: the delayed-invalidation machine                         *)
+(* ================================================================== *)
+
+let coherence () =
+  section_header
+    "coherence: the same results on a cache-coherent machine (delayed invalidations)";
+  Format.printf
+    "weakness here is reader-side: invalidations queue at sharers and apply@.when the scheduler says so — a different 1991 hardware mechanism than@.store buffers.  The paper's results must not care.@.@.";
+  let run_c ?n_lines ?warm ~model ~seed p =
+    Coherence.Cmachine.run_program ?n_lines ?warm ~model
+      ~sched:(Memsim.Sched.adversarial ~seed ()) p
+  in
+  (* 1. figure 1a outcome envelope *)
+  Format.printf "%-6s %-30s %s@." "model" "fig1a outcomes (300 seeds)" "(1,0) seen?";
+  List.iter
+    (fun model ->
+      let outcomes =
+        List.init 300 (fun seed ->
+            let e = run_c ~model ~seed Minilang.Programs.fig1a in
+            (value_of_label e "P2:read-y", value_of_label e "P2:read-x"))
+        |> List.sort_uniq compare
+      in
+      Format.printf "%-6s %-30s %b@." (Memsim.Model.name model)
+        (String.concat " "
+           (List.map
+              (function Some a, Some b -> Printf.sprintf "(%d,%d)" a b | _ -> "(?)")
+              outcomes))
+        (List.mem (Some 1, Some 0) outcomes))
+    (List.filter (fun m -> not (Memsim.Model.fifo_buffer m)) Memsim.Model.all);
+  (* 2. queue bug *)
+  let p = Minilang.Programs.queue_bug ~region:8 ~stale:3 () in
+  let hits =
+    List.filter
+      (fun seed ->
+        let e = run_c ~model:Memsim.Model.WO ~seed p in
+        value_of_label e "P2:read-qempty" = Some 0
+        && value_of_label e "P2:dequeue" = Some 3)
+      (List.init 2000 (fun s -> s))
+  in
+  Format.printf "@.queue_bug stale dequeue: %d / 2000 adversarial schedules@."
+    (List.length hits);
+  (* 3. Condition 3.4 spot check *)
+  let programs =
+    [ Minilang.Programs.fig1a; Minilang.Programs.unguarded_handoff;
+      Minilang.Gen.random_racy ~seed:9 () ]
+  in
+  let total = ref 0 and holds = ref 0 in
+  List.iter
+    (fun p ->
+      let pool =
+        (Memsim.Enumerate.explore ~limit:500_000 (fun () -> Minilang.Interp.source p))
+          .Memsim.Enumerate.executions
+      in
+      List.iter
+        (fun model ->
+          List.iter
+            (fun seed ->
+              let e = run_c ~model ~seed p in
+              incr total;
+              if (Racedetect.Condition.check ~sc:pool e).Racedetect.Condition.holds then
+                incr holds)
+            (List.init 6 (fun s -> s)))
+        Memsim.Model.weak)
+    programs;
+  Format.printf "Condition 3.4 on the coherent machine: %d / %d weak executions@."
+    !holds !total;
+  (* 4. capacity sweep: small caches evict stale lines, hiding the bug *)
+  Format.printf
+    "@.capacity sweep (fig1a anomaly rate over 400 seeds; smaller caches@.evict stale copies sooner, masking the weakness):@.@.";
+  Format.printf "%-14s %12s %12s@." "cache lines" "(1,0) rate" "hit rate";
+  List.iter
+    (fun n_lines ->
+      let hits = ref 0 in
+      let ch = ref 0 and cm = ref 0 in
+      for seed = 0 to 399 do
+        let src = Minilang.Interp.source Minilang.Programs.fig1a in
+        let m = Coherence.Cmachine.create ~n_lines ~model:Memsim.Model.WO src in
+        let sched = Memsim.Sched.adversarial ~seed () in
+        let rec loop () =
+          match Coherence.Cmachine.enabled m with
+          | [] -> ()
+          | ds -> Coherence.Cmachine.perform m (Memsim.Sched.choose sched ds); loop ()
+        in
+        loop ();
+        let e = Coherence.Cmachine.to_execution m in
+        if
+          (value_of_label e "P2:read-y", value_of_label e "P2:read-x")
+          = (Some 1, Some 0)
+        then incr hits;
+        Array.iter
+          (fun (st : Coherence.Cache.stats) ->
+            ch := !ch + st.Coherence.Cache.hits;
+            cm := !cm + st.Coherence.Cache.misses)
+          (Coherence.Cmachine.cache_stats m)
+      done;
+      Format.printf "%-14d %9d/400 %11.2f@." n_lines !hits
+        (float_of_int !ch /. float_of_int (max 1 (!ch + !cm))))
+    [ 2; 1 ]
+
+(* ================================================================== *)
+(* perf: bechamel microbenchmarks                                      *)
+(* ================================================================== *)
+
+let perf () =
+  section_header "perf: analysis pipeline microbenchmarks (bechamel, OLS ns/run)";
+  let open Bechamel in
+  let mk_exec region =
+    run_weak ~model:Memsim.Model.WO ~seed:3 (Minilang.Programs.queue_bug ~region ())
+  in
+  let exec_of_config cfg seed =
+    run_weak ~sched:`Random ~model:Memsim.Model.WO ~seed
+      (Minilang.Gen.random_racy ~config:cfg ~seed ())
+  in
+  let big_cfg =
+    { Minilang.Gen.n_procs = 4; n_shared = 6; n_locks = 3; ops_per_proc = 24; sync_freq = 5 }
+  in
+  let e100 = mk_exec 100 and e400 = mk_exec 400 in
+  let t100 = Tracing.Trace.of_execution e100 in
+  let t400 = Tracing.Trace.of_execution e400 in
+  let text400 = Tracing.Codec.encode t400 in
+  let ebig = exec_of_config big_cfg 5 in
+  let tests =
+    [
+      Test.make ~name:"simulate/queue100" (Staged.stage (fun () -> ignore (mk_exec 100)));
+      Test.make ~name:"segment/queue400"
+        (Staged.stage (fun () -> ignore (Tracing.Trace.of_execution e400)));
+      Test.make ~name:"hb1-build/queue400"
+        (Staged.stage (fun () -> ignore (Racedetect.Hb.build t400)));
+      Test.make ~name:"analyze/queue100"
+        (Staged.stage (fun () -> ignore (Racedetect.Postmortem.analyze t100)));
+      Test.make ~name:"analyze/queue400"
+        (Staged.stage (fun () -> ignore (Racedetect.Postmortem.analyze t400)));
+      Test.make ~name:"onthefly/queue400"
+        (Staged.stage (fun () -> ignore (Racedetect.Onthefly.detect e400)));
+      Test.make ~name:"onthefly/random-big"
+        (Staged.stage (fun () -> ignore (Racedetect.Onthefly.detect ebig)));
+      Test.make ~name:"codec-encode/queue400"
+        (Staged.stage (fun () -> ignore (Tracing.Codec.encode t400)));
+      Test.make ~name:"codec-decode/queue400"
+        (Staged.stage (fun () -> ignore (Tracing.Codec.decode text400)));
+      Test.make ~name:"ophb-races/random-big"
+        (Staged.stage (fun () ->
+             ignore (Racedetect.Ophb.data_races (Racedetect.Ophb.build ebig))));
+      (let huge_cfg =
+         { Minilang.Gen.n_procs = 8; n_shared = 12; n_locks = 4; ops_per_proc = 100;
+           sync_freq = 6 }
+       in
+       let ehuge = exec_of_config huge_cfg 7 in
+       let thuge = Tracing.Trace.of_execution ehuge in
+       Test.make ~name:"analyze/random-8x100"
+         (Staged.stage (fun () -> ignore (Racedetect.Postmortem.analyze thuge))));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Format.printf "%-24s %14s %10s@." "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let m = Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt in
+          let est = Analyze.one ols Toolkit.Instance.monotonic_clock m in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some (v :: _) -> v
+            | _ -> nan
+          in
+          let r2 = Option.value ~default:nan (Analyze.OLS.r_square est) in
+          Format.printf "%-24s %14.0f %10.4f@." (Test.Elt.name elt) ns r2)
+        (Test.elements test))
+    tests
+
+(* ================================================================== *)
+
+let sections =
+  [
+    ("fig1a", fig1a); ("fig1b", fig1b); ("fig2", fig2); ("fig3", fig3);
+    ("cond34", cond34); ("thm41-42", thm41_42); ("overhead", overhead);
+    ("envelope", envelope); ("ablation", ablation); ("coherence", coherence);
+    ("perf", perf);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | [] | _ :: ([] | [ "all" ]) -> List.map fst sections
+    | _ :: names -> names
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+        Format.eprintf "unknown section %S (have: %s)@." name
+          (String.concat ", " (List.map fst sections));
+        exit 1)
+    requested

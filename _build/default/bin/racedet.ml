@@ -1,0 +1,541 @@
+(* racedet — dynamic data-race detection on simulated weak memory systems.
+
+   Subcommands: list, show, run, detect, trace, analyze, enumerate, check,
+   cost.  A <program> argument is either the name of a stock program
+   (racedet list) or the path of a program file in the concrete syntax
+   (see lib/minilang/parser.mli). *)
+
+open Cmdliner
+
+let load_program arg =
+  match Minilang.Programs.find arg with
+  | Some p -> Ok p
+  | None ->
+    if Sys.file_exists arg then Minilang.Parser.parse_file arg
+    else
+      Error
+        (Printf.sprintf
+           "%S is neither a stock program nor a readable file (try `racedet list`)" arg)
+
+(* -- common arguments ------------------------------------------------ *)
+
+let program_arg =
+  let doc = "Stock program name or path to a program file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
+
+let model_arg =
+  let parse s =
+    match Memsim.Model.of_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown model %S (SC|WO|RCsc|DRF0|DRF1)" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Memsim.Model.name m) in
+  let model_conv = Arg.conv (parse, print) in
+  let doc = "Memory model: SC, WO, RCsc, DRF0 or DRF1." in
+  Arg.(value & opt model_conv Memsim.Model.WO & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let seed_arg =
+  let doc = "Scheduler seed (runs are deterministic in the seed)." in
+  Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+
+let sched_arg =
+  let doc =
+    "Scheduling strategy: $(b,adversarial) delays write retirement (most \
+     reordering), $(b,random) is uniform, $(b,eager) retires immediately \
+     (SC-like), $(b,round-robin) is deterministic."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("adversarial", `Adversarial); ("random", `Random); ("eager", `Eager);
+                  ("round-robin", `Round_robin) ])
+        `Adversarial
+    & info [ "sched" ] ~docv:"STRATEGY" ~doc)
+
+let make_sched sched seed =
+  match sched with
+  | `Adversarial -> Memsim.Sched.adversarial ~seed ()
+  | `Random -> Memsim.Sched.random ~seed
+  | `Eager -> Memsim.Sched.eager ~seed
+  | `Round_robin -> Memsim.Sched.round_robin ()
+
+let machine_arg =
+  let doc =
+    "Hardware realization: $(b,buffer) (store buffers, out-of-order write \
+     retirement) or $(b,cache) (MSI caches with delayed invalidations)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("buffer", `Buffer); ("cache", `Cache) ]) `Buffer
+    & info [ "machine" ] ~docv:"MACHINE" ~doc)
+
+let max_steps_arg =
+  let doc = "Abort (and drain) after this many machine steps." in
+  Arg.(value & opt int 20_000 & info [ "max-steps" ] ~doc)
+
+let or_fail = function
+  | Ok v -> v
+  | Error msg ->
+    Format.eprintf "racedet: %s@." msg;
+    exit 1
+
+let run_exec program machine model sched seed max_steps =
+  let p = or_fail (load_program program) in
+  let e =
+    match machine with
+    | `Buffer -> Minilang.Interp.run ~max_steps ~model ~sched:(make_sched sched seed) p
+    | `Cache ->
+      Coherence.Cmachine.run_program ~max_steps ~model ~sched:(make_sched sched seed) p
+  in
+  (p, e)
+
+(* -- list ------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, (p : Minilang.Ast.program)) ->
+        Format.printf "%-20s %d procs, %d locations@." name (Array.length p.procs)
+          p.n_locs)
+      Minilang.Programs.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the stock programs.") Term.(const run $ const ())
+
+(* -- show ------------------------------------------------------------- *)
+
+let show_cmd =
+  let run program =
+    let p = or_fail (load_program program) in
+    print_string (Minilang.Parser.to_source p)
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a program in concrete syntax.")
+    Term.(const run $ program_arg)
+
+(* -- run --------------------------------------------------------------- *)
+
+let run_cmd =
+  let run program machine model sched seed max_steps =
+    let p, e = run_exec program machine model sched seed max_steps in
+    Format.printf "%a@." Memsim.Exec.pp e;
+    Format.printf "@.final memory (non-zero):@.";
+    Array.iteri
+      (fun l v ->
+        if v <> 0 then Format.printf "  %s = %d@." (Minilang.Ast.loc_name p l) v)
+      e.Memsim.Exec.final_mem
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a program on a memory model and print the execution.")
+    Term.(
+      const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
+      $ max_steps_arg)
+
+(* -- detect ------------------------------------------------------------ *)
+
+let detect_cmd =
+  let all_arg =
+    let doc = "Also show the suppressed non-first partitions in full." in
+    Arg.(value & flag & info [ "a"; "all" ] ~doc)
+  in
+  let run program machine model sched seed max_steps show_all =
+    let p, e = run_exec program machine model sched seed max_steps in
+    let a = Racedetect.Postmortem.analyze_execution e in
+    let loc_name = Minilang.Ast.loc_name p in
+    Format.printf "%a@." (Racedetect.Report.pp_analysis ~loc_name) a;
+    if show_all then begin
+      let trace = a.Racedetect.Postmortem.trace in
+      List.iter
+        (fun part ->
+          Format.printf "@.%a@."
+            (Racedetect.Report.pp_partition ~loc_name ~trace)
+            part)
+        (Racedetect.Partition.non_first_partitions a.Racedetect.Postmortem.partitions)
+    end;
+    if not (Racedetect.Postmortem.race_free a) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "detect"
+       ~doc:
+         "Run a program, trace it, and report the first partitions of data races \
+          (exit status 2 when races are found).")
+    Term.(
+      const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
+      $ max_steps_arg $ all_arg)
+
+(* -- trace / analyze --------------------------------------------------- *)
+
+let trace_cmd =
+  let out_arg =
+    let doc = "Trace file to write." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let split_arg =
+    let doc = "Write a split-trace directory (one file per processor) instead." in
+    Arg.(value & flag & info [ "split" ] ~doc)
+  in
+  let run program machine model sched seed max_steps out split =
+    let _, e = run_exec program machine model sched seed max_steps in
+    let t = Tracing.Trace.of_execution e in
+    if split then Tracing.Codec.write_dir out t else Tracing.Codec.write_file out t;
+    Format.printf "wrote %d events (%d computation, %d sync) to %s@."
+      (Tracing.Trace.n_events t)
+      (Tracing.Trace.n_computation_events t)
+      (Tracing.Trace.n_sync_events t)
+      out
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a program and write its trace file.")
+    Term.(
+      const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
+      $ max_steps_arg $ out_arg $ split_arg)
+
+let analyze_cmd =
+  let file_arg =
+    let doc =
+      "Trace file produced by $(b,racedet trace), or a split-trace directory \
+       (one file per processor plus sync.trace)."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let reconstruct_arg =
+    let doc =
+      "Ignore the recorded release/acquire pairing and reconstruct so1 from the \
+       per-location synchronization order."
+    in
+    Arg.(value & flag & info [ "reconstruct-so1" ] ~doc)
+  in
+  let run file reconstruct =
+    let result =
+      if Sys.file_exists file && Sys.is_directory file then Tracing.Codec.read_dir file
+      else Tracing.Codec.read_file file
+    in
+    match result with
+    | Error msg ->
+      Format.eprintf "racedet: %s@." msg;
+      exit 1
+    | Ok t ->
+      let so1 = if reconstruct then `Reconstructed else `Recorded in
+      let a = Racedetect.Postmortem.analyze ~so1 t in
+      Format.printf "%a@." (Racedetect.Report.pp_analysis ?loc_name:None) a;
+      if not (Racedetect.Postmortem.race_free a) then exit 2
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Post-mortem analysis of an existing trace file.")
+    Term.(const run $ file_arg $ reconstruct_arg)
+
+(* -- enumerate ---------------------------------------------------------- *)
+
+let enumerate_cmd =
+  let limit_arg =
+    let doc = "Stop after this many SC executions." in
+    Arg.(value & opt int 100_000 & info [ "limit" ] ~doc)
+  in
+  let run program limit =
+    let p = or_fail (load_program program) in
+    let r =
+      Memsim.Enumerate.explore ~limit (fun () -> Minilang.Interp.source p)
+    in
+    let execs = r.Memsim.Enumerate.executions in
+    let racy =
+      List.filter
+        (fun e ->
+          Racedetect.Postmortem.data_races (Racedetect.Postmortem.analyze_execution e)
+          <> [])
+        execs
+    in
+    Format.printf "%d sequentially consistent execution(s)%s@." (List.length execs)
+      (if r.Memsim.Enumerate.complete then "" else " (incomplete)");
+    Format.printf "%d exhibit data races@." (List.length racy);
+    if racy <> [] then
+      Format.printf "the program is NOT data-race-free (Def 2.4)@."
+    else if r.Memsim.Enumerate.complete then
+      Format.printf "the program is data-race-free: every weak execution is SC@."
+  in
+  Cmd.v
+    (Cmd.info "enumerate"
+       ~doc:
+         "Enumerate all SC executions and decide whether the program is \
+          data-race-free.")
+    Term.(const run $ program_arg $ limit_arg)
+
+(* -- check (Condition 3.4) ---------------------------------------------- *)
+
+let check_cmd =
+  let seeds_arg =
+    let doc = "Number of weak executions to check per model." in
+    Arg.(value & opt int 10 & info [ "n"; "seeds" ] ~doc)
+  in
+  let limit_arg =
+    let doc = "SC enumeration bound." in
+    Arg.(value & opt int 200_000 & info [ "limit" ] ~doc)
+  in
+  let exhaustive_arg =
+    let doc =
+      "Check every schedule of every weak model (store-buffer machine only; \
+       litmus-sized, loop-free programs)."
+    in
+    Arg.(value & flag & info [ "exhaustive" ] ~doc)
+  in
+  let run program machine n limit exhaustive =
+    let p = or_fail (load_program program) in
+    let r = Memsim.Enumerate.explore ~limit (fun () -> Minilang.Interp.source p) in
+    if not r.Memsim.Enumerate.complete then begin
+      Format.eprintf
+        "racedet: SC enumeration incomplete; Condition 3.4 cannot be decided@.";
+      exit 1
+    end;
+    let pool = r.Memsim.Enumerate.executions in
+    let failures = ref 0 in
+    let total = ref 0 in
+    let check_exec model tag e =
+      incr total;
+      let v = Racedetect.Condition.check ~sc:pool e in
+      if not v.Racedetect.Condition.holds then begin
+        incr failures;
+        Format.printf "%s %s: %a@." (Memsim.Model.name model) tag
+          Racedetect.Condition.pp_verdict v
+      end
+    in
+    List.iter
+      (fun model ->
+        if exhaustive then begin
+          let w =
+            Memsim.Enumerate.explore_weak ~limit ~model (fun () ->
+                Minilang.Interp.source p)
+          in
+          if not w.Memsim.Enumerate.complete then begin
+            Format.eprintf "racedet: weak exploration incomplete for %s@."
+              (Memsim.Model.name model);
+            exit 1
+          end;
+          List.iteri
+            (fun i e -> check_exec model (Printf.sprintf "schedule %d" i) e)
+            (Memsim.Enumerate.behaviours w.Memsim.Enumerate.executions)
+        end
+        else
+          for seed = 0 to n - 1 do
+            let e =
+              match machine with
+              | `Buffer ->
+                Minilang.Interp.run ~model
+                  ~sched:(Memsim.Sched.adversarial ~seed ())
+                  p
+              | `Cache ->
+                Coherence.Cmachine.run_program ~model
+                  ~sched:(Memsim.Sched.adversarial ~seed ())
+                  p
+            in
+            check_exec model (Printf.sprintf "seed=%d" seed) e
+          done)
+      Memsim.Model.weak;
+    if !failures = 0 then
+      Format.printf "Condition 3.4 obeyed on all %d weak executions%s@." !total
+        (if exhaustive then " (exhaustive behaviour coverage)" else "")
+    else begin
+      Format.printf "%d violation(s)@." !failures;
+      exit 2
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Verify Condition 3.4 (Theorem 3.5) on weak executions of a program, \
+          against exhaustive SC enumeration.")
+    Term.(const run $ program_arg $ machine_arg $ seeds_arg $ limit_arg $ exhaustive_arg)
+
+(* -- sweep ----------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let seeds_arg =
+    let doc = "Schedules per model." in
+    Arg.(value & opt int 100 & info [ "n"; "seeds" ] ~doc)
+  in
+  let run program machine n max_steps =
+    let p = or_fail (load_program program) in
+    Format.printf "%-6s %8s %10s %12s %12s@." "model" "runs" "racy-runs"
+      "races(max)" "truncated";
+    List.iter
+      (fun model ->
+        if not (machine = `Cache && Memsim.Model.fifo_buffer model) then begin
+          let racy = ref 0 and max_races = ref 0 and truncated = ref 0 in
+          for seed = 0 to n - 1 do
+            let e =
+              match machine with
+              | `Buffer ->
+                Minilang.Interp.run ~max_steps ~model
+                  ~sched:(Memsim.Sched.adversarial ~seed ()) p
+              | `Cache ->
+                Coherence.Cmachine.run_program ~max_steps ~model
+                  ~sched:(Memsim.Sched.adversarial ~seed ()) p
+            in
+            if e.Memsim.Exec.truncated then incr truncated;
+            let races =
+              List.length
+                (Racedetect.Postmortem.data_races
+                   (Racedetect.Postmortem.analyze_execution e))
+            in
+            if races > 0 then incr racy;
+            if races > !max_races then max_races := races
+          done;
+          Format.printf "%-6s %8d %10d %12d %12d@." (Memsim.Model.name model) n !racy
+            !max_races !truncated
+        end)
+      Memsim.Model.all
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Fuzz a program: run many adversarial schedules on every model and \
+          summarize how often data races actually materialize.")
+    Term.(const run $ program_arg $ machine_arg $ seeds_arg $ max_steps_arg)
+
+(* -- graph (DOT export) --------------------------------------------------- *)
+
+let graph_cmd =
+  let out_arg =
+    let doc = "Write the DOT graph here instead of standard output." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run program machine model sched seed max_steps out =
+    let p, e = run_exec program machine model sched seed max_steps in
+    let a = Racedetect.Postmortem.analyze_execution e in
+    let dot = Racedetect.Report.to_dot ~loc_name:(Minilang.Ast.loc_name p) a in
+    match out with
+    | None -> print_string dot
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc dot);
+      Format.printf "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "graph"
+       ~doc:
+         "Emit the augmented happens-before-1 graph (Figure 3 style) as Graphviz \
+          DOT: po edges solid, so1 dashed, races red and doubly directed, first \
+          partitions highlighted.")
+    Term.(
+      const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
+      $ max_steps_arg $ out_arg)
+
+(* -- gen (random programs) ------------------------------------------------ *)
+
+let gen_cmd =
+  let kind_arg =
+    let doc = "Population: $(b,racy), $(b,racefree) (Test&Set/Unset) or $(b,racefree-ra) (release/acquire)." in
+    Arg.(
+      value
+      & opt (enum [ ("racy", `Racy); ("racefree", `Racefree); ("racefree-ra", `Ra) ]) `Racy
+      & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+  in
+  let gen_seed_arg =
+    let doc = "Generator seed." in
+    Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+  in
+  let procs_arg =
+    let doc = "Processors." in
+    Arg.(value & opt int 2 & info [ "procs" ] ~doc)
+  in
+  let ops_arg =
+    let doc = "Operations per processor." in
+    Arg.(value & opt int 4 & info [ "ops" ] ~doc)
+  in
+  let run kind seed procs ops =
+    let config =
+      { Minilang.Gen.default_config with Minilang.Gen.n_procs = procs; ops_per_proc = ops }
+    in
+    let p =
+      match kind with
+      | `Racy -> Minilang.Gen.random_racy ~config ~seed ()
+      | `Racefree -> Minilang.Gen.random_racefree ~config ~seed ()
+      | `Ra -> Minilang.Gen.random_racefree_ra ~config ~seed ()
+    in
+    let p = { p with Minilang.Ast.name = "generated" } in
+    print_string (Minilang.Parser.to_source p)
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Emit a random program (in the concrete syntax) from the Monte-Carlo \
+          populations used to validate Condition 3.4.")
+    Term.(const run $ kind_arg $ gen_seed_arg $ procs_arg $ ops_arg)
+
+(* -- replay (SCP debugger) ----------------------------------------------- *)
+
+let replay_cmd =
+  let limit_arg =
+    let doc = "SC enumeration bound for the ground-truth pool." in
+    Arg.(value & opt int 500_000 & info [ "limit" ] ~doc)
+  in
+  let watch_arg =
+    let doc = "Named location to put a watchpoint on (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "w"; "watch" ] ~docv:"LOC" ~doc)
+  in
+  let run program model sched seed max_steps limit watches =
+    let p = or_fail (load_program program) in
+    let weak =
+      Minilang.Interp.run ~max_steps ~model ~sched:(make_sched sched seed) p
+    in
+    let r = Memsim.Enumerate.explore ~limit (fun () -> Minilang.Interp.source p) in
+    if not r.Memsim.Enumerate.complete then begin
+      Format.eprintf "racedet: SC enumeration incomplete; prefix replay needs ground truth@.";
+      exit 1
+    end;
+    match
+      Racedetect.Scpreplay.of_weak_execution ~sc:r.Memsim.Enumerate.executions
+        ~source:(fun () -> Minilang.Interp.source p)
+        weak
+    with
+    | None -> Format.eprintf "racedet: empty SC pool@."; exit 1
+    | Some session ->
+      let loc_name = Minilang.Ast.loc_name p in
+      Format.printf "%a@." (Racedetect.Scpreplay.pp_session ~loc_name) session;
+      List.iter
+        (fun name ->
+          match List.assoc_opt name p.Minilang.Ast.symbols with
+          | None -> Format.eprintf "racedet: unknown location %S@." name
+          | Some loc ->
+            Format.printf "@.watch %s:" name;
+            List.iter
+              (fun (step, v) -> Format.printf " [step %d] %d" step v)
+              (Racedetect.Scpreplay.watch session loc);
+            Format.printf "@.")
+        watches
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Replay the sequentially consistent prefix of a weak execution on an SC           machine, with optional watchpoints — §5's \"debug the SC part with SC           tools\".")
+    Term.(
+      const run $ program_arg $ model_arg $ sched_arg $ seed_arg $ max_steps_arg
+      $ limit_arg $ watch_arg)
+
+(* -- cost ---------------------------------------------------------------- *)
+
+let cost_cmd =
+  let run program seed =
+    let p = or_fail (load_program program) in
+    Format.printf "%-6s %10s %12s@." "model" "cycles" "stalls";
+    List.iter
+      (fun model ->
+        let e =
+          Minilang.Interp.run ~model ~sched:(Memsim.Sched.adversarial ~seed ()) p
+        in
+        let est = Memsim.Cost.estimate ~mode:model e in
+        Format.printf "%-6s %10d %12d@." (Memsim.Model.name model)
+          est.Memsim.Cost.makespan est.Memsim.Cost.stall_cycles)
+      Memsim.Model.all
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:
+         "Estimate execution time under each model's stall policy (the price of a \
+          sequentially consistent debug mode).")
+    Term.(const run $ program_arg $ seed_arg)
+
+let () =
+  let doc = "dynamic data-race detection on weak memory systems (ISCA 1991)" in
+  let info = Cmd.info "racedet" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; run_cmd; detect_cmd; trace_cmd; analyze_cmd;
+            enumerate_cmd; check_cmd; cost_cmd; replay_cmd; graph_cmd; gen_cmd;
+            sweep_cmd ]))

@@ -1,0 +1,1 @@
+examples/histogram.ml: Array Format List Memsim Minilang Printf Racedetect String

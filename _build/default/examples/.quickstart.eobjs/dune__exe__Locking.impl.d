@@ -1,0 +1,1 @@
+examples/locking.ml: Array Format List Memsim Minilang Printf Racedetect

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Array Format List Memsim Minilang Printf Racedetect String

@@ -1,0 +1,1 @@
+examples/queue_bug_walkthrough.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Memsim Minilang Racedetect

@@ -1,0 +1,1 @@
+examples/scp_debugger.ml: Format List Memsim Minilang Racedetect

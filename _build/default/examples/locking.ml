@@ -1,0 +1,76 @@
+(* A correctly locked shared bank on every weak model.
+
+     dune exec examples/locking.exe
+
+   Two tellers move money between accounts inside Test&Set/Unset critical
+   sections.  The program is data-race-free, so WO, RCsc, DRF0 and DRF1
+   all guarantee sequential consistency (the paper's starting point), the
+   invariant (conserved total) holds under every adversarial schedule, and
+   the detector never fires.  The cost model then shows what the locking
+   buys: the weak models still run far faster than a sequentially
+   consistent debug mode would. *)
+
+open Minilang.Build
+
+let n_transfers = 5
+
+let teller ~who ~from_ ~to_ ~amount =
+  List.concat
+    (List.init n_transfers (fun k ->
+         let tag = Printf.sprintf "%s:t%d" who k in
+         spin_lock "lock" ~label:(tag ^ ":lock")
+         @ [
+             load "a" from_ ~label:(tag ^ ":read-from");
+             store from_ (r "a" -: i amount);
+             load "b" to_ ~label:(tag ^ ":read-to");
+             store to_ (r "b" +: i amount);
+             unset "lock" ~label:(tag ^ ":unlock");
+           ]))
+
+let bank =
+  program ~name:"bank" ~locs:[ "checking"; "savings"; "lock" ]
+    ~init:[ ("checking", 1000); ("savings", 500) ]
+    [
+      teller ~who:"teller1" ~from_:"checking" ~to_:"savings" ~amount:10;
+      teller ~who:"teller2" ~from_:"savings" ~to_:"checking" ~amount:25;
+    ]
+
+let () =
+  let seeds = List.init 30 (fun s -> s) in
+  Format.printf "%d transfers per teller, %d schedules per model@.@." n_transfers
+    (List.length seeds);
+  List.iter
+    (fun model ->
+      let ok =
+        List.for_all
+          (fun seed ->
+            let e =
+              Minilang.Interp.run ~model ~sched:(Memsim.Sched.adversarial ~seed ()) bank
+            in
+            let total = e.Memsim.Exec.final_mem.(0) + e.Memsim.Exec.final_mem.(1) in
+            let a = Racedetect.Postmortem.analyze_execution e in
+            (not e.Memsim.Exec.truncated)
+            && total = 1500
+            && Racedetect.Postmortem.race_free a)
+          seeds
+      in
+      Format.printf "%-5s: money conserved and race-free on all schedules: %b@."
+        (Memsim.Model.name model) ok)
+    Memsim.Model.all;
+
+  (* what would an SC debug mode cost? *)
+  let e =
+    Minilang.Interp.run ~model:Memsim.Model.RCsc
+      ~sched:(Memsim.Sched.adversarial ~seed:0 ())
+      bank
+  in
+  Format.printf "@.timing of the same instruction streams:@.";
+  List.iter
+    (fun mode ->
+      let est = Memsim.Cost.estimate ~mode e in
+      Format.printf "  %-5s %6d cycles (%d stalled)@." (Memsim.Model.name mode)
+        est.Memsim.Cost.makespan est.Memsim.Cost.stall_cycles)
+    [ Memsim.Model.SC; Memsim.Model.WO; Memsim.Model.RCsc ];
+  Format.printf
+    "@.the paper's point: you never need the SC row — races are detectable@.\
+     directly on the weak execution (Condition 3.4 comes for free).@."

@@ -1,0 +1,68 @@
+(* Quickstart: write a small parallel program, run it on weak hardware,
+   and detect its data races.
+
+     dune exec examples/quickstart.exe
+
+   The program is the classic "message passing through a data flag" bug:
+   the flag is read and written with ordinary loads and stores, so nothing
+   orders the payload accesses, and on weak hardware the consumer can see
+   the flag set but the payload stale. *)
+
+open Minilang.Build
+
+(* 1. Write the program with the builder combinators. *)
+let buggy =
+  program ~name:"my_first_bug" ~locs:[ "payload"; "flag" ]
+    [
+      (* producer *)
+      [
+        store "payload" (i 99) ~label:"producer:write-payload";
+        store "flag" (i 1) ~label:"producer:set-flag";
+      ];
+      (* consumer *)
+      [
+        load "f" "flag" ~label:"consumer:read-flag";
+        if_ (r "f" =: i 1) [ load "p" "payload" ~label:"consumer:read-payload" ] [];
+      ];
+    ]
+
+(* 4. The fix: release/acquire accesses to the flag order the payload. *)
+let fixed =
+  program ~name:"fixed" ~locs:[ "payload"; "flag" ]
+    [
+      [ store "payload" (i 99); release_store "flag" (i 1) ];
+      [ acquire_load "f" "flag"; if_ (r "f" =: i 1) [ load "p" "payload" ] [] ];
+    ]
+
+let () =
+  Format.printf "--- the program ---@.%s@." (Minilang.Parser.to_source buggy);
+
+  (* 2. Run it on a weakly ordered machine with an adversarial schedule. *)
+  let execution =
+    Minilang.Interp.run ~model:Memsim.Model.WO
+      ~sched:(Memsim.Sched.adversarial ~seed:1 ())
+      buggy
+  in
+  Format.printf "--- one weak execution ---@.%a@.@." Memsim.Exec.pp execution;
+
+  (* 3. Post-mortem analysis: trace, happens-before-1, races, partitions. *)
+  let analysis = Racedetect.Postmortem.analyze_execution execution in
+  Format.printf "--- race report ---@.%a@.@."
+    (Racedetect.Report.pp_analysis ~loc_name:(Minilang.Ast.loc_name buggy))
+    analysis;
+
+  let all_clean =
+    List.for_all
+      (fun seed ->
+        let e =
+          Minilang.Interp.run ~model:Memsim.Model.WO
+            ~sched:(Memsim.Sched.adversarial ~seed ())
+            fixed
+        in
+        Racedetect.Postmortem.race_free (Racedetect.Postmortem.analyze_execution e))
+      (List.init 50 (fun s -> s))
+  in
+  Format.printf "--- after adding release/acquire ---@.";
+  Format.printf "50 adversarial weak executions, race free: %b@." all_clean;
+  Format.printf
+    "(data-race-free programs get sequential consistency on every weak model)@."

@@ -1,0 +1,1 @@
+lib/coherence/cache.ml: Array List Memsim

@@ -1,0 +1,1 @@
+lib/coherence/cache.mli: Memsim

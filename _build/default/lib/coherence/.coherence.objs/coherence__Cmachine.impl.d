@@ -1,0 +1,1 @@
+lib/coherence/cmachine.ml: Array Cache Hashtbl List Memsim Minilang

@@ -1,0 +1,1 @@
+lib/coherence/cmachine.mli: Cache Memsim Minilang

@@ -1,0 +1,71 @@
+type state = Modified | Shared
+
+type line = {
+  loc : Memsim.Op.loc;
+  state : state;
+  value : Memsim.Op.value;
+  writer : int;
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations_applied : int;
+  mutable evictions : int;
+}
+
+type t = { lines : line option array; stats : stats }
+
+let create ~n_lines =
+  if n_lines <= 0 then invalid_arg "Cache.create: need at least one line";
+  {
+    lines = Array.make n_lines None;
+    stats = { hits = 0; misses = 0; invalidations_applied = 0; evictions = 0 };
+  }
+
+let n_lines t = Array.length t.lines
+
+let set_of t loc = loc mod Array.length t.lines
+
+let lookup t loc =
+  match t.lines.(set_of t loc) with
+  | Some l when l.loc = loc -> Some l
+  | Some _ | None -> None
+
+let insert t line =
+  let s = set_of t line.loc in
+  let victim =
+    match t.lines.(s) with
+    | Some old when old.loc <> line.loc ->
+      t.stats.evictions <- t.stats.evictions + 1;
+      Some old
+    | Some _ | None -> None
+  in
+  t.lines.(s) <- Some line;
+  victim
+
+let update t loc ~value ~writer ~state =
+  match lookup t loc with
+  | Some _ -> t.lines.(set_of t loc) <- Some { loc; state; value; writer }
+  | None -> invalid_arg "Cache.update: location not cached"
+
+let invalidate t loc =
+  match lookup t loc with
+  | Some _ ->
+    t.lines.(set_of t loc) <- None;
+    t.stats.invalidations_applied <- t.stats.invalidations_applied + 1
+  | None -> ()
+
+let iter_lines t f = Array.iter (function Some l -> f l | None -> ()) t.lines
+
+let stats t = t.stats
+
+let warm t ~n_locs ~init =
+  let value_of loc =
+    match List.assoc_opt loc init with Some v -> v | None -> 0
+  in
+  for loc = 0 to n_locs - 1 do
+    ignore (insert t { loc; state = Shared; value = value_of loc; writer = -1 })
+  done;
+  (* warming is not demand traffic *)
+  t.stats.evictions <- 0

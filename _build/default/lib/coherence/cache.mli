@@ -1,0 +1,52 @@
+(** Per-processor direct-mapped caches with MSI states, one word per line.
+
+    The cache is a passive container; the protocol lives in
+    {!Cmachine}.  Each valid line remembers the operation id of the write
+    that produced its value, so reads-from can be tracked through cache
+    hits, flushes and interventions. *)
+
+type state = Modified | Shared
+
+type line = {
+  loc : Memsim.Op.loc;
+  state : state;
+  value : Memsim.Op.value;
+  writer : int;  (** op id of the producing write; -1 for initial values *)
+}
+
+type t
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations_applied : int;
+  mutable evictions : int;
+}
+
+val create : n_lines:int -> t
+(** @raise Invalid_argument when [n_lines <= 0]. *)
+
+val n_lines : t -> int
+
+val lookup : t -> Memsim.Op.loc -> line option
+(** The line holding [loc], if cached (tag match). *)
+
+val insert : t -> line -> line option
+(** Install a line, returning the evicted valid occupant of its set, if
+    any (the caller writes Modified victims back). *)
+
+val update : t -> Memsim.Op.loc -> value:Memsim.Op.value -> writer:int -> state:state -> unit
+(** In-place change of a cached line.  @raise Invalid_argument when the
+    location is not cached. *)
+
+val invalidate : t -> Memsim.Op.loc -> unit
+(** Drop the line if present; no-op otherwise. *)
+
+val iter_lines : t -> (line -> unit) -> unit
+
+val stats : t -> stats
+
+val warm : t -> n_locs:int -> init:(Memsim.Op.loc * Memsim.Op.value) list -> unit
+(** Preload every location (later ones win set conflicts) in Shared state
+    with its initial value — the "caches already hold old copies" setting
+    of the paper's examples. *)

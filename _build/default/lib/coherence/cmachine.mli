@@ -1,0 +1,73 @@
+(** A cache-coherent multiprocessor whose weakness is {e delayed
+    invalidations} — the reader-side mechanism of 1991-era weakly ordered
+    cache designs, complementing {!Memsim.Machine}'s writer-side store
+    buffers.
+
+    Protocol sketch (MSI over an atomic bus, one word per line):
+    - A data read hits a valid cached line — {e even one whose
+      invalidation is still sitting in the processor's invalidation
+      queue}, which is where stale values come from — or fetches the
+      current global value over the bus on a miss.
+    - A data write takes the line Modified over the bus; every other
+      cached copy gets an invalidation {e enqueued} at its owner.  The
+      scheduler decides when each queue entry is applied — the decision is
+      encoded as [Exec.Retire (proc, loc)], so the standard
+      {!Memsim.Sched} strategies work unchanged (adversarial scheduling =
+      maximally delayed invalidations = maximally stale readers).
+    - Synchronization operations and read-modify-writes go straight over
+      the bus (sequentially consistent among themselves, as WO and RCsc
+      prescribe) and flush the issuing processor's invalidation queue
+      according to the model: WO and DRF0 flush at {e every} sync
+      operation, RCsc and DRF1 only at {e acquires} (a release orders the
+      issuer's previous writes, which the bus already made visible; it is
+      the acquirer that must stop reading stale copies).
+    - Under SC, invalidations apply instantly at the writing bus
+      transaction, so every read is fresh.
+
+    The produced {!Memsim.Exec.t} plugs into the entire detection stack;
+    the test suite re-validates the paper's figures and Condition 3.4 on
+    this machine, demonstrating that the results do not depend on which
+    hardware mechanism provides the weakness. *)
+
+type t
+
+val create :
+  ?n_lines:int ->
+  ?warm:bool ->
+  model:Memsim.Model.t ->
+  Memsim.Thread_intf.source ->
+  t
+(** [n_lines] defaults to the location count (no capacity conflicts);
+    [warm] (default true) preloads every cache with the initial memory
+    image, the setting in which Figures 1a and 2b arise. *)
+
+val enabled : t -> Memsim.Exec.decision list
+
+val perform : t -> Memsim.Exec.decision -> unit
+
+val finished : t -> bool
+
+val to_execution : t -> Memsim.Exec.t
+
+val cache_stats : t -> Cache.stats array
+
+val pending_invalidations : t -> int
+
+val run :
+  ?max_steps:int ->
+  ?n_lines:int ->
+  ?warm:bool ->
+  model:Memsim.Model.t ->
+  sched:Memsim.Sched.t ->
+  Memsim.Thread_intf.source ->
+  Memsim.Exec.t
+
+val run_program :
+  ?max_steps:int ->
+  ?n_lines:int ->
+  ?warm:bool ->
+  model:Memsim.Model.t ->
+  sched:Memsim.Sched.t ->
+  Minilang.Ast.program ->
+  Memsim.Exec.t
+(** Convenience wrapper over {!Minilang.Interp.source}. *)

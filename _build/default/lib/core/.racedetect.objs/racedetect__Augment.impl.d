@@ -1,0 +1,1 @@
+lib/core/augment.ml: Graphlib Hb List Race

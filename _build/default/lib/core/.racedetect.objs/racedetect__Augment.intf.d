@@ -1,0 +1,1 @@
+lib/core/augment.mli: Graphlib Hb Race

@@ -1,0 +1,1 @@
+lib/core/condition.ml: Format Int List Memsim Ophb Scp Set

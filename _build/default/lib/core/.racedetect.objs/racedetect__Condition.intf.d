@@ -1,0 +1,1 @@
+lib/core/condition.mli: Format Memsim

@@ -1,0 +1,1 @@
+lib/core/hb.ml: Array Graphlib List Tracing

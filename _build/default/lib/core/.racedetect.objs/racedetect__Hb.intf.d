@@ -1,0 +1,1 @@
+lib/core/hb.mli: Graphlib Tracing

@@ -1,0 +1,1 @@
+lib/core/lockset.ml: Array Int List Memsim Set

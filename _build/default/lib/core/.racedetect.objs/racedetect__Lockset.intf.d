@@ -1,0 +1,1 @@
+lib/core/lockset.mli: Memsim

@@ -1,0 +1,1 @@
+lib/core/onthefly.ml: Array Hashtbl List Memsim Vclock

@@ -1,0 +1,1 @@
+lib/core/ophb.ml: Array Graphlib List Memsim

@@ -1,0 +1,1 @@
+lib/core/ophb.mli: Graphlib Memsim

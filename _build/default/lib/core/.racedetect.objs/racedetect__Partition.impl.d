@@ -1,0 +1,1 @@
+lib/core/partition.ml: Array Augment Graphlib Hashtbl List Option Race

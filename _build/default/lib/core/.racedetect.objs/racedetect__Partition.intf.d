@@ -1,0 +1,1 @@
+lib/core/partition.mli: Augment Race

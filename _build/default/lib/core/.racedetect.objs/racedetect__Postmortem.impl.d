@@ -1,0 +1,1 @@
+lib/core/postmortem.ml: Augment Hb Partition Race Tracing

@@ -1,0 +1,1 @@
+lib/core/postmortem.mli: Augment Hb Memsim Partition Race Tracing

@@ -1,0 +1,1 @@
+lib/core/race.ml: Array Format Graphlib Hashtbl Hb List Memsim Tracing

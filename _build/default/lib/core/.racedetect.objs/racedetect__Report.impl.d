@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Buffer Format Graphlib Hb List Memsim Partition Postmortem Printf Race String Tracing

@@ -1,0 +1,1 @@
+lib/core/scp.ml: Array Hashtbl Int List Memsim Ophb Set

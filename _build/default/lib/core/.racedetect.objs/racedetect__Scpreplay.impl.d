@@ -1,0 +1,1 @@
+lib/core/scpreplay.ml: Array Format List Memsim Ophb Printf Scp Set

@@ -1,0 +1,1 @@
+lib/core/scpreplay.mli: Format Memsim

@@ -1,0 +1,1 @@
+lib/core/vclock.ml: Array Format String

@@ -1,0 +1,1 @@
+lib/core/vclock.mli: Format

@@ -1,0 +1,74 @@
+type clause = Holds | Fails of string | Not_applicable
+
+type verdict = {
+  n_data_races : int;
+  cond1 : clause;
+  cond2 : clause;
+  holds : bool;
+  scp_witness : int list option;
+}
+
+let check ~sc (e : Memsim.Exec.t) =
+  let ophb = Ophb.build e in
+  let data = Ophb.data_races ophb in
+  match data with
+  | [] ->
+    let sc_witness =
+      List.exists (fun eseq -> Memsim.Exec.same_program_behaviour e eseq) sc
+    in
+    let cond1 =
+      if sc_witness then Holds
+      else Fails "race-free execution matches no SC execution"
+    in
+    {
+      n_data_races = 0;
+      cond1;
+      cond2 = Not_applicable;
+      holds = cond1 = Holds;
+      scp_witness = None;
+    }
+  | _ ->
+    let sc_pool = List.map Ophb.build sc in
+    let module Iset = Set.Make (Int) in
+    let witness =
+      List.find_map
+        (fun sc_exec ->
+          let s = Scp.common_prefix_scp ~weak:ophb ~sc_exec in
+          let in_s =
+            let set = Iset.of_list s in
+            fun id -> Iset.mem id set
+          in
+          let occurs (a, b) = in_s a && in_s b in
+          let discharged r =
+            occurs r
+            || List.exists (fun r' -> occurs r' && Ophb.affects ophb r' r) data
+          in
+          if List.for_all discharged data then Some s else None)
+        sc_pool
+    in
+    let cond2 =
+      match witness with
+      | Some _ -> Holds
+      | None -> Fails "no SCP covers or affects every data race"
+    in
+    {
+      n_data_races = List.length data;
+      cond1 = Not_applicable;
+      cond2;
+      holds = cond2 = Holds;
+      scp_witness = witness;
+    }
+
+let pp_clause ppf = function
+  | Holds -> Format.pp_print_string ppf "holds"
+  | Fails msg -> Format.fprintf ppf "FAILS (%s)" msg
+  | Not_applicable -> Format.pp_print_string ppf "n/a"
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "@[<v>Condition 3.4: %s@,  data races: %d@,  (1): %a@,  (2): %a%a@]"
+    (if v.holds then "obeyed" else "VIOLATED")
+    v.n_data_races pp_clause v.cond1 pp_clause v.cond2
+    (fun ppf -> function
+      | None -> ()
+      | Some s -> Format.fprintf ppf "@,  SCP witness: %d operations" (List.length s))
+    v.scp_witness

@@ -1,0 +1,30 @@
+(** Condition 3.4 — the hardware condition for dynamic data race
+    detection — checked empirically against an execution.
+
+    (1) If the execution exhibits no data races it must be a sequentially
+    consistent execution of the program.
+    (2) Otherwise some SCP must exist such that every data race either
+    occurs in it or is affected (Def 3.3) by a data race that occurs in
+    it.
+
+    Theorem 3.5 claims all weak implementations already obey this
+    condition; experiment E5 runs this checker over random programs on
+    every model of the simulator. *)
+
+type clause = Holds | Fails of string | Not_applicable
+
+type verdict = {
+  n_data_races : int;     (** operation-level data races in the execution *)
+  cond1 : clause;
+  cond2 : clause;
+  holds : bool;
+  scp_witness : int list option;
+      (** operation ids of the SCP that discharged clause (2) *)
+}
+
+val check : sc:Memsim.Exec.t list -> Memsim.Exec.t -> verdict
+(** [sc] is the pool of sequentially consistent executions of the same
+    program — exhaustive for small programs.  With an incomplete pool the
+    checker can report spurious failures but never spurious passes. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,31 @@
+type t = {
+  trace : Tracing.Trace.t;
+  graph : Graphlib.Digraph.t;
+  reach : Graphlib.Reach.t;
+}
+
+let build ?(so1 = `Recorded) (trace : Tracing.Trace.t) =
+  let n = Array.length trace.Tracing.Trace.events in
+  let g = Graphlib.Digraph.create n in
+  (* program order: consecutive events of each processor *)
+  Array.iter
+    (fun evs ->
+      for i = 0 to Array.length evs - 2 do
+        Graphlib.Digraph.add_edge g evs.(i).Tracing.Event.eid evs.(i + 1).Tracing.Event.eid
+      done)
+    trace.Tracing.Trace.by_proc;
+  let pairs =
+    match so1 with
+    | `Recorded -> trace.Tracing.Trace.so1
+    | `Reconstructed -> Tracing.Trace.so1_reconstruct trace
+  in
+  List.iter (fun (rel, acq) -> Graphlib.Digraph.add_edge g rel acq) pairs;
+  { trace; graph = g; reach = Graphlib.Reach.compute g }
+
+let trace t = t.trace
+let graph t = t.graph
+let reach t = t.reach
+
+let happens_before t a b = a <> b && Graphlib.Reach.reaches t.reach a b
+
+let ordered t a b = happens_before t a b || happens_before t b a

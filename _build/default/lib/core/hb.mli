@@ -1,0 +1,31 @@
+(** The happens-before-1 relation over trace events (Definition 2.3,
+    lifted to events as in §4.1).
+
+    [hb1 = (po ∪ so1)+]: program order within each processor, plus an edge
+    from each release event to every acquire event it paired with.  On a
+    weak execution hb1 {e need not be a partial order} (§3.1) — the
+    reachability structure tolerates cycles by construction. *)
+
+type t
+
+val build : ?so1:[ `Recorded | `Reconstructed ] -> Tracing.Trace.t -> t
+(** [`Recorded] (default) uses the pairing the tracer logged;
+    [`Reconstructed] rebuilds so1 from the per-location synchronization
+    order, as a purely post-mortem analyzer must
+    ({!Tracing.Trace.so1_reconstruct}). *)
+
+val trace : t -> Tracing.Trace.t
+
+val graph : t -> Graphlib.Digraph.t
+(** One node per event ([eid]); po and so1 edges. *)
+
+val reach : t -> Graphlib.Reach.t
+
+val happens_before : t -> int -> int -> bool
+(** [happens_before t a b]: a path of po/so1 edges leads from event [a]
+    to event [b].  Irreflexive on acyclic graphs; on a cyclic weak
+    execution two events can "happen before" each other. *)
+
+val ordered : t -> int -> int -> bool
+(** Comparable in either direction.  Two distinct conflicting events race
+    iff not ordered. *)

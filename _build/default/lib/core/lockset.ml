@@ -1,0 +1,76 @@
+type violation = { loc : Memsim.Op.loc; op : int; first_op : int }
+
+module Lset = Set.Make (Int)
+
+type state =
+  | Virgin
+  | Exclusive of { proc : int; first_op : int }
+  | Shared of { candidates : Lset.t; first_op : int }          (* read-shared *)
+  | Shared_modified of { candidates : Lset.t; first_op : int }
+  | Reported
+
+let check (e : Memsim.Exec.t) =
+  let n_procs = e.Memsim.Exec.n_procs in
+  let held = Array.make n_procs Lset.empty in
+  let states = Array.make e.Memsim.Exec.n_locs Virgin in
+  let violations = ref [] in
+  (* a Test&Set is an Acquire read immediately followed in program order by
+     a Plain_sync write to the same location; it takes the lock when the
+     read returned 0 *)
+  let ops = e.Memsim.Exec.ops in
+  let is_tas_acquire (o : Memsim.Op.t) =
+    o.Memsim.Op.kind = Memsim.Op.Read
+    && o.Memsim.Op.cls = Memsim.Op.Acquire
+    && o.Memsim.Op.value = 0
+    && Array.exists
+         (fun (w : Memsim.Op.t) ->
+           w.Memsim.Op.proc = o.Memsim.Op.proc
+           && w.Memsim.Op.pindex = o.Memsim.Op.pindex + 1
+           && w.Memsim.Op.loc = o.Memsim.Op.loc
+           && w.Memsim.Op.kind = Memsim.Op.Write
+           && w.Memsim.Op.cls = Memsim.Op.Plain_sync)
+         e.Memsim.Exec.by_proc.(o.Memsim.Op.proc)
+  in
+  let report loc op first_op =
+    states.(loc) <- Reported;
+    violations := { loc; op; first_op } :: !violations
+  in
+  Array.iter
+    (fun (o : Memsim.Op.t) ->
+      let p = o.Memsim.Op.proc in
+      let l = o.Memsim.Op.loc in
+      match o.Memsim.Op.cls with
+      | Memsim.Op.Acquire ->
+        if is_tas_acquire o then held.(p) <- Lset.add l held.(p)
+      | Memsim.Op.Release ->
+        (* Unset: release the lock if held; harmless otherwise *)
+        held.(p) <- Lset.remove l held.(p)
+      | Memsim.Op.Plain_sync -> ()
+      | Memsim.Op.Data -> (
+        let id = o.Memsim.Op.id in
+        let write = o.Memsim.Op.kind = Memsim.Op.Write in
+        match states.(l) with
+        | Reported -> ()
+        | Virgin -> states.(l) <- Exclusive { proc = p; first_op = id }
+        | Exclusive { proc; _ } when proc = p -> ()
+        | Exclusive { first_op; _ } ->
+          (* second thread: start the candidate set from its locks *)
+          let candidates = held.(p) in
+          if write then
+            if Lset.is_empty candidates then report l id first_op
+            else states.(l) <- Shared_modified { candidates; first_op }
+          else states.(l) <- Shared { candidates; first_op }
+        | Shared { candidates; first_op } ->
+          let candidates = Lset.inter candidates held.(p) in
+          if write then
+            if Lset.is_empty candidates then report l id first_op
+            else states.(l) <- Shared_modified { candidates; first_op }
+          else states.(l) <- Shared { candidates; first_op }
+        | Shared_modified { candidates; first_op } ->
+          let candidates = Lset.inter candidates held.(p) in
+          if Lset.is_empty candidates then report l id first_op
+          else states.(l) <- Shared_modified { candidates; first_op }))
+    ops;
+  List.rev !violations
+
+let flagged_locations vs = List.map (fun v -> v.loc) vs |> List.sort_uniq compare

@@ -1,0 +1,32 @@
+(** A lockset ("Eraser"-style) checker, included as a comparison baseline.
+
+    Where the paper's detector decides each execution precisely from the
+    hb1 relation, a lockset checker enforces a {e discipline}: every
+    shared location must be consistently protected by at least one lock.
+    It keeps, per location, the intersection of the lock sets held at its
+    accesses, with the usual state machine (virgin → exclusive → shared →
+    shared-modified) to tolerate initialization and read sharing.
+
+    Locks are recognized dynamically from the instruction idiom: a
+    [Test&Set] whose read returned 0 acquires its location; an [Unset] by
+    the holder releases it.
+
+    The comparison the benchmarks draw (ablation section):
+    - on lock-disciplined programs it agrees with hb1 detection;
+    - on programs synchronizing with release/acquire {e flags} it raises
+      false alarms that hb1 detection does not — the flag ordering is
+      invisible to a lock discipline;
+    - it can also declare an execution clean while a particular
+      interleaving still shows an hb1 race elsewhere (it checks the
+      discipline, not the execution ordering). *)
+
+type violation = {
+  loc : Memsim.Op.loc;
+  op : int;           (** the access that emptied the candidate set *)
+  first_op : int;     (** the earliest access recorded for the location *)
+}
+
+val check : Memsim.Exec.t -> violation list
+(** One violation at most per location, in detection order. *)
+
+val flagged_locations : violation list -> Memsim.Op.loc list

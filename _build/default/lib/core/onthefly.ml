@@ -1,0 +1,103 @@
+type report = { prev_op : int; cur_op : int; loc : Memsim.Op.loc }
+
+type access = { op_id : int; proc : int; stamp : int; was_data : bool }
+
+type loc_state = {
+  mutable last_write : access option;
+  last_reads : access option array;  (* per processor *)
+  mutable rel_clock : Vclock.t;      (* clock of the last release to this location *)
+  mutable rel_value : int option;    (* the value it wrote; None once overwritten *)
+}
+
+type t = {
+  clocks : Vclock.t array;
+  locs : loc_state array;
+  seen : (int * int, unit) Hashtbl.t;
+  mutable reports_rev : report list;
+}
+
+let create ~n_procs ~n_locs =
+  {
+    (* each processor's own component starts at 1 so that every stamp is
+       positive and fresh accesses are never spuriously "covered" *)
+    clocks = Array.init n_procs (fun p -> Vclock.tick (Vclock.make n_procs) p);
+    locs =
+      Array.init n_locs (fun _ ->
+          {
+            last_write = None;
+            last_reads = Array.make n_procs None;
+            rel_clock = Vclock.make n_procs;
+            rel_value = None;
+          });
+    seen = Hashtbl.create 16;
+    reports_rev = [];
+  }
+
+let observe t (o : Memsim.Op.t) =
+  let fresh = ref [] in
+  let report (prev : access) cur loc =
+    let key = (min prev.op_id cur, max prev.op_id cur) in
+    if not (Hashtbl.mem t.seen key) then begin
+      Hashtbl.add t.seen key ();
+      let r = { prev_op = prev.op_id; cur_op = cur; loc } in
+      t.reports_rev <- r :: t.reports_rev;
+      fresh := r :: !fresh
+    end
+  in
+  let p = o.Memsim.Op.proc in
+  let l = o.Memsim.Op.loc in
+  let st = t.locs.(l) in
+  let data = Memsim.Op.is_data o.Memsim.Op.cls in
+  let unordered (prev : access) = prev.stamp > Vclock.get t.clocks.(p) prev.proc in
+  (match o.Memsim.Op.kind with
+   | Memsim.Op.Read ->
+     (* pairing first: an acquire that returned the last release's value
+        becomes ordered after it before any race check runs *)
+     if o.Memsim.Op.cls = Memsim.Op.Acquire && st.rel_value = Some o.Memsim.Op.value
+     then t.clocks.(p) <- Vclock.join t.clocks.(p) st.rel_clock;
+     (match st.last_write with
+      | Some w when w.proc <> p && unordered w && (w.was_data || data) ->
+        report w o.Memsim.Op.id l
+      | Some _ | None -> ());
+     st.last_reads.(p) <-
+       Some { op_id = o.Memsim.Op.id; proc = p; stamp = Vclock.get t.clocks.(p) p;
+              was_data = data }
+   | Memsim.Op.Write ->
+     (match st.last_write with
+      | Some w when w.proc <> p && unordered w && (w.was_data || data) ->
+        report w o.Memsim.Op.id l
+      | Some _ | None -> ());
+     Array.iter
+       (function
+         | Some (r : access) when r.proc <> p && unordered r && (r.was_data || data) ->
+           report r o.Memsim.Op.id l
+         | Some _ | None -> ())
+       st.last_reads;
+     let me =
+       { op_id = o.Memsim.Op.id; proc = p; stamp = Vclock.get t.clocks.(p) p;
+         was_data = data }
+     in
+     st.last_write <- Some me;
+     (match o.Memsim.Op.cls with
+      | Memsim.Op.Release ->
+        (* publish the clock including this write, then advance so the
+           processor's subsequent accesses are not covered by it *)
+        st.rel_clock <- t.clocks.(p);
+        st.rel_value <- Some o.Memsim.Op.value;
+        t.clocks.(p) <- Vclock.tick t.clocks.(p) p
+      | Memsim.Op.Data | Memsim.Op.Plain_sync | Memsim.Op.Acquire ->
+        (* any other write destroys the pairing window (an acquire that
+           reads it is not synchronizing with the old release) *)
+        st.rel_value <- None));
+  List.rev !fresh
+
+let reports t = List.rev t.reports_rev
+
+let detect (e : Memsim.Exec.t) =
+  let t = create ~n_procs:e.Memsim.Exec.n_procs ~n_locs:e.Memsim.Exec.n_locs in
+  Array.iter (fun o -> ignore (observe t o)) e.Memsim.Exec.ops;
+  reports t
+
+let race_pairs reports =
+  List.map (fun r -> (min r.prev_op r.cur_op, max r.prev_op r.cur_op)) reports
+  |> List.sort_uniq compare

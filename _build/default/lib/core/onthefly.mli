@@ -1,0 +1,46 @@
+(** On-the-fly data-race detection (the future-work direction of §5,
+    realized with vector clocks in the style of Dinning–Schonberg and
+    later FastTrack).
+
+    The detector consumes the operation stream as the machine performs it
+    — per-processor program order, with synchronization taking effect in
+    its global order — and keeps, per location, the last writer and the
+    last reader per processor.  A data access that is not ordered (by the
+    release/acquire-derived clocks) after the last conflicting access is
+    reported immediately.
+
+    As the paper notes for on-the-fly methods generally, buffering only
+    the {e last} access per location trades accuracy for space: every
+    reported pair is a true hb1 data race, but races against
+    overwritten earlier accesses can be missed.  The test suite checks
+    soundness exactly and completeness in the weaker form "if the
+    post-mortem analysis finds a data race, the on-the-fly detector
+    reports at least one". *)
+
+type report = {
+  prev_op : int;  (** op id of the earlier access *)
+  cur_op : int;   (** op id of the access that exposed the race *)
+  loc : Memsim.Op.loc;
+}
+
+type t
+(** Incremental detector state.  Attach {!observe} to
+    {!Memsim.Machine.run}'s [on_op] hook to detect races genuinely
+    {e during} the execution. *)
+
+val create : n_procs:int -> n_locs:int -> t
+
+val observe : t -> Memsim.Op.t -> report list
+(** Feed one operation (in the order the machine performs them); returns
+    the races this operation just exposed. *)
+
+val reports : t -> report list
+(** Everything reported so far, in detection order. *)
+
+val detect : Memsim.Exec.t -> report list
+(** Post-hoc convenience: feed a completed execution's operation stream
+    through a fresh detector.  Reports in detection order, deduplicated
+    by op pair. *)
+
+val race_pairs : report list -> (int * int) list
+(** Normalized (smaller id, larger id) pairs. *)

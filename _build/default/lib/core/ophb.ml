@@ -1,0 +1,83 @@
+type t = {
+  exec : Memsim.Exec.t;
+  graph : Graphlib.Digraph.t;
+  reach : Graphlib.Reach.t;
+  mutable races_cache : (int * int) list option;
+  mutable aug_cache : Graphlib.Reach.t option;
+}
+
+let build (e : Memsim.Exec.t) =
+  let n = Memsim.Exec.n_ops e in
+  let g = Graphlib.Digraph.create n in
+  Array.iter
+    (fun ops ->
+      for i = 0 to Array.length ops - 2 do
+        Graphlib.Digraph.add_edge g ops.(i).Memsim.Op.id ops.(i + 1).Memsim.Op.id
+      done)
+    e.Memsim.Exec.by_proc;
+  List.iter
+    (fun ((rel : Memsim.Op.t), (acq : Memsim.Op.t)) ->
+      Graphlib.Digraph.add_edge g rel.Memsim.Op.id acq.Memsim.Op.id)
+    (Memsim.Exec.so1_pairs e);
+  { exec = e; graph = g; reach = Graphlib.Reach.compute g; races_cache = None;
+    aug_cache = None }
+
+let exec t = t.exec
+let graph t = t.graph
+let reach t = t.reach
+
+let happens_before t a b = a <> b && Graphlib.Reach.reaches t.reach a b
+let ordered t a b = happens_before t a b || happens_before t b a
+
+let races t =
+  match t.races_cache with
+  | Some r -> r
+  | None ->
+    let ops = t.exec.Memsim.Exec.ops in
+    let n = Array.length ops in
+    let acc = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        let x = ops.(a) and y = ops.(b) in
+        if
+          x.Memsim.Op.proc <> y.Memsim.Op.proc
+          && Memsim.Op.conflict x y
+          && not (ordered t a b)
+        then acc := (a, b) :: !acc
+      done
+    done;
+    let r = List.rev !acc in
+    t.races_cache <- Some r;
+    r
+
+let is_data_race t (a, b) =
+  let ops = t.exec.Memsim.Exec.ops in
+  Memsim.Op.is_data ops.(a).Memsim.Op.cls || Memsim.Op.is_data ops.(b).Memsim.Op.cls
+
+let data_races t = List.filter (is_data_race t) (races t)
+
+let augmented t =
+  match t.aug_cache with
+  | Some r -> r
+  | None ->
+    let g = Graphlib.Digraph.copy t.graph in
+    List.iter
+      (fun (a, b) ->
+        Graphlib.Digraph.add_edge g a b;
+        Graphlib.Digraph.add_edge g b a)
+      (races t);
+    let r = Graphlib.Reach.compute g in
+    t.aug_cache <- Some r;
+    r
+
+let affects_op t (x, y) z =
+  let r = augmented t in
+  Graphlib.Reach.reaches r x z || Graphlib.Reach.reaches r y z
+
+let affects t r1 (x2, y2) = affects_op t r1 x2 || affects_op t r1 y2
+
+let unaffected_data_races t =
+  let data = data_races t in
+  List.filter
+    (fun r -> not (List.exists (fun r' -> r' <> r && affects t r' r) data))
+    data

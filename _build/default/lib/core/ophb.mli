@@ -1,0 +1,37 @@
+(** Happens-before-1 at the level of individual memory operations
+    (Definitions 2.2–2.4 verbatim).
+
+    Event-level analysis ({!Hb}, {!Race}) is what a practical detector
+    runs; the operation-level relation is needed by the SCP and
+    Condition 3.4 machinery, whose definitions quantify over operations.
+    Node ids are operation ids of the execution. *)
+
+type t
+
+val build : Memsim.Exec.t -> t
+
+val exec : t -> Memsim.Exec.t
+val graph : t -> Graphlib.Digraph.t
+val reach : t -> Graphlib.Reach.t
+
+val happens_before : t -> int -> int -> bool
+val ordered : t -> int -> int -> bool
+
+val races : t -> (int * int) list
+(** All races, as (smaller op id, larger op id), sorted. *)
+
+val data_races : t -> (int * int) list
+
+val augmented : t -> Graphlib.Reach.t
+(** Reachability in the operation-level G′ (hb1 plus doubly-directed
+    edges for {e all} races); computed lazily and cached. *)
+
+val affects_op : t -> int * int -> int -> bool
+(** Definition 3.3: race [(x, y)] affects operation [z]. *)
+
+val affects : t -> int * int -> int * int -> bool
+(** Race affects race (includes a race affecting itself). *)
+
+val unaffected_data_races : t -> (int * int) list
+(** Data races not affected by any other data race — the operation-level
+    "first races" of Condition 3.4(2). *)

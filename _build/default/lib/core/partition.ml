@@ -1,0 +1,56 @@
+type partition = {
+  component : int;
+  races : Race.t list;
+  events : int list;
+}
+
+type t = {
+  augmented : Augment.t;
+  scc : Graphlib.Scc.t;
+  parts : partition list;  (** partitions containing data races *)
+  first : partition list;
+}
+
+let compute aug =
+  let reach = Augment.reach aug in
+  let scc = Graphlib.Reach.scc reach in
+  let data = Race.data_races (Augment.races aug) in
+  (* a race's endpoints share a component (its doubly-directed edge closes
+     a cycle), so the component of [a] identifies the partition *)
+  let by_comp = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Race.t) ->
+      let c = scc.Graphlib.Scc.component.(r.Race.a) in
+      Hashtbl.replace by_comp c (r :: (Option.value ~default:[] (Hashtbl.find_opt by_comp c))))
+    data;
+  let parts =
+    Hashtbl.fold
+      (fun c races acc ->
+        {
+          component = c;
+          races = List.rev races;
+          events = scc.Graphlib.Scc.members.(c);
+        }
+        :: acc)
+      by_comp []
+    |> List.sort (fun p1 p2 -> compare p1.component p2.component)
+  in
+  let before p1 p2 =
+    p1.component <> p2.component
+    && Graphlib.Reach.component_reaches reach p1.component p2.component
+  in
+  let first = List.filter (fun p -> not (List.exists (fun q -> before q p) parts)) parts in
+  { augmented = aug; scc; parts; first }
+
+let partitions t = t.parts
+let first_partitions t = t.first
+
+let non_first_partitions t =
+  List.filter (fun p -> not (List.memq p t.first)) t.parts
+
+let ordered_before t p1 p2 =
+  p1.component <> p2.component
+  && Graphlib.Reach.component_reaches (Augment.reach t.augmented) p1.component
+       p2.component
+
+let reported_races t = List.concat_map (fun p -> p.races) t.first

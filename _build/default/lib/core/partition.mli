@@ -1,0 +1,38 @@
+(** Race partitions and the first-partition report (§4.2).
+
+    G′ may contain cycles, so instead of ordering individual races the
+    paper partitions them by the strongly connected components of G′ —
+    two races belong to the same partition iff their events share a
+    component — and orders partitions by G′ reachability (Definition
+    4.1).  A partition is {e first} when no other partition containing a
+    data race is ordered before it.
+
+    Theorem 4.1: there are no first partitions containing data races iff
+    the execution exhibited no data races.
+    Theorem 4.2: each first partition contains at least one data race
+    that belongs to an SCP — i.e. a race that also occurs in some
+    sequentially consistent execution of the program.  Only the first
+    partitions are reported to the programmer. *)
+
+type partition = {
+  component : int;        (** SCC id in G′ *)
+  races : Race.t list;    (** the data races of this partition *)
+  events : int list;      (** member events, ascending eid *)
+}
+
+type t
+
+val compute : Augment.t -> t
+
+val partitions : t -> partition list
+(** Every partition containing at least one data race. *)
+
+val first_partitions : t -> partition list
+
+val non_first_partitions : t -> partition list
+
+val ordered_before : t -> partition -> partition -> bool
+(** Definition 4.1: a G′ path leads from [p1] into [p2]. *)
+
+val reported_races : t -> Race.t list
+(** The data races of the first partitions — the detector's output. *)

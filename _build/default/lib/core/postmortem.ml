@@ -1,0 +1,24 @@
+type analysis = {
+  trace : Tracing.Trace.t;
+  hb : Hb.t;
+  races : Race.t list;
+  augmented : Augment.t;
+  partitions : Partition.t;
+}
+
+let analyze ?so1 trace =
+  let hb = Hb.build ?so1 trace in
+  let races = Race.find_all hb in
+  let augmented = Augment.build hb races in
+  let partitions = Partition.compute augmented in
+  { trace; hb; races; augmented; partitions }
+
+let analyze_execution ?so1 e = analyze ?so1 (Tracing.Trace.of_execution e)
+
+let data_races a = Race.data_races a.races
+
+let first_partitions a = Partition.first_partitions a.partitions
+
+let reported_races a = Partition.reported_races a.partitions
+
+let race_free a = first_partitions a = []

@@ -1,0 +1,30 @@
+(** The end-to-end post-mortem pipeline of §4: trace → happens-before-1
+    graph → races → augmented graph → partitions → first-partition
+    report. *)
+
+type analysis = {
+  trace : Tracing.Trace.t;
+  hb : Hb.t;
+  races : Race.t list;       (** every race, data and sync–sync *)
+  augmented : Augment.t;
+  partitions : Partition.t;
+}
+
+val analyze : ?so1:[ `Recorded | `Reconstructed ] -> Tracing.Trace.t -> analysis
+
+val analyze_execution :
+  ?so1:[ `Recorded | `Reconstructed ] -> Memsim.Exec.t -> analysis
+(** Trace the execution ({!Tracing.Trace.of_execution}) and analyze. *)
+
+val data_races : analysis -> Race.t list
+
+val first_partitions : analysis -> Partition.partition list
+
+val reported_races : analysis -> Race.t list
+(** What the tool shows the programmer: the data races of the first
+    partitions only (§4.2). *)
+
+val race_free : analysis -> bool
+(** Theorem 4.1 + Condition 3.4(1): no first partitions with data races
+    means no data races occurred, and the execution was sequentially
+    consistent. *)

@@ -1,0 +1,68 @@
+type t = {
+  a : int;
+  b : int;
+  locs : Memsim.Op.loc list;
+  is_data : bool;
+}
+
+let find_all hb =
+  let trace = Hb.trace hb in
+  let events = trace.Tracing.Trace.events in
+  let n_locs = trace.Tracing.Trace.n_locs in
+  (* per-location occurrence index, so candidate generation is
+     proportional to actual sharing rather than |events|² *)
+  let writers = Array.make n_locs [] in
+  let touchers = Array.make n_locs [] in
+  Array.iter
+    (fun (ev : Tracing.Event.t) ->
+      let eid = ev.Tracing.Event.eid in
+      Graphlib.Bitset.iter
+        (fun l -> writers.(l) <- eid :: writers.(l); touchers.(l) <- eid :: touchers.(l))
+        (Tracing.Event.writes ev ~n_locs);
+      Graphlib.Bitset.iter
+        (fun l -> touchers.(l) <- eid :: touchers.(l))
+        (Tracing.Event.reads ev ~n_locs))
+    events;
+  let seen = Hashtbl.create 64 in
+  let races = ref [] in
+  Array.iteri
+    (fun _l ws ->
+      List.iter
+        (fun w ->
+          List.iter
+            (fun o ->
+              let a = min w o and b = max w o in
+              if a <> b && not (Hashtbl.mem seen (a, b)) then begin
+                Hashtbl.add seen (a, b) ();
+                let ea = events.(a) and eb = events.(b) in
+                if
+                  ea.Tracing.Event.proc <> eb.Tracing.Event.proc
+                  && Tracing.Event.conflict ea eb
+                  && not (Hb.ordered hb a b)
+                then
+                  races :=
+                    {
+                      a;
+                      b;
+                      locs = Tracing.Event.conflict_locs ea eb ~n_locs;
+                      is_data =
+                        Tracing.Event.involves_data ea || Tracing.Event.involves_data eb;
+                    }
+                    :: !races
+              end)
+            touchers.(_l))
+        ws)
+    writers;
+  List.sort (fun r1 r2 -> compare (r1.a, r1.b) (r2.a, r2.b)) !races
+
+let data_races = List.filter (fun r -> r.is_data)
+
+let equal r1 r2 = r1.a = r2.a && r1.b = r2.b
+
+let pp ppf r =
+  Format.fprintf ppf "<E%d,E%d>%s@@{%a}" r.a r.b
+    (if r.is_data then "" else "[sync]")
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",")
+       Format.pp_print_int)
+    r.locs

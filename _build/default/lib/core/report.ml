@@ -1,0 +1,122 @@
+let default_loc_name l = Printf.sprintf "loc%d" l
+
+let pp_event_ref ~(trace : Tracing.Trace.t) ppf eid =
+  let ev = trace.Tracing.Trace.events.(eid) in
+  match ev.Tracing.Event.body with
+  | Tracing.Event.Sync { op; _ } ->
+    Format.fprintf ppf "E%d(P%d %a%s)" eid ev.Tracing.Event.proc Memsim.Op.pp_class
+      op.Memsim.Op.cls
+      (match op.Memsim.Op.label with None -> "" | Some l -> " " ^ l)
+  | Tracing.Event.Computation { ops; _ } ->
+    let label =
+      List.find_map (fun (o : Memsim.Op.t) -> o.Memsim.Op.label) ops
+    in
+    Format.fprintf ppf "E%d(P%d comp%s)" eid ev.Tracing.Event.proc
+      (match label with None -> "" | Some l -> " " ^ l)
+
+let pp_race ~loc_name ~trace ppf (r : Race.t) =
+  Format.fprintf ppf "%a <-> %a on %a"
+    (pp_event_ref ~trace) r.Race.a (pp_event_ref ~trace) r.Race.b
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf l -> Format.pp_print_string ppf (loc_name l)))
+    r.Race.locs
+
+let pp_partition ?(loc_name = default_loc_name) ~trace ppf (p : Partition.partition) =
+  Format.fprintf ppf "@[<v 2>partition #%d (%d events, %d data races)" p.Partition.component
+    (List.length p.Partition.events)
+    (List.length p.Partition.races);
+  List.iter (fun r -> Format.fprintf ppf "@,%a" (pp_race ~loc_name ~trace) r) p.Partition.races;
+  Format.fprintf ppf "@]"
+
+let pp_analysis ?(loc_name = default_loc_name) ppf (a : Postmortem.analysis) =
+  let first = Postmortem.first_partitions a in
+  let non_first = Partition.non_first_partitions a.Postmortem.partitions in
+  let trace = a.Postmortem.trace in
+  if first = [] then
+    Format.fprintf ppf
+      "@[<v>No data races detected.@,\
+       By Condition 3.4(1) the execution was sequentially consistent.@]"
+  else begin
+    Format.fprintf ppf
+      "@[<v>%d data race(s) in %d first partition(s) — each contains at least@,\
+       one race that also occurs in a sequentially consistent execution:@,"
+      (List.length (Postmortem.reported_races a))
+      (List.length first);
+    List.iter (fun p -> Format.fprintf ppf "@,%a" (pp_partition ~loc_name ~trace) p) first;
+    if non_first <> [] then begin
+      Format.fprintf ppf
+        "@,@,%d non-first partition(s) suppressed (their races may not occur@,\
+         under sequential consistency):"
+        (List.length non_first);
+      List.iter
+        (fun (p : Partition.partition) ->
+          Format.fprintf ppf "@,  partition #%d: %d data race(s)" p.Partition.component
+            (List.length p.Partition.races))
+        non_first
+    end;
+    Format.fprintf ppf "@]"
+  end
+
+let to_string ?loc_name a = Format.asprintf "%a" (pp_analysis ?loc_name) a
+
+let to_dot ?(loc_name = default_loc_name) (a : Postmortem.analysis) =
+  let buf = Buffer.create 2048 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let trace = a.Postmortem.trace in
+  let hb_graph = Hb.graph a.Postmortem.hb in
+  let first_events =
+    List.concat_map
+      (fun (p : Partition.partition) -> p.Partition.events)
+      (Postmortem.first_partitions a)
+  in
+  let node_label (ev : Tracing.Event.t) =
+    match ev.Tracing.Event.body with
+    | Tracing.Event.Sync { op; _ } ->
+      Printf.sprintf "%s %s %s"
+        (Format.asprintf "%a" Memsim.Op.pp_class op.Memsim.Op.cls)
+        (Format.asprintf "%a" Memsim.Op.pp_kind op.Memsim.Op.kind)
+        (loc_name op.Memsim.Op.loc)
+    | Tracing.Event.Computation { reads; writes; _ } ->
+      let names s =
+        Graphlib.Bitset.elements s |> List.map loc_name |> String.concat ","
+      in
+      Printf.sprintf "R{%s} W{%s}" (names reads) (names writes)
+  in
+  out "digraph augmented_hb1 {\n";
+  out "  rankdir=TB; node [shape=box, fontsize=10];\n";
+  Array.iteri
+    (fun p evs ->
+      out "  subgraph cluster_P%d {\n    label=\"P%d\";\n" p p;
+      Array.iter
+        (fun (ev : Tracing.Event.t) ->
+          let fill =
+            if List.mem ev.Tracing.Event.eid first_events then
+              ", style=filled, fillcolor=lightyellow"
+            else ""
+          in
+          out "    e%d [label=\"E%d: %s\"%s];\n" ev.Tracing.Event.eid
+            ev.Tracing.Event.eid (node_label ev) fill)
+        evs;
+      out "  }\n")
+    trace.Tracing.Trace.by_proc;
+  (* po edges (within clusters) and so1 edges *)
+  Array.iter
+    (fun evs ->
+      for i = 0 to Array.length evs - 2 do
+        out "  e%d -> e%d;\n" evs.(i).Tracing.Event.eid evs.(i + 1).Tracing.Event.eid
+      done)
+    trace.Tracing.Trace.by_proc;
+  List.iter
+    (fun (rel, acq) ->
+      if Graphlib.Digraph.mem_edge hb_graph rel acq then
+        out "  e%d -> e%d [style=dashed, label=\"so1\"];\n" rel acq)
+    trace.Tracing.Trace.so1;
+  (* race edges, doubly directed *)
+  List.iter
+    (fun (r : Race.t) ->
+      out "  e%d -> e%d [dir=both, color=red, penwidth=2%s];\n" r.Race.a r.Race.b
+        (if r.Race.is_data then "" else ", style=dotted"))
+    a.Postmortem.races;
+  out "}\n";
+  Buffer.contents buf

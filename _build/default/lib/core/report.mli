@@ -1,0 +1,22 @@
+(** Human-readable reports of an analysis, in the spirit of the paper's
+    Figure 3: the first partitions (what the programmer must look at) and
+    the non-first partitions (suppressed as potentially
+    non-sequentially-consistent artifacts). *)
+
+val pp_analysis :
+  ?loc_name:(int -> string) -> Format.formatter -> Postmortem.analysis -> unit
+
+val pp_partition :
+  ?loc_name:(int -> string) ->
+  trace:Tracing.Trace.t ->
+  Format.formatter ->
+  Partition.partition ->
+  unit
+
+val to_string : ?loc_name:(int -> string) -> Postmortem.analysis -> string
+
+val to_dot : ?loc_name:(int -> string) -> Postmortem.analysis -> string
+(** Graphviz rendering of the augmented happens-before-1 graph G′ in the
+    style of the paper's Figure 3: one cluster per processor, solid po
+    edges, dashed so1 edges, bold red doubly-directed race edges, and
+    first-partition events filled.  Render with [dot -Tpdf]. *)

@@ -1,0 +1,166 @@
+module Iset = Set.Make (Int)
+
+let is_prefix ophb ids =
+  let s = Iset.of_list ids in
+  let e = Ophb.exec ophb in
+  Iset.for_all
+    (fun y ->
+      Array.for_all
+        (fun (x : Memsim.Op.t) ->
+          (not (Ophb.happens_before ophb x.Memsim.Op.id y)) || Iset.mem x.Memsim.Op.id s)
+        e.Memsim.Exec.ops)
+    s
+
+(* -- identity matching ---------------------------------------------- *)
+
+let proc_identities (e : Memsim.Exec.t) =
+  Array.map (Array.map Memsim.Op.identity) e.Memsim.Exec.by_proc
+
+(* longest common prefix lengths, per processor *)
+let common_k (e : Memsim.Exec.t) (eseq : Memsim.Exec.t) =
+  let ia = proc_identities e and ib = proc_identities eseq in
+  Array.init (Array.length ia) (fun p ->
+      let a = ia.(p) and b = if p < Array.length ib then ib.(p) else [||] in
+      let n = min (Array.length a) (Array.length b) in
+      let rec go j = if j < n && a.(j) = b.(j) then go (j + 1) else j in
+      go 0)
+
+(* Shrink [k] until the per-processor prefixes are downward closed under
+   [ophb]'s happens-before.  Mutates [k]; terminates because every change
+   strictly decreases some component. *)
+let close_down ophb k =
+  let e = Ophb.exec ophb in
+  let in_prefix (o : Memsim.Op.t) =
+    o.Memsim.Op.proc < Array.length k && o.Memsim.Op.pindex < k.(o.Memsim.Op.proc)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (y : Memsim.Op.t) ->
+        if in_prefix y then
+          Array.iter
+            (fun (x : Memsim.Op.t) ->
+              if
+                (not (in_prefix x))
+                && Ophb.happens_before ophb x.Memsim.Op.id y.Memsim.Op.id
+                && y.Memsim.Op.pindex < k.(y.Memsim.Op.proc)
+              then begin
+                k.(y.Memsim.Op.proc) <- y.Memsim.Op.pindex;
+                changed := true
+              end)
+            e.Memsim.Exec.ops)
+      e.Memsim.Exec.ops
+  done
+
+(* data races keyed by ((proc, pindex), (proc, pindex)), normalized *)
+let race_keys ophb =
+  let e = Ophb.exec ophb in
+  let key id =
+    let o = e.Memsim.Exec.ops.(id) in
+    (o.Memsim.Op.proc, o.Memsim.Op.pindex)
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let ka = key a and kb = key b in
+      Hashtbl.replace tbl (min ka kb, max ka kb) ())
+    (Ophb.data_races ophb);
+  tbl
+
+let common_prefix_scp ~weak ~sc_exec =
+  let e = Ophb.exec weak and eseq = Ophb.exec sc_exec in
+  let k = common_k e eseq in
+  let races_e = race_keys weak and races_seq = race_keys sc_exec in
+  let in_prefix (p, j) = p < Array.length k && j < k.(p) in
+  let rec settle () =
+    close_down weak k;
+    close_down sc_exec k;
+    (* race equivalence within the prefix *)
+    let mismatch = ref None in
+    let consider tbl other =
+      Hashtbl.iter
+        (fun ((ka, kb) as pair) () ->
+          if !mismatch = None && in_prefix ka && in_prefix kb
+             && not (Hashtbl.mem other pair)
+          then mismatch := Some pair)
+        tbl
+    in
+    consider races_e races_seq;
+    consider races_seq races_e;
+    match !mismatch with
+    | None -> ()
+    | Some ((pa, ja), (pb, jb)) ->
+      (* evict the later endpoint (larger per-processor index) *)
+      let p, j = if (ja, pa) >= (jb, pb) then (pa, ja) else (pb, jb) in
+      k.(p) <- min k.(p) j;
+      settle ()
+  in
+  settle ();
+  Array.to_list e.Memsim.Exec.ops
+  |> List.filter (fun (o : Memsim.Op.t) -> o.Memsim.Op.pindex < k.(o.Memsim.Op.proc))
+  |> List.map (fun (o : Memsim.Op.t) -> o.Memsim.Op.id)
+  |> List.sort compare
+
+let is_scp ~sc ophb ids =
+  is_prefix ophb ids
+  &&
+  let e = Ophb.exec ophb in
+  let races_e = race_keys ophb in
+  let key id =
+    let o = e.Memsim.Exec.ops.(id) in
+    Memsim.Op.identity o
+  in
+  let pos id =
+    let o = e.Memsim.Exec.ops.(id) in
+    (o.Memsim.Op.proc, o.Memsim.Op.pindex)
+  in
+  let idents = List.map key ids in
+  let positions = List.map pos ids in
+  List.exists
+    (fun sc_ophb ->
+      let eseq = Ophb.exec sc_ophb in
+      let seq_idents = Hashtbl.create 32 in
+      Array.iter
+        (fun (o : Memsim.Op.t) -> Hashtbl.replace seq_idents (Memsim.Op.identity o) o)
+        eseq.Memsim.Exec.ops;
+      (* every prefix operation exists in Eseq *)
+      List.for_all (Hashtbl.mem seq_idents) idents
+      && (* downward closed in Eseq *)
+      (let imaged =
+         Iset.of_list
+           (List.map (fun i -> (Hashtbl.find seq_idents i).Memsim.Op.id) idents)
+       in
+       Iset.for_all
+         (fun y ->
+           Array.for_all
+             (fun (x : Memsim.Op.t) ->
+               (not (Ophb.happens_before sc_ophb x.Memsim.Op.id y))
+               || Iset.mem x.Memsim.Op.id imaged)
+             eseq.Memsim.Exec.ops)
+         imaged)
+      && (* race equivalence inside the prefix *)
+      (let races_seq = race_keys sc_ophb in
+       let pairs_agree =
+         List.for_all
+           (fun ka ->
+             List.for_all
+               (fun kb ->
+                 ka >= kb
+                 ||
+                 let pair = (min ka kb, max ka kb) in
+                 Hashtbl.mem races_e pair = Hashtbl.mem races_seq pair)
+               positions)
+           positions
+       in
+       pairs_agree))
+    sc
+
+let best_scp ~sc ophb =
+  List.fold_left
+    (fun acc sc_exec ->
+      let s = common_prefix_scp ~weak:ophb ~sc_exec in
+      match acc with
+      | Some (best, _) when List.length best >= List.length s -> acc
+      | _ -> Some (s, sc_exec))
+    None sc

@@ -1,0 +1,29 @@
+(** Sequentially consistent prefixes (Definitions 3.1 and 3.2).
+
+    A {e prefix} of an execution E is a subset of its operations closed
+    downward under hb1(E).  It is a {e sequentially consistent prefix}
+    (SCP) when (1) it is also a prefix of some SC execution Eseq of the
+    same program — operations matched by identity (§2.1: location and
+    program position, values excluded) — and (2) a pair of its operations
+    is a data race in E iff it is one in Eseq.
+
+    Prefixes are represented as sorted lists of operation ids of the weak
+    execution.  Because hb1 contains po, every prefix is per-processor
+    prefix-shaped, which the search below exploits. *)
+
+val is_prefix : Ophb.t -> int list -> bool
+(** Definition 3.1. *)
+
+val is_scp : sc:Ophb.t list -> Ophb.t -> int list -> bool
+(** Definition 3.2, checked against a pool of SC executions (normally the
+    exhaustive enumeration).  Implies {!is_prefix}. *)
+
+val common_prefix_scp : weak:Ophb.t -> sc_exec:Ophb.t -> int list
+(** The largest SCP of [weak] witnessed by this particular SC execution,
+    computed by shrinking the per-processor longest common operation
+    prefixes until they are hb1-downward closed in both executions and
+    race-equivalent.  May be empty. *)
+
+val best_scp : sc:Ophb.t list -> Ophb.t -> (int list * Ophb.t) option
+(** The largest {!common_prefix_scp} over the pool, with its witness;
+    [None] only when the pool is empty. *)

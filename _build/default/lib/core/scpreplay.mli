@@ -1,0 +1,53 @@
+(** Replaying the sequentially consistent prefix of a weak execution —
+    the paper's claim (§1, §5) that "other debugging tools for
+    sequentially consistent systems can be used unchanged on weak
+    systems", because "the part of the execution that contains the first
+    bugs is sequentially consistent and can be debugged as on a
+    sequentially consistent execution".
+
+    Given a weak execution, its SCP witness (an SC execution of the same
+    program, from {!Condition.check} or {!Scp.best_scp}), and the SCP's
+    operation ids, [replay] re-executes the witness's schedule on a fresh
+    sequentially consistent machine, stopping as soon as every SCP
+    operation has been performed.  Each step carries a full shared-memory
+    snapshot, so a debugger — watchpoints, invariant checks, state dumps —
+    can inspect the exact SC history that leads up to the first data
+    races. *)
+
+type step = {
+  index : int;
+  decision : Memsim.Exec.decision;
+  ops : Memsim.Op.t list;   (** operations performed by this step *)
+  in_scp : bool;            (** every op of this step belongs to the SCP *)
+  memory : Memsim.Op.value array;  (** shared memory after the step *)
+}
+
+type session = {
+  steps : step list;
+  covered : bool;  (** the whole SCP was replayed before the witness ended *)
+}
+
+val replay :
+  source:(unit -> Memsim.Thread_intf.source) ->
+  witness:Memsim.Exec.t ->
+  scp:int list ->
+  weak:Memsim.Exec.t ->
+  session
+(** [scp] lists operation ids {e of the weak execution}; they are matched
+    into the witness by operation identity (§2.1). *)
+
+val of_weak_execution :
+  sc:Memsim.Exec.t list ->
+  source:(unit -> Memsim.Thread_intf.source) ->
+  Memsim.Exec.t ->
+  session option
+(** Convenience: find the largest SCP over the SC pool and replay it.
+    [None] when the pool is empty. *)
+
+val watch :
+  session -> Memsim.Op.loc -> (int * Memsim.Op.value) list
+(** Watchpoint: the values the location takes across the session, as
+    (step index, value) pairs — one entry per change. *)
+
+val pp_session :
+  ?loc_name:(int -> string) -> Format.formatter -> session -> unit

@@ -1,0 +1,24 @@
+type t = int array
+
+let make n = Array.make n 0
+
+let n_procs = Array.length
+
+let get t p = t.(p)
+
+let tick t p =
+  let c = Array.copy t in
+  c.(p) <- c.(p) + 1;
+  c
+
+let join a b = Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+let leq a b =
+  let rec go i = i >= Array.length a || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let equal a b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "<%s>"
+    (String.concat "," (Array.to_list (Array.map string_of_int t)))

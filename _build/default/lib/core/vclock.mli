@@ -1,0 +1,27 @@
+(** Vector clocks over a fixed set of processors.
+
+    Persistent (operations return fresh clocks); the on-the-fly detector
+    snapshots clocks into its per-location state, so sharing mutable
+    arrays would be a correctness trap. *)
+
+type t
+
+val make : int -> t
+(** All components zero. *)
+
+val n_procs : t -> int
+
+val get : t -> int -> int
+
+val tick : t -> int -> t
+(** Increment one component. *)
+
+val join : t -> t -> t
+(** Componentwise maximum. *)
+
+val leq : t -> t -> bool
+(** Pointwise ≤ — "happened before or equal". *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

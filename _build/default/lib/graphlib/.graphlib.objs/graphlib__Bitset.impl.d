@@ -1,0 +1,1 @@
+lib/graphlib/bitset.ml: Bytes Char Format List

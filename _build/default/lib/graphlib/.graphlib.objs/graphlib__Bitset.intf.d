@@ -1,0 +1,1 @@
+lib/graphlib/bitset.mli: Format

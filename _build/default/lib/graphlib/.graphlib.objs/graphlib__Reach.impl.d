@@ -1,0 +1,1 @@
+lib/graphlib/reach.ml: Array Bitset Digraph Scc

@@ -1,0 +1,1 @@
+lib/graphlib/scc.ml: Array Digraph List

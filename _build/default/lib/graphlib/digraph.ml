@@ -1,0 +1,116 @@
+type t = {
+  n : int;
+  adj : int list array;          (* reversed insertion order; normalized in [succ] *)
+  seen : (int * int, unit) Hashtbl.t;
+  mutable edges : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Digraph.create: negative node count";
+  { n; adj = Array.make n []; seen = Hashtbl.create (max 16 n); edges = 0 }
+
+let n_nodes g = g.n
+let n_edges g = g.edges
+
+let check_node g u =
+  if u < 0 || u >= g.n then invalid_arg "Digraph: node out of range"
+
+let mem_edge g u v =
+  check_node g u;
+  check_node g v;
+  Hashtbl.mem g.seen (u, v)
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  if not (Hashtbl.mem g.seen (u, v)) then begin
+    Hashtbl.add g.seen (u, v) ();
+    g.adj.(u) <- v :: g.adj.(u);
+    g.edges <- g.edges + 1
+  end
+
+let succ g u =
+  check_node g u;
+  List.rev g.adj.(u)
+
+let out_degree g u =
+  check_node g u;
+  List.length g.adj.(u)
+
+let iter_succ g u f =
+  check_node g u;
+  List.iter f (List.rev g.adj.(u))
+
+let iter_edges g f =
+  for u = 0 to g.n - 1 do
+    iter_succ g u (fun v -> f u v)
+  done
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  iter_edges g (fun u v -> acc := f !acc u v);
+  !acc
+
+let of_edges n edges =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) edges;
+  g
+
+let transpose g =
+  let t = create g.n in
+  iter_edges g (fun u v -> add_edge t v u);
+  t
+
+let copy g =
+  let c = create g.n in
+  iter_edges g (fun u v -> add_edge c u v);
+  c
+
+(* Iterative DFS: the happens-before graph of a long execution can have one
+   po-chain per processor that is tens of thousands of edges deep, which
+   would blow the OCaml stack with naive recursion. *)
+let has_path g src dst =
+  check_node g src;
+  check_node g dst;
+  if src = dst then true
+  else begin
+    let visited = Array.make g.n false in
+    let stack = ref [ src ] in
+    visited.(src) <- true;
+    let found = ref false in
+    while not !found && !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | u :: rest ->
+        stack := rest;
+        iter_succ g u (fun v ->
+            if v = dst then found := true
+            else if not visited.(v) then begin
+              visited.(v) <- true;
+              stack := v :: !stack
+            end)
+    done;
+    !found
+  end
+
+let topological_order g =
+  let indeg = Array.make g.n 0 in
+  iter_edges g (fun _ v -> indeg.(v) <- indeg.(v) + 1);
+  let queue = Queue.create () in
+  Array.iteri (fun u d -> if d = 0 then Queue.add u queue) indeg;
+  let order = ref [] in
+  let emitted = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    incr emitted;
+    iter_succ g u (fun v ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+  done;
+  if !emitted = g.n then Some (List.rev !order) else None
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph(%d nodes, %d edges)" g.n g.edges;
+  iter_edges g (fun u v -> Format.fprintf ppf "@,  %d -> %d" u v);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,81 @@
+type t = {
+  n_components : int;
+  component : int array;
+  members : int list array;
+}
+
+(* Iterative Tarjan.  Each stack frame is (node, remaining successors).
+   Tarjan emits components in reverse topological order, so we flip the ids
+   at the end to obtain the documented "edges go small -> large" invariant. *)
+let compute g =
+  let n = Digraph.n_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  let visit root =
+    let frames = ref [ (root, Digraph.succ g root) ] in
+    index.(root) <- !next_index;
+    lowlink.(root) <- !next_index;
+    incr next_index;
+    stack := root :: !stack;
+    on_stack.(root) <- true;
+    while !frames <> [] do
+      match !frames with
+      | [] -> ()
+      | (u, succs) :: rest -> (
+        match succs with
+        | v :: more ->
+          frames := (u, more) :: rest;
+          if index.(v) = -1 then begin
+            index.(v) <- !next_index;
+            lowlink.(v) <- !next_index;
+            incr next_index;
+            stack := v :: !stack;
+            on_stack.(v) <- true;
+            frames := (v, Digraph.succ g v) :: !frames
+          end
+          else if on_stack.(v) && index.(v) < lowlink.(u) then
+            lowlink.(u) <- index.(v)
+        | [] ->
+          frames := rest;
+          (match rest with
+           | (parent, _) :: _ when lowlink.(u) < lowlink.(parent) ->
+             lowlink.(parent) <- lowlink.(u)
+           | _ -> ());
+          if lowlink.(u) = index.(u) then begin
+            let c = !next_comp in
+            incr next_comp;
+            let continue = ref true in
+            while !continue do
+              match !stack with
+              | [] -> continue := false
+              | w :: tail ->
+                stack := tail;
+                on_stack.(w) <- false;
+                comp.(w) <- c;
+                if w = u then continue := false
+            done
+          end)
+    done
+  in
+  for u = 0 to n - 1 do
+    if index.(u) = -1 then visit u
+  done;
+  let n_components = !next_comp in
+  (* Reverse ids so the condensation is topologically numbered. *)
+  Array.iteri (fun u c -> comp.(u) <- n_components - 1 - c) comp;
+  let members = Array.make n_components [] in
+  for u = n - 1 downto 0 do
+    members.(comp.(u)) <- u :: members.(comp.(u))
+  done;
+  { n_components; component = comp; members }
+
+let same_component t u v = t.component.(u) = t.component.(v)
+
+let component_sizes t = Array.map List.length t.members
+
+let is_trivial t = Array.for_all (fun m -> List.length m = 1) t.members

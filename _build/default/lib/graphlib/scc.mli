@@ -1,0 +1,29 @@
+(** Strongly connected components (Tarjan's algorithm, iterative).
+
+    The happens-before-1 relation of a weak execution need not be a partial
+    order (§3.1 of the paper): augmented race edges are doubly directed and
+    synchronization on weak hardware may itself form cycles.  Partitioning
+    races by SCC (§4.2) is the paper's device for recovering a partial
+    order, so this module is the heart of the analysis. *)
+
+type t = {
+  n_components : int;
+  component : int array;
+      (** [component.(u)] is the component id of node [u].  Ids are
+          numbered in a topological order of the condensation: every edge
+          of the original graph goes from a component with a smaller-or-
+          equal id to one with a larger-or-equal id. *)
+  members : int list array;
+      (** [members.(c)] lists the nodes of component [c] in increasing
+          order. *)
+}
+
+val compute : Digraph.t -> t
+
+val same_component : t -> int -> int -> bool
+
+val component_sizes : t -> int array
+
+val is_trivial : t -> bool
+(** True when every component is a single node (i.e. the graph is acyclic),
+    ignoring self loops. *)

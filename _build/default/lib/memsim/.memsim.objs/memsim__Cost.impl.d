@@ -1,0 +1,1 @@
+lib/memsim/cost.ml: Array Exec List Model Op

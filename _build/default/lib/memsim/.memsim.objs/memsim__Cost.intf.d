@@ -1,0 +1,1 @@
+lib/memsim/cost.mli: Exec Model

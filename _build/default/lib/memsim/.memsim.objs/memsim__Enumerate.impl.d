@@ -1,0 +1,1 @@
+lib/memsim/enumerate.ml: Exec List Machine Model Sched

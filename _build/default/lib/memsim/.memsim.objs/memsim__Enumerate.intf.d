@@ -1,0 +1,1 @@
+lib/memsim/enumerate.mli: Exec Model Thread_intf

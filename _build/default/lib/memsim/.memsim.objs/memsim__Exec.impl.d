@@ -1,0 +1,1 @@
+lib/memsim/exec.ml: Array Format List Model Op

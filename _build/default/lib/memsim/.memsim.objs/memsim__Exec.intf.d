@@ -1,0 +1,1 @@
+lib/memsim/exec.mli: Format Model Op

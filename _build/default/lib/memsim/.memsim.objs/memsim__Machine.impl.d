@@ -1,0 +1,1 @@
+lib/memsim/machine.ml: Array Exec Hashtbl List Model Op Sched Thread_intf

@@ -1,0 +1,1 @@
+lib/memsim/machine.mli: Exec Model Op Sched Thread_intf

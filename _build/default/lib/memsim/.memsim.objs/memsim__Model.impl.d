@@ -1,0 +1,1 @@
+lib/memsim/model.ml: Format Op String

@@ -1,0 +1,1 @@
+lib/memsim/model.mli: Format Op

@@ -1,0 +1,1 @@
+lib/memsim/rng.ml: Int64

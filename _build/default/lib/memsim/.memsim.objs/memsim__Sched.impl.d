@@ -1,0 +1,1 @@
+lib/memsim/sched.ml: Exec Format List Rng

@@ -1,0 +1,1 @@
+lib/memsim/thread_intf.ml: Op

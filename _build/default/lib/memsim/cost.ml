@@ -1,0 +1,67 @@
+type latencies = { read : int; write : int; sync : int }
+
+let default_latencies = { read = 20; write = 20; sync = 30 }
+
+type estimate = { per_proc : int array; makespan : int; stall_cycles : int }
+
+(* Per-processor timeline.  [busy_until] models the processor's single
+   memory port: background write completions are pipelined behind each
+   other. *)
+let time_proc lat mode ops =
+  let now = ref 0 in
+  let stalled = ref 0 in
+  let pending = ref [] in  (* completion times of buffered writes *)
+  let last_completion = ref 0 in
+  let stall_until t =
+    if t > !now then begin
+      stalled := !stalled + (t - !now);
+      now := t
+    end
+  in
+  let drain () =
+    List.iter stall_until !pending;
+    pending := []
+  in
+  Array.iter
+    (fun (o : Op.t) ->
+      match (o.Op.kind, Model.buffers_writes mode) with
+      | Op.Read, _ ->
+        if Model.drains_on mode o.Op.cls then drain ();
+        let cost = lat.read + if Op.is_sync o.Op.cls then lat.sync else 0 in
+        now := !now + cost
+      | Op.Write, false ->
+        (* SC: stall for the full write latency *)
+        let cost = lat.write + if Op.is_sync o.Op.cls then lat.sync else 0 in
+        now := !now + cost
+      | Op.Write, true ->
+        if Model.drains_on mode o.Op.cls then drain ();
+        if Op.is_sync o.Op.cls then begin
+          (* sync writes perform at memory: stall for them *)
+          now := !now + lat.write + lat.sync
+        end
+        else begin
+          (* buffered: one issue cycle; the write port is pipelined, so a
+             completion lands [write] cycles after issue but at most one
+             per cycle *)
+          let c = max (!now + lat.write) (!last_completion + 1) in
+          last_completion := c;
+          pending := c :: !pending;
+          now := !now + 1
+        end)
+    ops;
+  drain ();
+  (!now, !stalled)
+
+let estimate ?(lat = default_latencies) ~mode (e : Exec.t) =
+  let results = Array.map (time_proc lat mode) e.Exec.by_proc in
+  let per_proc = Array.map fst results in
+  {
+    per_proc;
+    makespan = Array.fold_left max 0 per_proc;
+    stall_cycles = Array.fold_left (fun acc (_, s) -> acc + s) 0 results;
+  }
+
+let speedup_vs_sc ?lat (e : Exec.t) =
+  let sc = estimate ?lat ~mode:Model.SC e in
+  let own = estimate ?lat ~mode:e.Exec.model e in
+  if own.makespan = 0 then 1.0 else float_of_int sc.makespan /. float_of_int own.makespan

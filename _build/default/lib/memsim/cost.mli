@@ -1,0 +1,43 @@
+(** An analytic timing model for the performance claim that motivates weak
+    models (§1) and the paper's conclusion that a slower sequentially
+    consistent debug mode is unnecessary (§5).
+
+    A conventional SC implementation "stalls on every memory operation
+    until its completion"; a weak implementation retires data writes from
+    a store buffer in the background and stalls only at the
+    synchronization points its model requires.  Given an execution (which
+    fixes each processor's operation sequence), [estimate] computes the
+    completion time of every processor under a latency assignment and a
+    stall policy, and the execution's makespan is the maximum.
+
+    This deliberately models only processor stalls — not contention or
+    coherence traffic — which is the first-order effect the weak-model
+    papers target. *)
+
+type latencies = {
+  read : int;       (** cycles a read stalls the processor *)
+  write : int;      (** cycles a memory write takes to complete *)
+  sync : int;       (** additional cycles for a synchronization access *)
+}
+
+val default_latencies : latencies
+(** read 20, write 20, sync 30 — a 1991-vintage bus-based multiprocessor. *)
+
+type estimate = {
+  per_proc : int array;  (** completion cycle of each processor *)
+  makespan : int;
+  stall_cycles : int;    (** total cycles processors spent stalled *)
+}
+
+val estimate : ?lat:latencies -> mode:Model.t -> Exec.t -> estimate
+(** Timing of the execution's operation streams under [mode]'s stall
+    policy.  [mode = SC] stalls [read]/[write] cycles on every operation;
+    buffering models charge one cycle per data write at issue, complete it
+    [write] cycles later in the background (one memory port per
+    processor), and stall at a synchronization operation until the
+    operations its drain rule covers have completed. *)
+
+val speedup_vs_sc : ?lat:latencies -> Exec.t -> float
+(** [makespan under SC timing / makespan under the execution's own model's
+    timing] for the same operation streams — how much a "slow SC debugging
+    mode" would cost. *)

@@ -1,0 +1,91 @@
+type result = { executions : Exec.t list; complete : bool }
+
+(* Replay [prefix] issue decisions on a fresh machine.  Returns the machine
+   positioned at the frontier. *)
+let replay_prefix mk prefix =
+  let m = Machine.create ~model:Model.SC (mk ()) in
+  List.iter (fun p -> Machine.perform m (Exec.Issue p)) prefix;
+  m
+
+let enabled_procs m =
+  List.filter_map
+    (function Exec.Issue p -> Some p | Exec.Retire _ -> None)
+    (Machine.enabled m)
+
+let explore ?(max_steps = 2_000) ?(limit = 100_000) mk =
+  let found = ref [] in
+  let n_found = ref 0 in
+  let complete = ref true in
+  (* DFS over issue prefixes, re-executing from scratch at every node: the
+     interpreter state is not snapshotable (continuations), and litmus
+     programs are tiny, so the quadratic replay cost is irrelevant. *)
+  let rec dfs prefix depth =
+    if !n_found >= limit then complete := false
+    else begin
+      let m = replay_prefix mk (List.rev prefix) in
+      match enabled_procs m with
+      | [] ->
+        found := Machine.to_execution m :: !found;
+        incr n_found
+      | procs ->
+        if depth >= max_steps then begin
+          (* nonterminating under this schedule; record as truncated *)
+          Machine.set_truncated m;
+          found := Machine.to_execution m :: !found;
+          incr n_found;
+          complete := false
+        end
+        else List.iter (fun p -> dfs (p :: prefix) (depth + 1)) procs
+    end
+  in
+  dfs [] 0;
+  { executions = List.rev !found; complete = !complete }
+
+(* Exhaustive DFS over the full decision space (issues and retires) of a
+   weak model.  Same replay-from-scratch structure as [explore]. *)
+let explore_weak ?(max_steps = 400) ?(limit = 500_000) ~model mk =
+  let found = ref [] in
+  let n_found = ref 0 in
+  let complete = ref true in
+  let replay prefix =
+    let m = Machine.create ~model (mk ()) in
+    List.iter (Machine.perform m) prefix;
+    m
+  in
+  let rec dfs prefix depth =
+    if !n_found >= limit then complete := false
+    else begin
+      let m = replay (List.rev prefix) in
+      match Machine.enabled m with
+      | [] ->
+        found := Machine.to_execution m :: !found;
+        incr n_found
+      | decisions ->
+        if depth >= max_steps then begin
+          Machine.set_truncated m;
+          Machine.force_drain m;
+          found := Machine.to_execution m :: !found;
+          incr n_found;
+          complete := false
+        end
+        else List.iter (fun d -> dfs (d :: prefix) (depth + 1)) decisions
+    end
+  in
+  dfs [] 0;
+  { executions = List.rev !found; complete = !complete }
+
+let behaviours execs =
+  List.fold_left
+    (fun acc e ->
+      if List.exists (Exec.same_program_behaviour e) acc then acc else e :: acc)
+    [] execs
+  |> List.rev
+
+let sample ?(max_steps = 20_000) ~seeds mk =
+  List.map
+    (fun seed -> Machine.run ~max_steps ~model:Model.SC ~sched:(Sched.random ~seed) (mk ()))
+    seeds
+
+let count ?max_steps ?limit mk =
+  let r = explore ?max_steps ?limit mk in
+  (List.length r.executions, r.complete)

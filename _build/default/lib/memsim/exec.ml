@@ -1,0 +1,72 @@
+type decision = Issue of Op.proc | Retire of Op.proc * Op.loc
+
+type t = {
+  model : Model.t;
+  n_procs : int;
+  n_locs : int;
+  ops : Op.t array;
+  by_proc : Op.t array array;
+  rf : int array;
+  commit : int array;
+  final_mem : Op.value array;
+  truncated : bool;
+  schedule : decision list;
+}
+
+let n_ops e = Array.length e.ops
+
+let select p e = Array.to_list e.ops |> List.filter p
+
+let reads e = select (fun (o : Op.t) -> o.kind = Op.Read) e
+let writes e = select (fun (o : Op.t) -> o.kind = Op.Write) e
+let sync_ops e = select (fun (o : Op.t) -> Op.is_sync o.cls) e
+let data_ops e = select (fun (o : Op.t) -> Op.is_data o.cls) e
+
+let reads_from e (o : Op.t) =
+  if o.kind <> Op.Read then invalid_arg "Exec.reads_from: not a read";
+  let w = e.rf.(o.id) in
+  if w < 0 then None else Some e.ops.(w)
+
+let so1_pairs e =
+  List.filter_map
+    (fun (acq : Op.t) ->
+      if acq.cls <> Op.Acquire then None
+      else
+        match reads_from e acq with
+        | Some rel when rel.cls = Op.Release -> Some (rel, acq)
+        | Some _ | None -> None)
+    (reads e)
+
+let op_seq_key (o : Op.t) = Op.identity o
+
+let same_op_sequences a b =
+  a.n_procs = b.n_procs
+  && Array.for_all2
+       (fun pa pb ->
+         Array.length pa = Array.length pb
+         && Array.for_all2 (fun x y -> op_seq_key x = op_seq_key y) pa pb)
+       a.by_proc b.by_proc
+
+let same_program_behaviour a b =
+  same_op_sequences a b
+  && Array.for_all2
+       (fun pa pb ->
+         Array.for_all2
+           (fun (x : Op.t) (y : Op.t) -> x.kind <> Op.Read || x.value = y.value)
+           pa pb)
+       a.by_proc b.by_proc
+
+let pp ppf e =
+  Format.fprintf ppf "@[<v>execution on %a%s (%d ops)" Model.pp e.model
+    (if e.truncated then " [truncated]" else "")
+    (n_ops e);
+  Array.iteri
+    (fun p ops ->
+      Format.fprintf ppf "@,P%d:" p;
+      Array.iter (fun o -> Format.fprintf ppf "@,  %a" Op.pp o) ops)
+    e.by_proc;
+  Format.fprintf ppf "@]"
+
+let pp_decision ppf = function
+  | Issue p -> Format.fprintf ppf "issue(P%d)" p
+  | Retire (p, l) -> Format.fprintf ppf "retire(P%d,%d)" p l

@@ -1,0 +1,62 @@
+(** Executions: the complete record of one run of a program on a memory
+    system, sufficient to reconstruct every relation the paper uses
+    (program order, reads-from, the synchronization order so1). *)
+
+type decision =
+  | Issue of Op.proc
+      (** the processor issued (and, except for buffered writes, performed)
+          its next request *)
+  | Retire of Op.proc * Op.loc
+      (** the oldest buffered write to [loc] by [proc] reached memory *)
+
+type t = {
+  model : Model.t;
+  n_procs : int;
+  n_locs : int;
+  ops : Op.t array;            (** indexed by [Op.id]; issue order *)
+  by_proc : Op.t array array;  (** [by_proc.(p)] in program order *)
+  rf : int array;
+      (** [rf.(id)] for a read: the id of the write it returned the value
+          of, [-1] when it read the initial value.  [-2] for writes. *)
+  commit : int array;
+      (** [commit.(id)]: global timestamp at which the operation took
+          effect at memory.  For buffered writes this is the retirement
+          time; for everything else the issue time.  The two halves of an
+          atomic read-modify-write share a timestamp. *)
+  final_mem : Op.value array;
+  truncated : bool;
+      (** true when the run hit the step budget before all threads
+          halted (e.g. a spin loop the schedule never satisfied) *)
+  schedule : decision list;    (** the exact choice sequence, for replay *)
+}
+
+val n_ops : t -> int
+
+val reads : t -> Op.t list
+val writes : t -> Op.t list
+val sync_ops : t -> Op.t list
+val data_ops : t -> Op.t list
+
+val reads_from : t -> Op.t -> Op.t option
+(** The write a read returned the value of; [None] for the initial value.
+    @raise Invalid_argument when applied to a write. *)
+
+val so1_pairs : t -> (Op.t * Op.t) list
+(** Definition 2.2: pairs [(s1, s2)] where [s1] is a release, [s2] an
+    acquire, and [s2] returned the value written by [s1]. *)
+
+val same_program_behaviour : t -> t -> bool
+(** Both executions issued exactly the same operations per processor
+    (operation identity excludes values — §2.1) {e and} every read
+    returned the same value.  This is the sense in which a weak execution
+    "is" a sequentially consistent execution in Condition 3.4(1). *)
+
+val same_op_sequences : t -> t -> bool
+(** Operation identity only: same per-processor operation sequences,
+    values ignored. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line rendering in the style of the paper's figures: one column
+    per processor, operations in program order. *)
+
+val pp_decision : Format.formatter -> decision -> unit

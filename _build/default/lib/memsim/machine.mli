@@ -1,0 +1,83 @@
+(** The operation-level multiprocessor: shared memory, one store buffer per
+    processor, and the per-model issue rules of {!Model}.
+
+    Semantics in brief:
+    - An {e issue} performs the processor's next request.  Reads take
+      effect immediately, forwarding from the processor's own newest
+      buffered write to the same location when one is pending.  Data
+      writes enter the store buffer on buffering models (all but SC) and
+      go straight to memory on SC.  Synchronization operations and
+      read-modify-writes always take effect atomically at memory on issue
+      (synchronization is sequentially consistent on every model), subject
+      to the model's drain rule ({!Model.drains_on}) and to per-location
+      coherence (a write may not bypass a pending same-location write of
+      its own processor).
+    - A {e retire} moves one buffered write to memory.  Retirement across
+      different locations happens in any order the scheduler picks — this
+      out-of-order completion is precisely what makes the weak executions
+      of the paper's Figures 1a and 2b possible — while writes to the same
+      location retire in program order.
+
+    The step-wise API ([enabled]/[perform]) is what the SC-interleaving
+    enumerator drives; [run] wraps it with a scheduler. *)
+
+type t
+
+val create : ?on_op:(Op.t -> unit) -> model:Model.t -> Thread_intf.source -> t
+(** [on_op] is invoked synchronously for every memory operation the
+    moment it is recorded — the hook an on-the-fly detector attaches to
+    (§5).  It must not call back into the machine. *)
+
+val enabled : t -> Exec.decision list
+(** Decisions currently permitted; empty iff the run is complete. *)
+
+val perform : t -> Exec.decision -> unit
+(** @raise Invalid_argument if the decision is not enabled. *)
+
+val finished : t -> bool
+
+val steps : t -> int
+
+val memory : t -> Op.value array
+(** Snapshot of shared memory (buffered writes not yet included). *)
+
+val n_recorded : t -> int
+(** Operations recorded so far (issue order). *)
+
+val force_drain : t -> unit
+(** Retire every buffered write (used when a run hits its step budget, so
+    the final memory state is well defined). *)
+
+val set_truncated : t -> unit
+
+val to_execution : t -> Exec.t
+(** Snapshot of the run so far.  Buffered writes that never retired are
+    given commit timestamps after all retired operations. *)
+
+type stats = {
+  retires : int;          (** buffered writes that reached memory *)
+  max_buffer : int;       (** peak store-buffer occupancy over all processors *)
+  buffered_writes : int;  (** data writes that went through a buffer *)
+  delay_total : int;      (** sum over buffered writes of commit - issue time *)
+}
+
+val stats : t -> stats
+
+val run :
+  ?max_steps:int ->
+  ?on_op:(Op.t -> unit) ->
+  model:Model.t ->
+  sched:Sched.t ->
+  Thread_intf.source ->
+  Exec.t
+(** Drive the machine with [sched] until no decision is enabled or
+    [max_steps] (default 20_000) decisions have been performed; in the
+    latter case the execution is marked truncated and the buffers are
+    drained. *)
+
+val run_with_stats :
+  ?max_steps:int ->
+  model:Model.t ->
+  sched:Sched.t ->
+  Thread_intf.source ->
+  Exec.t * stats

@@ -1,0 +1,41 @@
+type t = SC | TSO | WO | RCsc | DRF0 | DRF1
+
+let all = [ SC; TSO; WO; RCsc; DRF0; DRF1 ]
+let weak = [ WO; RCsc; DRF0; DRF1 ]
+
+let name = function
+  | SC -> "SC"
+  | TSO -> "TSO"
+  | WO -> "WO"
+  | RCsc -> "RCsc"
+  | DRF0 -> "DRF0"
+  | DRF1 -> "DRF1"
+
+let of_name s =
+  match String.lowercase_ascii s with
+  | "sc" -> Some SC
+  | "tso" -> Some TSO
+  | "wo" -> Some WO
+  | "rcsc" -> Some RCsc
+  | "drf0" -> Some DRF0
+  | "drf1" -> Some DRF1
+  | _ -> None
+
+let buffers_writes = function SC -> false | TSO | WO | RCsc | DRF0 | DRF1 -> true
+
+let fifo_buffer = function TSO -> true | SC | WO | RCsc | DRF0 | DRF1 -> false
+
+let distinguishes_release_acquire = function
+  | SC | TSO | WO | DRF0 -> false
+  | RCsc | DRF1 -> true
+
+let drains_on m (cls : Op.op_class) =
+  match cls with
+  | Op.Data -> false
+  | Op.Acquire | Op.Release | Op.Plain_sync -> (
+    match m with
+    | SC -> false (* nothing is ever buffered *)
+    | TSO | WO | DRF0 -> true
+    | RCsc | DRF1 -> cls = Op.Release)
+
+let pp ppf m = Format.pp_print_string ppf (name m)

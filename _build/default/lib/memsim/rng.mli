@@ -1,0 +1,20 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every source of nondeterminism in the simulator is driven by one of
+    these generators, so an execution is a pure function of
+    (program, model, seed) — a property the replay and enumeration tests
+    rely on. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds an independent generator. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0 .. bound-1].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** A statistically independent child generator. *)

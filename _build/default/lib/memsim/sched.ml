@@ -1,0 +1,67 @@
+type t = { choose : Exec.decision list -> Exec.decision }
+
+let choose t enabled =
+  if enabled = [] then invalid_arg "Sched.choose: no enabled decision";
+  t.choose enabled
+
+let nth_of rng xs = List.nth xs (Rng.int rng (List.length xs))
+
+let random ~seed =
+  let rng = Rng.create seed in
+  { choose = (fun enabled -> nth_of rng enabled) }
+
+let split_issues enabled =
+  List.partition (function Exec.Issue _ -> true | Exec.Retire _ -> false) enabled
+
+let adversarial ?(retire_bias = 4) ~seed () =
+  let rng = Rng.create seed in
+  let choose enabled =
+    let issues, retires = split_issues enabled in
+    match (issues, retires) with
+    | [], _ -> nth_of rng retires
+    | _, [] -> nth_of rng issues
+    | _, _ -> if Rng.int rng retire_bias = 0 then nth_of rng retires else nth_of rng issues
+  in
+  { choose }
+
+let eager ~seed =
+  let rng = Rng.create seed in
+  let choose enabled =
+    let issues, retires = split_issues enabled in
+    if retires <> [] then nth_of rng retires else nth_of rng issues
+  in
+  { choose }
+
+let round_robin () =
+  let last = ref (-1) in
+  let choose enabled =
+    let issues, retires = split_issues enabled in
+    let proc_of = function Exec.Issue p -> p | Exec.Retire (p, _) -> p in
+    match issues with
+    | [] -> List.hd retires
+    | _ ->
+      (* smallest issuing proc strictly greater than the last one, wrapping *)
+      let sorted = List.sort compare (List.map proc_of issues) in
+      let next =
+        match List.find_opt (fun p -> p > !last) sorted with
+        | Some p -> p
+        | None -> List.hd sorted
+      in
+      last := next;
+      Exec.Issue next
+  in
+  { choose }
+
+let replay decisions =
+  let remaining = ref decisions in
+  let choose enabled =
+    match !remaining with
+    | [] -> invalid_arg "Sched.replay: decision list exhausted"
+    | d :: rest ->
+      if not (List.mem d enabled) then
+        invalid_arg
+          (Format.asprintf "Sched.replay: decision %a not enabled" Exec.pp_decision d);
+      remaining := rest;
+      d
+  in
+  { choose }

@@ -1,0 +1,37 @@
+(** Scheduling strategies: the source of all nondeterminism in a run.
+
+    At every step the machine offers the set of enabled decisions (issue a
+    processor's next request, or retire one buffered write) and the
+    scheduler picks one.  Different strategies explore different corners of
+    a model's behaviour envelope:
+
+    - {!random} samples uniformly;
+    - {!adversarial} delays write retirement as long as the bias allows,
+      maximizing the window in which other processors observe stale values
+      — this is the schedule that exhibits the paper's Figure 1a and
+      Figure 2b anomalies most readily;
+    - {!eager} retires writes as soon as possible, approximating SC even on
+      weak models;
+    - {!round_robin} interleaves issues deterministically;
+    - {!replay} follows a recorded decision sequence exactly. *)
+
+type t
+
+val random : seed:int -> t
+
+val adversarial : ?retire_bias:int -> seed:int -> unit -> t
+(** [retire_bias] (default 4): a pending retirement is considered with
+    probability 1/retire_bias when issues are also available, and always
+    when nothing else is enabled.  Larger values mean staler reads. *)
+
+val eager : seed:int -> t
+(** Retire whenever possible; choose among issues at random otherwise. *)
+
+val round_robin : unit -> t
+
+val replay : Exec.decision list -> t
+(** Follow the given decisions.  {!choose} raises [Invalid_argument] if a
+    decision is not currently enabled or the list runs out. *)
+
+val choose : t -> Exec.decision list -> Exec.decision
+(** @raise Invalid_argument on an empty decision list. *)

@@ -1,0 +1,46 @@
+(** The interface between programs and the memory system.
+
+    A program is presented to the machine as a set of processor-local
+    threads, each exposing its current memory request.  The continuation
+    carried by a request advances the thread's local state (registers,
+    control flow); the machine invokes it exactly once, when it performs
+    the request.  Peeking the same request twice before performing it must
+    return the same value — schedulers inspect requests to decide
+    enablement.
+
+    This module contains only type definitions, so it has no interface
+    file; it is the contract [lib/minilang]'s interpreter implements and
+    [Machine] consumes. *)
+
+type request =
+  | Read of {
+      loc : Op.loc;
+      cls : Op.op_class;  (** [Data] or [Acquire] *)
+      label : string option;
+      k : Op.value -> unit;
+    }
+  | Write of {
+      loc : Op.loc;
+      value : Op.value;
+      cls : Op.op_class;  (** [Data], [Release] or [Plain_sync] *)
+      label : string option;
+      k : unit -> unit;
+    }
+  | Rmw of {
+      loc : Op.loc;
+      f : Op.value -> Op.value;  (** new value from old *)
+      rcls : Op.op_class;        (** class of the read half, e.g. [Acquire] *)
+      wcls : Op.op_class;        (** class of the write half, e.g. [Plain_sync] *)
+      label : string option;
+      k : Op.value -> unit;      (** receives the value read *)
+    }
+  | Fence of { label : string option; k : unit -> unit }
+      (** Drains the issuing processor's buffer; records no memory
+          operation. *)
+
+type source = {
+  n_procs : int;
+  n_locs : int;
+  init : (Op.loc * Op.value) list;  (** initial memory contents; absent locations are 0 *)
+  peek : Op.proc -> request option;  (** [None] once the thread has halted *)
+}

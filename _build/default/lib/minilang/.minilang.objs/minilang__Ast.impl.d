@@ -1,0 +1,1 @@
+lib/minilang/ast.ml: Array Format List

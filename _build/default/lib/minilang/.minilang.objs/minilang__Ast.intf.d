@@ -1,0 +1,1 @@
+lib/minilang/ast.mli: Format Result

@@ -1,0 +1,1 @@
+lib/minilang/build.ml: Array Ast List Printf String

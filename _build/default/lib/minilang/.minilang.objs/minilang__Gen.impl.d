@@ -1,0 +1,1 @@
+lib/minilang/gen.ml: Array Ast List Memsim Printf

@@ -1,0 +1,1 @@
+lib/minilang/gen.mli: Ast

@@ -1,0 +1,1 @@
+lib/minilang/interp.ml: Array Ast Hashtbl List Memsim Printf String

@@ -1,0 +1,1 @@
+lib/minilang/interp.mli: Ast Memsim

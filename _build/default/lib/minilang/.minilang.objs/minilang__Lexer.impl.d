@@ -1,0 +1,1 @@
+lib/minilang/lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/minilang/parser.ml: Array Ast Buffer In_channel Lexer List Printf Result String

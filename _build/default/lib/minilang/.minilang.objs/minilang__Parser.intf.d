@@ -1,0 +1,1 @@
+lib/minilang/parser.mli: Ast Result

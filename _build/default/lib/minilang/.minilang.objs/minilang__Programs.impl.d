@@ -1,0 +1,1 @@
+lib/minilang/programs.ml: Ast Build List Printf

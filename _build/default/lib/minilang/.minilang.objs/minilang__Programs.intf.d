@@ -1,0 +1,1 @@
+lib/minilang/programs.mli: Ast

@@ -1,0 +1,119 @@
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr =
+  | Int of int
+  | Reg of string
+  | Neg of expr
+  | Not of expr
+  | Bin of binop * expr * expr
+
+type instr =
+  | Set of string * expr
+  | Load of { reg : string; addr : expr; label : string option }
+  | Store of { addr : expr; value : expr; label : string option }
+  | Sync_load of { reg : string; addr : expr; label : string option }
+  | Sync_store of { addr : expr; value : expr; label : string option }
+  | Test_and_set of { reg : string; addr : expr; label : string option }
+  | Unset of { addr : expr; label : string option }
+  | Fetch_and_add of { reg : string; addr : expr; amount : expr; label : string option }
+  | Fence of { label : string option }
+  | If of expr * instr list * instr list
+  | While of expr * instr list
+
+type program = {
+  name : string;
+  n_locs : int;
+  init : (int * int) list;
+  procs : instr list array;
+  symbols : (string * int) list;
+}
+
+let loc_name p l =
+  match List.find_opt (fun (_, l') -> l' = l) p.symbols with
+  | Some (n, _) -> n
+  | None -> string_of_int l
+
+let rec const_addrs_ok n_locs instrs =
+  let addr_ok = function
+    | Int a -> a >= 0 && a < n_locs
+    | _ -> true (* computed addresses are checked at run time *)
+  in
+  List.for_all
+    (function
+      | Set _ | Fence _ -> true
+      | Load { addr; _ } | Sync_load { addr; _ } | Test_and_set { addr; _ } ->
+        addr_ok addr
+      | Store { addr; _ } | Sync_store { addr; _ } | Unset { addr; _ }
+      | Fetch_and_add { addr; _ } ->
+        addr_ok addr
+      | If (_, t, f) -> const_addrs_ok n_locs t && const_addrs_ok n_locs f
+      | While (_, body) -> const_addrs_ok n_locs body)
+    instrs
+
+let validate p =
+  if Array.length p.procs = 0 then Error "program has no processors"
+  else if p.n_locs <= 0 then Error "program has no memory locations"
+  else if List.exists (fun (l, _) -> l < 0 || l >= p.n_locs) p.init then
+    Error "initialization outside the location space"
+  else if not (Array.for_all (const_addrs_ok p.n_locs) p.procs) then
+    Error "constant address outside the location space"
+  else Ok ()
+
+let binop_symbol = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+let rec pp_expr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Reg r -> Format.pp_print_string ppf r
+  | Neg e -> Format.fprintf ppf "-(%a)" pp_expr e
+  | Not e -> Format.fprintf ppf "!(%a)" pp_expr e
+  | Bin (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+
+let rec pp_instr ppf = function
+  | Set (r, e) -> Format.fprintf ppf "%s := %a" r pp_expr e
+  | Load { reg; addr; _ } -> Format.fprintf ppf "%s := mem[%a]" reg pp_expr addr
+  | Store { addr; value; _ } ->
+    Format.fprintf ppf "mem[%a] := %a" pp_expr addr pp_expr value
+  | Sync_load { reg; addr; _ } ->
+    Format.fprintf ppf "%s := acquire mem[%a]" reg pp_expr addr
+  | Sync_store { addr; value; _ } ->
+    Format.fprintf ppf "release mem[%a] := %a" pp_expr addr pp_expr value
+  | Test_and_set { reg; addr; _ } ->
+    Format.fprintf ppf "%s := test&set(mem[%a])" reg pp_expr addr
+  | Unset { addr; _ } -> Format.fprintf ppf "unset(mem[%a])" pp_expr addr
+  | Fetch_and_add { reg; addr; amount; _ } ->
+    Format.fprintf ppf "%s := fetch&add(mem[%a], %a)" reg pp_expr addr pp_expr amount
+  | Fence _ -> Format.pp_print_string ppf "fence"
+  | If (c, t, f) ->
+    Format.fprintf ppf "@[<v 2>if %a then%a%a@]" pp_expr c pp_block t
+      (fun ppf -> function
+        | [] -> ()
+        | f -> Format.fprintf ppf "@;<1 -2>else%a" pp_block f)
+      f
+  | While (c, body) ->
+    Format.fprintf ppf "@[<v 2>while %a do%a@]" pp_expr c pp_block body
+
+and pp_block ppf instrs =
+  List.iter (fun i -> Format.fprintf ppf "@,%a" pp_instr i) instrs
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>program %s (%d locations)" p.name p.n_locs;
+  if p.symbols <> [] then begin
+    Format.fprintf ppf "@,symbols:";
+    List.iter (fun (n, l) -> Format.fprintf ppf " %s=%d" n l) p.symbols
+  end;
+  if p.init <> [] then begin
+    Format.fprintf ppf "@,init:";
+    List.iter (fun (l, v) -> Format.fprintf ppf " mem[%d]=%d" l v) p.init
+  end;
+  Array.iteri
+    (fun i instrs ->
+      Format.fprintf ppf "@,@[<v 2>P%d:%a@]" i pp_block instrs)
+    p.procs;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,67 @@
+(** Abstract syntax of the mini parallel language.
+
+    The language is deliberately close to the paper's examples: shared
+    memory is a flat array of integer locations; each processor runs a
+    sequential imperative program over private registers; synchronization
+    is performed with [Test&Set]/[Unset] (as in Figures 1b and 2) or with
+    generic acquire/release operations (as DRF1 permits).  Computed
+    addresses are supported because Figure 2's program en/dequeues region
+    addresses and then works on [addr .. addr+n]. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | And | Or
+
+type expr =
+  | Int of int
+  | Reg of string           (** registers read as 0 until first assigned *)
+  | Neg of expr
+  | Not of expr              (** logical: 0 ↦ 1, non-zero ↦ 0 *)
+  | Bin of binop * expr * expr
+
+type instr =
+  | Set of string * expr     (** register assignment; purely local *)
+  | Load of { reg : string; addr : expr; label : string option }
+      (** data read *)
+  | Store of { addr : expr; value : expr; label : string option }
+      (** data write *)
+  | Sync_load of { reg : string; addr : expr; label : string option }
+      (** acquire read (hardware-recognized synchronization) *)
+  | Sync_store of { addr : expr; value : expr; label : string option }
+      (** release write *)
+  | Test_and_set of { reg : string; addr : expr; label : string option }
+      (** atomically [reg := old; mem := 1]; the read is an acquire, the
+          write is a plain sync op (the paper: "the write due to a
+          Test&Set is not a release") *)
+  | Unset of { addr : expr; label : string option }
+      (** [mem := 0]; a release write *)
+  | Fetch_and_add of { reg : string; addr : expr; amount : expr; label : string option }
+      (** atomically [reg := old; mem := old + amount]; classified like
+          [Test&Set] *)
+  | Fence of { label : string option }
+      (** drains the store buffer; not a memory operation *)
+  | If of expr * instr list * instr list
+  | While of expr * instr list
+
+type program = {
+  name : string;
+  n_locs : int;
+  init : (int * int) list;        (** initial memory; unlisted locations are 0 *)
+  procs : instr list array;
+  symbols : (string * int) list;  (** location names, for reports *)
+}
+
+val loc_name : program -> int -> string
+(** Symbolic name of a location, or its number when anonymous. *)
+
+val validate : program -> (unit, string) Result.t
+(** Static checks: at least one processor, positive location count,
+    initializations and constant addresses in range. *)
+
+val binop_symbol : binop -> string
+(** Concrete-syntax spelling, e.g. [Add] ↦ ["+"]. *)
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_instr : Format.formatter -> instr -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,93 @@
+open Ast
+
+let i n = Int n
+let r name = Reg name
+let ( +: ) a b = Bin (Add, a, b)
+let ( -: ) a b = Bin (Sub, a, b)
+let ( *: ) a b = Bin (Mul, a, b)
+let ( =: ) a b = Bin (Eq, a, b)
+let ( <>: ) a b = Bin (Ne, a, b)
+let ( <: ) a b = Bin (Lt, a, b)
+let ( <=: ) a b = Bin (Le, a, b)
+
+let set reg e = Set (reg, e)
+
+(* Named locations are carried through building as a [Reg] with a reserved
+   prefix; [program] patches them to their assigned addresses once the
+   symbol table is known. *)
+let loc_marker name = Reg ("$loc:" ^ name)
+
+let resolve syms name =
+  match List.assoc_opt name syms with
+  | Some l -> Int l
+  | None -> invalid_arg (Printf.sprintf "Build: unknown location %S" name)
+
+let load ?label reg name = Load { reg; addr = loc_marker name; label }
+let store ?label name value = Store { addr = loc_marker name; value; label }
+let load_at ?label reg addr = Load { reg; addr; label }
+let store_at ?label addr value = Store { addr; value; label }
+let acquire_load ?label reg name = Sync_load { reg; addr = loc_marker name; label }
+let release_store ?label name value = Sync_store { addr = loc_marker name; value; label }
+let test_and_set ?label reg name = Test_and_set { reg; addr = loc_marker name; label }
+let unset ?label name = Unset { addr = loc_marker name; label }
+
+let fetch_and_add ?label reg name amount =
+  Fetch_and_add { reg; addr = loc_marker name; amount; label }
+
+let fence ?label () = Fence { label }
+
+let if_ c t f = If (c, t, f)
+let while_ c body = While (c, body)
+
+let spin_lock ?label name =
+  [ Set ("_tas", Int 1);
+    While
+      ( Bin (Ne, Reg "_tas", Int 0),
+        [ Test_and_set { reg = "_tas"; addr = loc_marker name; label } ] ) ]
+
+let for_ reg ~from ~below body =
+  [ Set (reg, from);
+    While (Bin (Lt, Reg reg, below), body @ [ Set (reg, Bin (Add, Reg reg, Int 1)) ]) ]
+
+let rec patch_expr syms = function
+  | Reg name when String.length name > 5 && String.sub name 0 5 = "$loc:" ->
+    resolve syms (String.sub name 5 (String.length name - 5))
+  | (Int _ | Reg _) as e -> e
+  | Neg e -> Neg (patch_expr syms e)
+  | Not e -> Not (patch_expr syms e)
+  | Bin (op, a, b) -> Bin (op, patch_expr syms a, patch_expr syms b)
+
+let rec patch_instr syms instr =
+  let pe = patch_expr syms in
+  match instr with
+  | Set (reg, e) -> Set (reg, pe e)
+  | Load l -> Load { l with addr = pe l.addr }
+  | Store s -> Store { s with addr = pe s.addr; value = pe s.value }
+  | Sync_load l -> Sync_load { l with addr = pe l.addr }
+  | Sync_store s -> Sync_store { s with addr = pe s.addr; value = pe s.value }
+  | Test_and_set t -> Test_and_set { t with addr = pe t.addr }
+  | Unset u -> Unset { u with addr = pe u.addr }
+  | Fetch_and_add f ->
+    Fetch_and_add { f with addr = pe f.addr; amount = pe f.amount }
+  | Fence _ as f -> f
+  | If (c, t, f) -> If (pe c, List.map (patch_instr syms) t, List.map (patch_instr syms) f)
+  | While (c, body) -> While (pe c, List.map (patch_instr syms) body)
+
+let program ~name ~locs ?(extra_locs = 0) ?(init = []) procs =
+  let symbols = List.mapi (fun idx n -> (n, extra_locs + idx)) locs in
+  let n_locs = extra_locs + List.length locs in
+  let init =
+    List.map
+      (fun (n, v) ->
+        match List.assoc_opt n symbols with
+        | Some l -> (l, v)
+        | None -> invalid_arg (Printf.sprintf "Build.program: unknown init location %S" n))
+      init
+  in
+  let procs =
+    Array.of_list (List.map (List.map (patch_instr symbols)) procs)
+  in
+  let p = { name; n_locs; init; procs; symbols } in
+  match validate p with
+  | Ok () -> p
+  | Error msg -> invalid_arg ("Build.program: " ^ msg)

@@ -1,0 +1,64 @@
+(** Combinators for writing programs compactly.
+
+    [examples/quickstart.ml] shows the intended style:
+    {[
+      let open Minilang.Build in
+      program ~name:"handoff" ~locs:[ "x"; "flag" ] ~init:[ ("flag", 1) ]
+        [ [ store "x" (i 42); unset "flag" ];
+          spin_lock "flag" @ [ load "r" "x" ] ]
+    ]} *)
+
+open Ast
+
+val i : int -> expr
+val r : string -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+
+val set : string -> expr -> instr
+
+val load : ?label:string -> string -> string -> instr
+(** [load reg loc_name]: data read of a named location. *)
+
+val store : ?label:string -> string -> expr -> instr
+
+val load_at : ?label:string -> string -> expr -> instr
+(** Data read at a computed address. *)
+
+val store_at : ?label:string -> expr -> expr -> instr
+
+val acquire_load : ?label:string -> string -> string -> instr
+val release_store : ?label:string -> string -> expr -> instr
+
+val test_and_set : ?label:string -> string -> string -> instr
+val unset : ?label:string -> string -> instr
+val fetch_and_add : ?label:string -> string -> string -> expr -> instr
+val fence : ?label:string -> unit -> instr
+
+val if_ : expr -> instr list -> instr list -> instr
+val while_ : expr -> instr list -> instr
+
+val spin_lock : ?label:string -> string -> instr list
+(** [while test&set(lock) <> 0 do done] — blocks until the lock, initially
+    1 ("set") or freed by {!unset}, is acquired. *)
+
+val for_ : string -> from:expr -> below:expr -> instr list -> instr list
+(** Counted loop over a register. *)
+
+val program :
+  name:string ->
+  locs:string list ->
+  ?extra_locs:int ->
+  ?init:(string * int) list ->
+  instr list list ->
+  program
+(** [program ~name ~locs procs] assigns location numbers
+    [extra_locs, extra_locs+1, ...] to the named locations in order; the
+    first [extra_locs] (default 0) locations stay anonymous — Figure 2's
+    work regions use them as a flat array.  Named initializations refer to
+    the symbols.  @raise Invalid_argument when {!Ast.validate} fails. *)

@@ -1,0 +1,155 @@
+type config = {
+  n_procs : int;
+  n_shared : int;
+  n_locks : int;
+  ops_per_proc : int;
+  sync_freq : int;
+}
+
+let default_config =
+  { n_procs = 2; n_shared = 3; n_locks = 2; ops_per_proc = 4; sync_freq = 3 }
+
+(* Locations 0 .. n_shared-1 are data; n_shared .. n_shared+n_locks-1 are
+   locks.  Lock locations are only touched by sync operations, data
+   locations only by data operations, mirroring the paper's "special
+   location known to the hardware" convention. *)
+
+let data_loc cfg rng = Memsim.Rng.int rng cfg.n_shared
+let lock_loc cfg rng = cfg.n_shared + Memsim.Rng.int rng (max 1 cfg.n_locks)
+
+let reg p k = Printf.sprintf "r%d_%d" p k
+
+let random_op cfg rng p k =
+  if cfg.n_locks > 0 && Memsim.Rng.int rng cfg.sync_freq = 0 then
+    (* synchronization op *)
+    match Memsim.Rng.int rng 2 with
+    | 0 -> Ast.Unset { addr = Ast.Int (lock_loc cfg rng); label = None }
+    | _ ->
+      Ast.Test_and_set { reg = reg p k; addr = Ast.Int (lock_loc cfg rng); label = None }
+  else if Memsim.Rng.bool rng then
+    Ast.Load { reg = reg p k; addr = Ast.Int (data_loc cfg rng); label = None }
+  else
+    Ast.Store
+      { addr = Ast.Int (data_loc cfg rng);
+        value = Ast.Int (1 + Memsim.Rng.int rng 9);
+        label = None }
+
+let finish_program cfg ~name ~seed procs =
+  {
+    Ast.name = Printf.sprintf "%s(seed=%d)" name seed;
+    n_locs = cfg.n_shared + cfg.n_locks;
+    init =
+      (* locks start "set" so a Test&Set that precedes the matching Unset
+         observes 1 and stays unpaired *)
+      List.init cfg.n_locks (fun k -> (cfg.n_shared + k, 1));
+    procs = Array.of_list procs;
+    symbols =
+      List.init cfg.n_shared (fun k -> (Printf.sprintf "x%d" k, k))
+      @ List.init cfg.n_locks (fun k -> (Printf.sprintf "lock%d" k, cfg.n_shared + k));
+  }
+
+let random_racy ?(config = default_config) ~seed () =
+  let rng = Memsim.Rng.create seed in
+  let proc p = List.init config.ops_per_proc (fun k -> random_op config rng p k) in
+  finish_program config ~name:"racy" ~seed (List.init config.n_procs proc)
+
+(* Race-free construction.  Each shared location is either:
+   - owned: all its accesses come from one processor; or
+   - handed off: processor 0 writes it and Unsets a dedicated lock;
+     exactly one consumer Test&Sets that lock and accesses the location
+     only under [t = 0].
+   Every pair of conflicting data accesses is thus either same-processor
+   (po-ordered) or separated by a release/acquire pair (so1-ordered) in
+   every SC execution where both occur. *)
+(* Shared skeleton for the two race-free generators: [publish] and
+   [consume] realize one hand-off of [loc] through flag location [lock]. *)
+let racefree_skeleton cfg rng ~name ~seed ~lock_init ~publish ~consume =
+  let owner = Array.init cfg.n_shared (fun _ -> Memsim.Rng.int rng cfg.n_procs) in
+  let handoffs =
+    if cfg.n_procs < 2 || cfg.n_locks = 0 || cfg.n_shared = 0 then []
+    else
+      List.init (min cfg.n_locks cfg.n_shared) (fun k ->
+          let loc = k mod cfg.n_shared in
+          let consumer = 1 + Memsim.Rng.int rng (cfg.n_procs - 1) in
+          (loc, cfg.n_shared + k, consumer))
+  in
+  let handed_off = List.map (fun (l, _, _) -> l) handoffs in
+  let owned_ops p k =
+    let candidates =
+      List.filter
+        (fun l -> owner.(l) = p && not (List.mem l handed_off))
+        (List.init cfg.n_shared (fun l -> l))
+    in
+    match candidates with
+    | [] -> Ast.Set (reg p k, Ast.Int 0)
+    | _ ->
+      let loc = List.nth candidates (Memsim.Rng.int rng (List.length candidates)) in
+      if Memsim.Rng.bool rng then
+        Ast.Load { reg = reg p k; addr = Ast.Int loc; label = None }
+      else
+        Ast.Store { addr = Ast.Int loc; value = Ast.Int (1 + Memsim.Rng.int rng 9); label = None }
+  in
+  let proc p =
+    let base = List.init cfg.ops_per_proc (fun k -> owned_ops p k) in
+    let producer_extra =
+      if p = 0 then List.concat_map (fun h -> publish h) handoffs else []
+    in
+    let consumer_extra =
+      List.concat_map
+        (fun ((_, _, consumer) as h) -> if consumer = p then consume p h else [])
+        handoffs
+    in
+    producer_extra @ base @ consumer_extra
+  in
+  {
+    Ast.name = Printf.sprintf "%s(seed=%d)" name seed;
+    n_locs = cfg.n_shared + cfg.n_locks;
+    init =
+      (match lock_init with
+       | 0 -> []
+       | v -> List.init cfg.n_locks (fun k -> (cfg.n_shared + k, v)));
+    procs = Array.of_list (List.init cfg.n_procs proc);
+    symbols =
+      List.init cfg.n_shared (fun k -> (Printf.sprintf "x%d" k, k))
+      @ List.init cfg.n_locks (fun k -> (Printf.sprintf "lock%d" k, cfg.n_shared + k));
+  }
+
+let random_racefree_ra ?(config = default_config) ~seed () =
+  let rng = Memsim.Rng.create seed in
+  let publish (loc, flag, _) =
+    [
+      Ast.Store { addr = Ast.Int loc; value = Ast.Int 7; label = None };
+      Ast.Sync_store { addr = Ast.Int flag; value = Ast.Int 9; label = None };
+    ]
+  in
+  let consume p (loc, flag, _) =
+    let f = Printf.sprintf "f%d_%d" p flag in
+    [
+      Ast.Sync_load { reg = f; addr = Ast.Int flag; label = None };
+      Ast.If
+        ( Ast.Bin (Ast.Eq, Ast.Reg f, Ast.Int 9),
+          [ Ast.Load { reg = f ^ "v"; addr = Ast.Int loc; label = None } ],
+          [] );
+    ]
+  in
+  racefree_skeleton config rng ~name:"racefree_ra" ~seed ~lock_init:0 ~publish ~consume
+
+let random_racefree ?(config = default_config) ~seed () =
+  let rng = Memsim.Rng.create seed in
+  let publish (loc, lock, _) =
+    [
+      Ast.Store { addr = Ast.Int loc; value = Ast.Int 7; label = None };
+      Ast.Unset { addr = Ast.Int lock; label = None };
+    ]
+  in
+  let consume p (loc, lock, _) =
+    let t = Printf.sprintf "t%d_%d" p lock in
+    [
+      Ast.Test_and_set { reg = t; addr = Ast.Int lock; label = None };
+      Ast.If
+        ( Ast.Bin (Ast.Eq, Ast.Reg t, Ast.Int 0),
+          [ Ast.Load { reg = t ^ "v"; addr = Ast.Int loc; label = None } ],
+          [] );
+    ]
+  in
+  racefree_skeleton config rng ~name:"racefree" ~seed ~lock_init:1 ~publish ~consume

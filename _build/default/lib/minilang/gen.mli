@@ -1,0 +1,40 @@
+(** Random program generation for Monte-Carlo validation (experiments E5
+    and E6).
+
+    Two populations:
+    - {!random_racy}: unconstrained straight-line mixes of data and
+      synchronization operations over a small shared location space.
+      These usually (not always) contain data races.
+    - {!random_racefree}: data-race-free {e by construction}, combining
+      two provably safe patterns — per-processor location ownership, and
+      guarded hand-offs (a consumer touches a shared location only after a
+      Test&Set that observed the producer's Unset, which orders the
+      accesses by hb1 in every SC execution).
+
+    Generated programs are loop-free, so every execution terminates and
+    the SC interleaving space is finite — a requirement for exhaustive
+    ground truth. *)
+
+type config = {
+  n_procs : int;        (** ≥ 2 *)
+  n_shared : int;       (** shared data locations *)
+  n_locks : int;        (** synchronization locations *)
+  ops_per_proc : int;
+  sync_freq : int;      (** a sync op roughly every [sync_freq] ops *)
+}
+
+val default_config : config
+(** 2 processors, 3 shared locations, 2 locks, 4 ops each, sync every 3 —
+    small enough to enumerate exhaustively. *)
+
+val random_racy : ?config:config -> seed:int -> unit -> Ast.program
+
+val random_racefree : ?config:config -> seed:int -> unit -> Ast.program
+
+val random_racefree_ra : ?config:config -> seed:int -> unit -> Ast.program
+(** Like {!random_racefree}, but the hand-offs use generic release/acquire
+    flag accesses ([Sync_store]/[Sync_load]) instead of Test&Set/Unset —
+    the synchronization style RCsc and DRF1 are designed around.  The
+    consumer touches the handed-off location only after an acquire read
+    returned the producer's published value, so every conflicting pair is
+    so1-ordered in every SC execution. *)

@@ -1,0 +1,175 @@
+exception Runtime_error of string
+
+type tstate = {
+  regs : (string, int) Hashtbl.t;
+  mutable frames : Ast.instr list list;  (* stack of pending sequences *)
+  mutable current : Memsim.Thread_intf.request option;
+  mutable halted : bool;
+}
+
+let truthy v = v <> 0
+
+let rec eval regs (e : Ast.expr) =
+  match e with
+  | Ast.Int n -> n
+  | Ast.Reg name -> ( match Hashtbl.find_opt regs name with Some v -> v | None -> 0)
+  | Ast.Neg e -> -eval regs e
+  | Ast.Not e -> if truthy (eval regs e) then 0 else 1
+  | Ast.Bin (op, a, b) ->
+    let x = eval regs a and y = eval regs b in
+    (match op with
+     | Ast.Add -> x + y
+     | Ast.Sub -> x - y
+     | Ast.Mul -> x * y
+     | Ast.Div -> if y = 0 then 0 else x / y
+     | Ast.Mod -> if y = 0 then 0 else x mod y
+     | Ast.Eq -> if x = y then 1 else 0
+     | Ast.Ne -> if x <> y then 1 else 0
+     | Ast.Lt -> if x < y then 1 else 0
+     | Ast.Le -> if x <= y then 1 else 0
+     | Ast.Gt -> if x > y then 1 else 0
+     | Ast.Ge -> if x >= y then 1 else 0
+     | Ast.And -> if truthy x && truthy y then 1 else 0
+     | Ast.Or -> if truthy x || truthy y then 1 else 0)
+
+let pop st =
+  let rec go = function
+    | [] -> None
+    | [] :: rest -> go rest
+    | (instr :: tail) :: rest ->
+      st.frames <- tail :: rest;
+      Some instr
+  in
+  go st.frames
+
+let push st instrs = st.frames <- instrs :: st.frames
+
+let check_loc n_locs loc =
+  if loc < 0 || loc >= n_locs then
+    raise (Runtime_error (Printf.sprintf "address %d outside [0, %d)" loc n_locs));
+  loc
+
+(* Execute local instructions until a memory request or the end of the
+   thread, pinning the request in [st.current]. *)
+let rec advance n_locs st =
+  match pop st with
+  | None -> st.halted <- true
+  | Some instr ->
+    let ev e = eval st.regs e in
+    let addr e = check_loc n_locs (ev e) in
+    let done_ () = st.current <- None in
+    (match instr with
+     | Ast.Set (reg, e) ->
+       Hashtbl.replace st.regs reg (ev e);
+       advance n_locs st
+     | Ast.If (c, t, f) ->
+       push st (if truthy (ev c) then t else f);
+       advance n_locs st
+     | Ast.While (c, body) ->
+       if truthy (ev c) then push st (body @ [ instr ]);
+       advance n_locs st
+     | Ast.Load { reg; addr = a; label } ->
+       let loc = addr a in
+       st.current <-
+         Some
+           (Memsim.Thread_intf.Read
+              { loc; cls = Memsim.Op.Data; label;
+                k = (fun v -> Hashtbl.replace st.regs reg v; done_ ()) })
+     | Ast.Sync_load { reg; addr = a; label } ->
+       let loc = addr a in
+       st.current <-
+         Some
+           (Memsim.Thread_intf.Read
+              { loc; cls = Memsim.Op.Acquire; label;
+                k = (fun v -> Hashtbl.replace st.regs reg v; done_ ()) })
+     | Ast.Store { addr = a; value; label } ->
+       let loc = addr a in
+       let v = ev value in
+       st.current <-
+         Some
+           (Memsim.Thread_intf.Write
+              { loc; value = v; cls = Memsim.Op.Data; label; k = done_ })
+     | Ast.Sync_store { addr = a; value; label } ->
+       let loc = addr a in
+       let v = ev value in
+       st.current <-
+         Some
+           (Memsim.Thread_intf.Write
+              { loc; value = v; cls = Memsim.Op.Release; label; k = done_ })
+     | Ast.Test_and_set { reg; addr = a; label } ->
+       let loc = addr a in
+       st.current <-
+         Some
+           (Memsim.Thread_intf.Rmw
+              { loc; f = (fun _ -> 1);
+                rcls = Memsim.Op.Acquire; wcls = Memsim.Op.Plain_sync; label;
+                k = (fun old -> Hashtbl.replace st.regs reg old; done_ ()) })
+     | Ast.Unset { addr = a; label } ->
+       let loc = addr a in
+       st.current <-
+         Some
+           (Memsim.Thread_intf.Write
+              { loc; value = 0; cls = Memsim.Op.Release; label; k = done_ })
+     | Ast.Fetch_and_add { reg; addr = a; amount; label } ->
+       let loc = addr a in
+       let amt = ev amount in
+       st.current <-
+         Some
+           (Memsim.Thread_intf.Rmw
+              { loc; f = (fun old -> old + amt);
+                rcls = Memsim.Op.Acquire; wcls = Memsim.Op.Plain_sync; label;
+                k = (fun old -> Hashtbl.replace st.regs reg old; done_ ()) })
+     | Ast.Fence { label } ->
+       st.current <- Some (Memsim.Thread_intf.Fence { label; k = done_ }))
+
+let make_states (p : Ast.program) =
+  Array.map
+    (fun instrs ->
+      { regs = Hashtbl.create 8; frames = [ instrs ]; current = None; halted = false })
+    p.procs
+
+let peek_state n_locs st =
+  if st.halted then None
+  else
+    match st.current with
+    | Some _ as r -> r
+    | None ->
+      advance n_locs st;
+      st.current
+
+let source (p : Ast.program) : Memsim.Thread_intf.source =
+  (match Ast.validate p with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Interp.source: " ^ msg));
+  let states = make_states p in
+  {
+    Memsim.Thread_intf.n_procs = Array.length p.procs;
+    n_locs = p.n_locs;
+    init = p.init;
+    peek = (fun proc -> peek_state p.n_locs states.(proc));
+  }
+
+let run ?max_steps ~model ~sched p =
+  Memsim.Machine.run ?max_steps ~model ~sched (source p)
+
+let registers_after ?max_steps ~model ~sched (p : Ast.program) =
+  (match Ast.validate p with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Interp.registers_after: " ^ msg));
+  let states = make_states p in
+  let src =
+    {
+      Memsim.Thread_intf.n_procs = Array.length p.procs;
+      n_locs = p.n_locs;
+      init = p.init;
+      peek = (fun proc -> peek_state p.n_locs states.(proc));
+    }
+  in
+  ignore (Memsim.Machine.run ?max_steps ~model ~sched src);
+  Array.map
+    (fun st ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.regs []
+      |> List.filter (fun (k, _) ->
+             not (String.length k > 0 && (k.[0] = '$' || k.[0] = '_')))
+      |> List.sort compare)
+    states

@@ -1,0 +1,35 @@
+(** Interpreter: turns a program into the thread source the machine
+    drives.
+
+    Each processor's local computation (register arithmetic, branches,
+    loop control) runs silently inside [peek]; only memory accesses
+    surface as requests.  A request stays pinned until the machine invokes
+    its continuation, which advances the thread.  Division and modulus by
+    zero evaluate to 0 so randomly generated programs cannot crash the
+    simulator. *)
+
+exception Runtime_error of string
+(** Raised (from [peek]) on a computed address outside the program's
+    location space. *)
+
+val source : Ast.program -> Memsim.Thread_intf.source
+(** A fresh, deterministic thread source.  Calling it again yields an
+    independent restart of the program — which is what the SC enumerator
+    needs. *)
+
+val run :
+  ?max_steps:int ->
+  model:Memsim.Model.t ->
+  sched:Memsim.Sched.t ->
+  Ast.program ->
+  Memsim.Exec.t
+(** Convenience: [Machine.run] on a fresh source. *)
+
+val registers_after :
+  ?max_steps:int ->
+  model:Memsim.Model.t ->
+  sched:Memsim.Sched.t ->
+  Ast.program ->
+  (string * int) list array
+(** Run and return each processor's final register file (sorted by name);
+    useful for observational tests of program behaviour. *)

@@ -1,0 +1,119 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | ASSIGN
+  | EQUALS
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LBRACKET | RBRACKET
+  | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | KW_PROGRAM | KW_ARRAY | KW_LOC | KW_PROC
+  | KW_IF | KW_ELSE | KW_WHILE
+  | KW_ACQUIRE | KW_RELEASE | KW_UNSET | KW_TAS | KW_FAA | KW_FENCE | KW_MEM
+  | EOF
+
+type located = { token : token; line : int }
+
+exception Error of string
+
+let fail line fmt =
+  Printf.ksprintf (fun msg -> raise (Error (Printf.sprintf "line %d: %s" line msg))) fmt
+
+let keyword = function
+  | "program" -> Some KW_PROGRAM
+  | "array" -> Some KW_ARRAY
+  | "loc" -> Some KW_LOC
+  | "proc" -> Some KW_PROC
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "acquire" -> Some KW_ACQUIRE
+  | "release" -> Some KW_RELEASE
+  | "unset" -> Some KW_UNSET
+  | "tas" -> Some KW_TAS
+  | "faa" -> Some KW_FAA
+  | "fence" -> Some KW_FENCE
+  | "mem" -> Some KW_MEM
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let out = ref [] in
+  let emit token = out := { token; line = !line } :: !out in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      match c with
+      | '\n' -> incr line; go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '#' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i)
+      | ':' when i + 1 < n && src.[i + 1] = '=' -> emit ASSIGN; go (i + 2)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQEQ; go (i + 2)
+      | '=' -> emit EQUALS; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NEQ; go (i + 2)
+      | '!' -> emit BANG; go (i + 1)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; go (i + 2)
+      | '<' -> emit LT; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; go (i + 2)
+      | '>' -> emit GT; go (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit ANDAND; go (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit OROR; go (i + 2)
+      | '(' -> emit LPAREN; go (i + 1)
+      | ')' -> emit RPAREN; go (i + 1)
+      | '{' -> emit LBRACE; go (i + 1)
+      | '}' -> emit RBRACE; go (i + 1)
+      | '[' -> emit LBRACKET; go (i + 1)
+      | ']' -> emit RBRACKET; go (i + 1)
+      | ',' -> emit COMMA; go (i + 1)
+      | ';' -> go (i + 1)  (* statement separators are optional noise *)
+      | '+' -> emit PLUS; go (i + 1)
+      | '-' -> emit MINUS; go (i + 1)
+      | '*' -> emit STAR; go (i + 1)
+      | '/' -> emit SLASH; go (i + 1)
+      | '%' -> emit PERCENT; go (i + 1)
+      | c when is_digit c ->
+        let rec num j = if j < n && is_digit src.[j] then num (j + 1) else j in
+        let j = num i in
+        (match int_of_string_opt (String.sub src i (j - i)) with
+         | Some v -> emit (INT v)
+         | None -> fail !line "malformed number");
+        go j
+      | c when is_ident_start c ->
+        let rec word j = if j < n && is_ident_char src.[j] then word (j + 1) else j in
+        let j = word i in
+        let w = String.sub src i (j - i) in
+        (match keyword w with Some k -> emit k | None -> emit (IDENT w));
+        go j
+      | c -> fail !line "unexpected character %C" c
+  in
+  go 0;
+  List.rev !out
+
+let describe = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT v -> Printf.sprintf "number %d" v
+  | ASSIGN -> "':='"
+  | EQUALS -> "'='"
+  | LPAREN -> "'('" | RPAREN -> "')'"
+  | LBRACE -> "'{'" | RBRACE -> "'}'"
+  | LBRACKET -> "'['" | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | PLUS -> "'+'" | MINUS -> "'-'" | STAR -> "'*'" | SLASH -> "'/'" | PERCENT -> "'%'"
+  | EQEQ -> "'=='" | NEQ -> "'!='" | LT -> "'<'" | LE -> "'<='" | GT -> "'>'" | GE -> "'>='"
+  | ANDAND -> "'&&'" | OROR -> "'||'" | BANG -> "'!'"
+  | KW_PROGRAM -> "'program'" | KW_ARRAY -> "'array'" | KW_LOC -> "'loc'"
+  | KW_PROC -> "'proc'" | KW_IF -> "'if'" | KW_ELSE -> "'else'" | KW_WHILE -> "'while'"
+  | KW_ACQUIRE -> "'acquire'" | KW_RELEASE -> "'release'" | KW_UNSET -> "'unset'"
+  | KW_TAS -> "'tas'" | KW_FAA -> "'faa'" | KW_FENCE -> "'fence'" | KW_MEM -> "'mem'"
+  | EOF -> "end of input"

@@ -1,0 +1,29 @@
+(** Lexer for the concrete program syntax (see {!Parser} for the
+    grammar).  Comments run from [#] to end of line. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | ASSIGN              (** [:=] *)
+  | EQUALS              (** [=] (location initializers) *)
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LBRACKET | RBRACKET
+  | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQEQ | NEQ | LT | LE | GT | GE
+  | ANDAND | OROR | BANG
+  | KW_PROGRAM | KW_ARRAY | KW_LOC | KW_PROC
+  | KW_IF | KW_ELSE | KW_WHILE
+  | KW_ACQUIRE | KW_RELEASE | KW_UNSET | KW_TAS | KW_FAA | KW_FENCE | KW_MEM
+  | EOF
+
+type located = { token : token; line : int }
+
+exception Error of string
+(** Message includes the line number. *)
+
+val tokenize : string -> located list
+(** @raise Error on an unrecognized character or malformed number. *)
+
+val describe : token -> string

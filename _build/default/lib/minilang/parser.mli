@@ -1,0 +1,51 @@
+(** Parser for the concrete program syntax.
+
+    {v
+    program queue_bug
+    array 24                 # anonymous work locations 0..23
+    loc Q = 3                # named locations follow the array
+    loc QEmpty = 1
+    loc S
+
+    proc P1 {
+      addr := 8
+      Q := addr              # data store (Q is a location)
+      QEmpty := 0
+      unset S                # release
+    }
+    proc P2 {
+      empty := QEmpty        # data load (empty is a register)
+      if empty == 0 {
+        addr := Q
+        unset S
+        i := addr
+        while i < addr + 8 {
+          tmp := mem[i]      # computed address
+          mem[i] := tmp + 1
+          i := i + 1
+        }
+      }
+    }
+    v}
+
+    Identifiers declared with [loc] name memory; all others are private
+    registers.  Memory may be referenced only as the entire right-hand
+    side of an assignment (a load) or as an assignment target (a store) —
+    [r := x + 1] with [x] a location is rejected; load first.  Other
+    statements: [r := acquire x], [release x := e], [r := tas(x)],
+    [r := faa(x, e)], [unset x], [fence], [if e { } else { }],
+    [while e { }].  Statement labels for race reports are generated
+    automatically from the processor and source line. *)
+
+exception Error of string
+
+val parse : string -> (Ast.program, string) Result.t
+
+val parse_exn : string -> Ast.program
+(** @raise Error *)
+
+val parse_file : string -> (Ast.program, string) Result.t
+
+val to_source : Ast.program -> string
+(** Render a program back to concrete syntax; [parse (to_source p)] yields
+    a program with the same memory behaviour (labels may differ). *)

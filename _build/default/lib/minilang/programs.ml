@@ -1,0 +1,240 @@
+open Build
+
+let fig1a =
+  program ~name:"fig1a" ~locs:[ "x"; "y" ]
+    [
+      [ store "x" (i 1) ~label:"P1:write-x"; store "y" (i 1) ~label:"P1:write-y" ];
+      [ load "r1" "y" ~label:"P2:read-y"; load "r2" "x" ~label:"P2:read-x" ];
+    ]
+
+let fig1b =
+  program ~name:"fig1b" ~locs:[ "x"; "y"; "s" ] ~init:[ ("s", 1) ]
+    [
+      [
+        store "x" (i 1) ~label:"P1:write-x";
+        store "y" (i 1) ~label:"P1:write-y";
+        unset "s" ~label:"P1:unset-s";
+      ];
+      spin_lock "s" ~label:"P2:test&set-s"
+      @ [ load "r1" "y" ~label:"P2:read-y"; load "r2" "x" ~label:"P2:read-x" ];
+    ]
+
+let queue_bug ?(region = 100) ?stale () =
+  let stale =
+    match stale with
+    | Some s -> s
+    | None -> max 1 (37 * region / 100)
+  in
+  if stale < 0 || stale + region > 3 * region then
+    invalid_arg "Programs.queue_bug: stale region out of bounds";
+  (* work array: locations 0 .. 3*region-1; control locations after *)
+  program ~name:"queue_bug" ~extra_locs:(3 * region)
+    ~locs:[ "Q"; "QEmpty"; "S" ]
+    ~init:[ ("Q", stale); ("QEmpty", 1) ]
+    [
+      (* P1: enqueue the address of the second region, clear QEmpty,
+         leave the critical section — but the Test&Set that should have
+         opened it is missing. *)
+      [
+        set "addr" (i region);
+        store "Q" (r "addr") ~label:"P1:enqueue";
+        store "QEmpty" (i 0) ~label:"P1:clear-qempty";
+        unset "S" ~label:"P1:unset-S";
+      ];
+      (* P2: check for work, dequeue, work on [addr, addr+region) *)
+      [
+        load "empty" "QEmpty" ~label:"P2:read-qempty";
+        if_
+          (r "empty" =: i 0)
+          ([ load "addr" "Q" ~label:"P2:dequeue"; unset "S" ~label:"P2:unset-S" ]
+           @ for_ "i" ~from:(r "addr") ~below:(r "addr" +: i region)
+               [
+                 load_at "tmp" (r "i") ~label:"P2:work-read";
+                 store_at (r "i") (r "tmp" +: i 1) ~label:"P2:work-write";
+               ])
+          [];
+      ];
+      (* P3: work independently on region [0, region) *)
+      for_ "i" ~from:(i 0) ~below:(i region)
+        [ store_at (r "i") (r "i" +: i 1) ~label:"P3:work-write" ];
+    ]
+
+let dekker =
+  program ~name:"dekker" ~locs:[ "x"; "y" ]
+    [
+      [ store "x" (i 1) ~label:"P1:write-x"; load "r1" "y" ~label:"P1:read-y" ];
+      [ store "y" (i 1) ~label:"P2:write-y"; load "r2" "x" ~label:"P2:read-x" ];
+    ]
+
+let mp_data_flag =
+  program ~name:"mp_data_flag" ~locs:[ "data"; "flag" ]
+    [
+      [ store "data" (i 42) ~label:"P1:write-data"; store "flag" (i 1) ~label:"P1:write-flag" ];
+      [
+        load "f" "flag" ~label:"P2:read-flag";
+        if_ (r "f" =: i 1) [ load "d" "data" ~label:"P2:read-data" ] [];
+      ];
+    ]
+
+let mp_release_acquire =
+  program ~name:"mp_release_acquire" ~locs:[ "data"; "flag" ]
+    [
+      [
+        store "data" (i 42) ~label:"P1:write-data";
+        release_store "flag" (i 1) ~label:"P1:release-flag";
+      ];
+      [
+        acquire_load "f" "flag" ~label:"P2:acquire-flag";
+        if_ (r "f" =: i 1) [ load "d" "data" ~label:"P2:read-data" ] [];
+      ];
+    ]
+
+let guarded_handoff =
+  program ~name:"guarded_handoff" ~locs:[ "x"; "flag" ] ~init:[ ("flag", 1) ]
+    [
+      [ store "x" (i 42) ~label:"P1:write-x"; unset "flag" ~label:"P1:unset-flag" ];
+      [
+        test_and_set "t" "flag" ~label:"P2:test&set-flag";
+        if_ (r "t" =: i 0) [ load "v" "x" ~label:"P2:read-x" ] [];
+      ];
+    ]
+
+let unguarded_handoff =
+  program ~name:"unguarded_handoff" ~locs:[ "x"; "flag" ] ~init:[ ("flag", 1) ]
+    [
+      [ store "x" (i 42) ~label:"P1:write-x"; unset "flag" ~label:"P1:unset-flag" ];
+      [
+        test_and_set "t" "flag" ~label:"P2:test&set-flag";
+        load "v" "x" ~label:"P2:read-x";
+      ];
+    ]
+
+let critical_increment ~who =
+  spin_lock "lock" ~label:(who ^ ":lock")
+  @ [
+      load "c" "counter" ~label:(who ^ ":read-counter");
+      store "counter" (r "c" +: i 1) ~label:(who ^ ":write-counter");
+      unset "lock" ~label:(who ^ ":unlock");
+    ]
+
+let counter_locked =
+  program ~name:"counter_locked" ~locs:[ "counter"; "lock" ]
+    [ critical_increment ~who:"P1"; critical_increment ~who:"P2" ]
+
+let racy_increment ~who =
+  [
+    load "c" "counter" ~label:(who ^ ":read-counter");
+    store "counter" (r "c" +: i 1) ~label:(who ^ ":write-counter");
+  ]
+
+let counter_racy =
+  program ~name:"counter_racy" ~locs:[ "counter" ]
+    [ racy_increment ~who:"P1"; racy_increment ~who:"P2" ]
+
+let disjoint =
+  program ~name:"disjoint" ~locs:[ "a"; "b"; "c"; "d" ]
+    [
+      [ store "a" (i 1); store "b" (i 2); load "ra" "a" ];
+      [ store "c" (i 3); store "d" (i 4); load "rc" "c" ];
+    ]
+
+(* Peterson's algorithm with data operations only: flags, turn, and the
+   critical-section counter all race on weak hardware. *)
+let peterson =
+  let entry ~me ~other ~turn_val =
+    let my_flag = if me = 0 then "flag0" else "flag1" in
+    let other_flag = if other = 0 then "flag0" else "flag1" in
+    let tag fmt = Printf.sprintf fmt me in
+    [
+      store my_flag (i 1) ~label:(tag "P%d:flag-up");
+      store "turn" (i turn_val) ~label:(tag "P%d:turn");
+      (* wait while (other_flag = 1 && turn = turn_val) *)
+      set "_spin" (i 1);
+      while_
+        (r "_spin" =: i 1)
+        [
+          load "_of" other_flag ~label:(tag "P%d:read-other-flag");
+          load "_tn" "turn" ~label:(tag "P%d:read-turn");
+          if_
+            (Ast.Bin (Ast.And, r "_of" =: i 1, r "_tn" =: i turn_val))
+            []
+            [ set "_spin" (i 0) ];
+        ];
+      load "c" "counter" ~label:(tag "P%d:cs-read");
+      store "counter" (r "c" +: i 1) ~label:(tag "P%d:cs-write");
+      store my_flag (i 0) ~label:(tag "P%d:flag-down");
+    ]
+  in
+  program ~name:"peterson" ~locs:[ "flag0"; "flag1"; "turn"; "counter" ]
+    [ entry ~me:0 ~other:1 ~turn_val:1; entry ~me:1 ~other:0 ~turn_val:0 ]
+
+(* Double-checked lazy initialization. *)
+let lazy_init =
+  let user ~me =
+    let tag fmt = Printf.sprintf fmt me in
+    [
+      load "ini" "init" ~label:(tag "P%d:fast-check");
+      if_
+        (r "ini" =: i 0)
+        (spin_lock "lock" ~label:(tag "P%d:lock")
+         @ [
+             load "ini2" "init" ~label:(tag "P%d:slow-check");
+             if_
+               (r "ini2" =: i 0)
+               [
+                 store "payload" (i 42) ~label:(tag "P%d:init-payload");
+                 store "init" (i 1) ~label:(tag "P%d:publish");
+               ]
+               [];
+             unset "lock" ~label:(tag "P%d:unlock");
+           ])
+        [];
+      load "v" "payload" ~label:(tag "P%d:use");
+    ]
+  in
+  program ~name:"lazy_init" ~locs:[ "payload"; "init"; "lock" ]
+    [ user ~me:0; user ~me:1 ]
+
+(* A correct two-phase barrier: arrivals counted under a lock, the gate
+   opened by the last arriver's Unset and awaited with acquire spins. *)
+let barrier_phases ?(n_procs = 3) () =
+  let worker ~me =
+    let tag fmt = Printf.sprintf fmt me in
+    [ store_at (i me) (i (100 + me)) ~label:(tag "P%d:phase1-write") ]
+    @ spin_lock "lock" ~label:(tag "P%d:lock")
+    @ [
+        load "c" "count" ~label:(tag "P%d:count-read");
+        store "count" (r "c" +: i 1) ~label:(tag "P%d:count-write");
+        if_ (r "c" +: i 1 =: i n_procs) [ unset "gate" ~label:(tag "P%d:open-gate") ] [];
+        unset "lock" ~label:(tag "P%d:unlock");
+        (* await the gate with acquire loads (pairs with the Unset) *)
+        set "g" (i 1);
+        while_ (r "g" <>: i 0)
+          [ acquire_load "g" "gate" ~label:(tag "P%d:await-gate") ];
+        (* phase 2: read the neighbour's phase-1 slot *)
+        load_at "nv" (i ((me + 1) mod n_procs)) ~label:(tag "P%d:phase2-read");
+      ]
+  in
+  program ~name:"barrier_phases" ~extra_locs:n_procs
+    ~locs:[ "count"; "lock"; "gate" ] ~init:[ ("gate", 1) ]
+    (List.init n_procs (fun me -> worker ~me))
+
+let all =
+  [
+    ("fig1a", fig1a);
+    ("fig1b", fig1b);
+    ("queue_bug", queue_bug ());
+    ("dekker", dekker);
+    ("mp_data_flag", mp_data_flag);
+    ("mp_release_acquire", mp_release_acquire);
+    ("guarded_handoff", guarded_handoff);
+    ("unguarded_handoff", unguarded_handoff);
+    ("counter_locked", counter_locked);
+    ("counter_racy", counter_racy);
+    ("disjoint", disjoint);
+    ("peterson", peterson);
+    ("lazy_init", lazy_init);
+    ("barrier_phases", barrier_phases ());
+  ]
+
+let find name = List.assoc_opt name all

@@ -1,0 +1,1 @@
+lib/tracing/codec.ml: Array Buffer Event Filename Graphlib In_channel List Memsim Printf String Sys Trace

@@ -1,0 +1,1 @@
+lib/tracing/codec.mli: Result Trace

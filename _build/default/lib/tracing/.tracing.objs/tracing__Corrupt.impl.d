@@ -1,0 +1,1 @@
+lib/tracing/corrupt.ml: Array Bytes Char List Memsim Option String

@@ -1,0 +1,1 @@
+lib/tracing/event.ml: Format Graphlib List Memsim

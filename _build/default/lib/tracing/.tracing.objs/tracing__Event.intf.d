@@ -1,0 +1,1 @@
+lib/tracing/event.mli: Format Graphlib Memsim

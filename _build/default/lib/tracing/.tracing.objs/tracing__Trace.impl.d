@@ -1,0 +1,1 @@
+lib/tracing/trace.ml: Array Event Format Graphlib Hashtbl List Memsim

@@ -1,0 +1,1 @@
+lib/tracing/trace.mli: Event Format Memsim

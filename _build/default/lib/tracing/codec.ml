@@ -1,0 +1,298 @@
+let magic = "weakrace-trace"
+let version = 1
+
+let encode_class = function
+  | Memsim.Op.Data -> "data"
+  | Memsim.Op.Acquire -> "acquire"
+  | Memsim.Op.Release -> "release"
+  | Memsim.Op.Plain_sync -> "sync"
+
+let decode_class = function
+  | "data" -> Some Memsim.Op.Data
+  | "acquire" -> Some Memsim.Op.Acquire
+  | "release" -> Some Memsim.Op.Release
+  | "sync" -> Some Memsim.Op.Plain_sync
+  | _ -> None
+
+let encode_set s =
+  match Graphlib.Bitset.elements s with
+  | [] -> "-"
+  | xs -> String.concat "," (List.map string_of_int xs)
+
+let encode (t : Trace.t) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "%s %d" magic version;
+  line "model %s" t.Trace.model;
+  line "truncated %d" (if t.Trace.truncated then 1 else 0);
+  line "procs %d locs %d events %d" t.Trace.n_procs t.Trace.n_locs
+    (Array.length t.Trace.events);
+  Array.iter
+    (fun (ev : Event.t) ->
+      match ev.Event.body with
+      | Event.Computation { reads; writes; _ } ->
+        line "event %d proc %d seq %d comp reads %s writes %s" ev.Event.eid ev.Event.proc
+          ev.Event.seq (encode_set reads) (encode_set writes)
+      | Event.Sync { op; slot } ->
+        line "event %d proc %d seq %d sync loc %d kind %s cls %s value %d slot %d label %s"
+          ev.Event.eid ev.Event.proc ev.Event.seq op.Memsim.Op.loc
+          (match op.Memsim.Op.kind with Memsim.Op.Read -> "R" | Memsim.Op.Write -> "W")
+          (encode_class op.Memsim.Op.cls)
+          op.Memsim.Op.value slot
+          (match op.Memsim.Op.label with None -> "-" | Some l -> l))
+    t.Trace.events;
+  List.iter (fun (r, a) -> line "so1 %d %d" r a) t.Trace.so1;
+  List.iter
+    (fun (loc, eids) ->
+      line "syncorder %d %s" loc
+        (match eids with
+         | [] -> "-"
+         | _ -> String.concat "," (List.map string_of_int eids)))
+    t.Trace.sync_order;
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out path in
+  (try output_string oc (encode t)
+   with exn -> close_out_noerr oc; raise exn);
+  close_out oc
+
+(* -- decoding ------------------------------------------------------- *)
+
+exception Parse of string
+
+let fail lineno fmt =
+  Printf.ksprintf (fun msg -> raise (Parse (Printf.sprintf "line %d: %s" lineno msg))) fmt
+
+let parse_int lineno s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail lineno "expected an integer, got %S" s
+
+let parse_set lineno n_locs s =
+  let set = Graphlib.Bitset.create n_locs in
+  if s <> "-" && s <> "" then
+    String.split_on_char ',' s
+    |> List.iter (fun tok ->
+           let v = parse_int lineno tok in
+           if v < 0 || v >= n_locs then fail lineno "location %d out of range" v;
+           Graphlib.Bitset.add set v);
+  set
+
+let decode text =
+  try
+    let lines =
+      String.split_on_char '\n' text
+      |> List.mapi (fun i l -> (i + 1, String.trim l))
+      |> List.filter (fun (_, l) -> l <> "")
+    in
+    let header, rest =
+      match lines with
+      | (n, h) :: rest -> ((n, h), rest)
+      | [] -> raise (Parse "empty trace")
+    in
+    (match String.split_on_char ' ' (snd header) with
+     | [ m; v ] when m = magic ->
+       if parse_int (fst header) v <> version then
+         fail (fst header) "unsupported version %s" v
+     | _ -> fail (fst header) "bad magic");
+    let model = ref "" in
+    let truncated = ref false in
+    let n_procs = ref 0 and n_locs = ref 0 and n_events = ref 0 in
+    let events : Event.t option array ref = ref [||] in
+    let so1 = ref [] in
+    let sync_order = ref [] in
+    let handle lineno l =
+      match String.split_on_char ' ' l with
+      | [ "model"; m ] -> model := m
+      | [ "truncated"; v ] -> truncated := parse_int lineno v <> 0
+      | [ "procs"; p; "locs"; lo; "events"; ev ] ->
+        n_procs := parse_int lineno p;
+        n_locs := parse_int lineno lo;
+        n_events := parse_int lineno ev;
+        if !n_procs < 0 || !n_locs < 0 || !n_events < 0 then
+          fail lineno "negative size";
+        events := Array.make !n_events None
+      | "event" :: eid :: "proc" :: proc :: "seq" :: seq :: "comp" :: "reads" :: r
+        :: "writes" :: w :: [] ->
+        let eid = parse_int lineno eid in
+        if eid < 0 || eid >= !n_events then fail lineno "event id %d out of range" eid;
+        !events.(eid) <-
+          Some
+            {
+              Event.eid;
+              proc = parse_int lineno proc;
+              seq = parse_int lineno seq;
+              body =
+                Event.Computation
+                  {
+                    reads = parse_set lineno !n_locs r;
+                    writes = parse_set lineno !n_locs w;
+                    ops = [];
+                  };
+            }
+      | "event" :: eid :: "proc" :: proc :: "seq" :: seq :: "sync" :: "loc" :: loc
+        :: "kind" :: kind :: "cls" :: cls :: "value" :: value :: "slot" :: slot
+        :: "label" :: label ->
+        let eid = parse_int lineno eid in
+        if eid < 0 || eid >= !n_events then fail lineno "event id %d out of range" eid;
+        let kind =
+          match kind with
+          | "R" -> Memsim.Op.Read
+          | "W" -> Memsim.Op.Write
+          | k -> fail lineno "bad kind %S" k
+        in
+        let cls =
+          match decode_class cls with
+          | Some c -> c
+          | None -> fail lineno "bad class %S" cls
+        in
+        let label =
+          match String.concat " " label with "-" -> None | l -> Some l
+        in
+        let proc = parse_int lineno proc in
+        let loc = parse_int lineno loc in
+        if loc < 0 || loc >= !n_locs then fail lineno "location %d out of range" loc;
+        !events.(eid) <-
+          Some
+            {
+              Event.eid;
+              proc;
+              seq = parse_int lineno seq;
+              body =
+                Event.Sync
+                  {
+                    op =
+                      {
+                        Memsim.Op.id = -1;
+                        proc;
+                        pindex = -1;
+                        loc;
+                        kind;
+                        cls;
+                        value = parse_int lineno value;
+                        label;
+                      };
+                    slot = parse_int lineno slot;
+                  };
+            }
+      | [ "so1"; r; a ] ->
+        let r = parse_int lineno r and a = parse_int lineno a in
+        if r < 0 || r >= !n_events || a < 0 || a >= !n_events then
+          fail lineno "so1 pair out of range";
+        so1 := (r, a) :: !so1
+      | [ "syncorder"; loc; eids ] ->
+        let loc = parse_int lineno loc in
+        let eids =
+          if eids = "-" || eids = "" then []
+          else String.split_on_char ',' eids |> List.map (parse_int lineno)
+        in
+        List.iter
+          (fun e -> if e < 0 || e >= !n_events then fail lineno "sync order id out of range")
+          eids;
+        sync_order := (loc, eids) :: !sync_order
+      | _ -> fail lineno "unrecognized record %S" l
+    in
+    List.iter (fun (n, l) -> handle n l) rest;
+    let events =
+      Array.mapi
+        (fun i ev ->
+          match ev with
+          | Some e -> e
+          | None -> fail 0 "missing event %d" i)
+        !events
+    in
+    if Array.exists (fun (e : Event.t) -> e.Event.proc < 0 || e.Event.proc >= !n_procs) events
+    then raise (Parse "event with processor out of range");
+    let by_proc = Array.make !n_procs [] in
+    Array.iter (fun (e : Event.t) -> by_proc.(e.Event.proc) <- e :: by_proc.(e.Event.proc)) events;
+    let by_proc =
+      Array.map
+        (fun evs ->
+          let arr = Array.of_list (List.rev evs) in
+          Array.sort (fun (a : Event.t) (b : Event.t) -> compare a.Event.seq b.Event.seq) arr;
+          arr)
+        by_proc
+    in
+    Ok
+      {
+        Trace.n_procs = !n_procs;
+        n_locs = !n_locs;
+        model = !model;
+        truncated = !truncated;
+        events;
+        by_proc;
+        so1 = List.rev !so1;
+        sync_order = List.rev !sync_order;
+      }
+  with Parse msg -> Error msg
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> decode text
+  | exception Sys_error msg -> Error msg
+
+let equivalent a b =
+  (* compare via the canonical encoding, which drops the ops payload *)
+  String.equal (encode a) (encode b)
+
+(* -- split (per-processor) trace files ------------------------------- *)
+
+(* The single-file format is already line-oriented with self-describing
+   records, so the split encoding reuses it: each processor file carries
+   that processor's event lines under the same header, and the sync file
+   carries everything else.  [read_dir] concatenates and decodes. *)
+
+let proc_file dir p = Filename.concat dir (Printf.sprintf "proc%d.trace" p)
+let sync_file dir = Filename.concat dir "sync.trace"
+
+let write_dir dir (t : Trace.t) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let full = encode t in
+  let lines = String.split_on_char '\n' full in
+  let is_event_of p l =
+    match String.split_on_char ' ' l with
+    | "event" :: _ :: "proc" :: q :: _ -> int_of_string_opt q = Some p
+    | _ -> false
+  in
+  let write path keep =
+    let oc = open_out path in
+    List.iter
+      (fun l -> if keep l then (output_string oc l; output_char oc '\n'))
+      lines;
+    close_out oc
+  in
+  for p = 0 to t.Trace.n_procs - 1 do
+    write (proc_file dir p) (is_event_of p)
+  done;
+  let is_any_event l =
+    match String.split_on_char ' ' l with "event" :: _ -> true | _ -> false
+  in
+  write (sync_file dir) (fun l -> l <> "" && not (is_any_event l))
+
+let read_dir dir =
+  match In_channel.with_open_text (sync_file dir) In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | sync ->
+    (* the header carries the processor count on its "procs" line *)
+    let n_procs =
+      String.split_on_char '\n' sync
+      |> List.find_map (fun l ->
+             match String.split_on_char ' ' l with
+             | [ "procs"; p; "locs"; _; "events"; _ ] -> int_of_string_opt p
+             | _ -> None)
+    in
+    (match n_procs with
+     | None -> Error "sync.trace: missing procs header"
+     | Some n -> (
+       let buf = Buffer.create 4096 in
+       (* the header must come first; event records may follow in any order *)
+       Buffer.add_string buf sync;
+       match
+         List.init n (fun p ->
+             In_channel.with_open_text (proc_file dir p) In_channel.input_all)
+       with
+       | parts ->
+         List.iter (Buffer.add_string buf) parts;
+         decode (Buffer.contents buf)
+       | exception Sys_error msg -> Error msg))

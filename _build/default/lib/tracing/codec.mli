@@ -1,0 +1,33 @@
+(** Trace-file serialization: a line-oriented text format.
+
+    The on-disk content is exactly the information the paper's
+    instrumentation records — per-processor event order, per-location
+    synchronization order, READ/WRITE sets, and the release observed by
+    each acquire.  Individual data operations are {e not} written (that is
+    the point of event-level tracing), so decoding a trace yields
+    computation events with empty [ops] lists. *)
+
+val encode : Trace.t -> string
+
+val write_file : string -> Trace.t -> unit
+
+val decode : string -> (Trace.t, string) Result.t
+(** Strict parse; the error message names the offending line.  A decoded
+    trace is semantically equivalent to the encoded one for every
+    analysis: same events, sets, so1 and sync order. *)
+
+val read_file : string -> (Trace.t, string) Result.t
+
+val equivalent : Trace.t -> Trace.t -> bool
+(** Equality on the serialized information content (ignores the in-memory
+    [ops] debug payload). *)
+
+val write_dir : string -> Trace.t -> unit
+(** Per-processor trace files, as the paper's instrumentation would write
+    them: [dir/procN.trace] holds processor N's event stream, and
+    [dir/sync.trace] the shared header, per-location synchronization order
+    and release/acquire pairing.  Creates [dir] if needed. *)
+
+val read_dir : string -> (Trace.t, string) Result.t
+(** Merge a {!write_dir} directory back into a trace; the result is
+    {!equivalent} to the original. *)

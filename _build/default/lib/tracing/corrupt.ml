@@ -1,0 +1,63 @@
+type damage =
+  | Garble_bytes of int
+  | Drop_lines of int
+  | Swap_events
+  | Truncate_tail of int
+
+let apply ~seed damage text =
+  let rng = Memsim.Rng.create seed in
+  match damage with
+  | Garble_bytes n ->
+    let b = Bytes.of_string text in
+    if Bytes.length b > 0 then
+      for _ = 1 to n do
+        Bytes.set b
+          (Memsim.Rng.int rng (Bytes.length b))
+          (Char.chr (33 + Memsim.Rng.int rng 90))
+      done;
+    Bytes.to_string b
+  | Drop_lines n ->
+    let lines = String.split_on_char '\n' text in
+    let len = List.length lines in
+    let victims =
+      List.init n (fun _ -> if len > 0 then Memsim.Rng.int rng len else 0)
+    in
+    lines
+    |> List.mapi (fun i l -> (i, l))
+    |> List.filter (fun (i, _) -> not (List.mem i victims))
+    |> List.map snd
+    |> String.concat "\n"
+  | Swap_events ->
+    (* exchange the event ids of two records whose bodies differ — the
+       decoder cannot tell, but every downstream analysis sees a different
+       execution *)
+    let lines = String.split_on_char '\n' text in
+    let split_event l =
+      match String.split_on_char ' ' l with
+      | "event" :: eid :: rest -> Some (eid, rest)
+      | _ -> None
+    in
+    let events =
+      List.mapi (fun i l -> (i, split_event l)) lines
+      |> List.filter_map (function i, Some e -> Some (i, e) | _, None -> None)
+    in
+    let pair =
+      List.find_map
+        (fun (i, (_, ra)) ->
+          List.find_map
+            (fun (j, (_, rb)) -> if i < j && ra <> rb then Some (i, j) else None)
+            events)
+        events
+    in
+    (match pair with
+     | Some (i, j) ->
+       let arr = Array.of_list lines in
+       let ei, ri = Option.get (split_event arr.(i)) in
+       let ej, rj = Option.get (split_event arr.(j)) in
+       arr.(i) <- String.concat " " ("event" :: ej :: ri);
+       arr.(j) <- String.concat " " ("event" :: ei :: rj);
+       String.concat "\n" (Array.to_list arr)
+     | None -> text)
+  | Truncate_tail n ->
+    let keep = max 0 (String.length text - n) in
+    String.sub text 0 keep

@@ -1,0 +1,16 @@
+(** Trace corruption, for the §5 "pathological programs" discussion.
+
+    A program whose data is left inconsistent by a data race can, in the
+    worst case, "randomly overwrite the program's own address space" —
+    including the trace buffers.  These injectors simulate such damage on
+    an encoded trace so the test suite can confirm the decoder fails
+    loudly rather than inventing races (or their absence). *)
+
+type damage =
+  | Garble_bytes of int   (** overwrite N random bytes with random junk *)
+  | Drop_lines of int     (** delete N random lines *)
+  | Swap_events           (** exchange the ids of two random event lines *)
+  | Truncate_tail of int  (** cut the final N bytes *)
+
+val apply : seed:int -> damage -> string -> string
+(** Deterministically damage an encoded trace. *)

@@ -1,0 +1,191 @@
+type t = {
+  n_procs : int;
+  n_locs : int;
+  model : string;
+  truncated : bool;
+  events : Event.t array;
+  by_proc : Event.t array array;
+  so1 : (int * int) list;
+  sync_order : (Memsim.Op.loc * int list) list;
+}
+
+let of_execution (e : Memsim.Exec.t) =
+  let n_locs = e.Memsim.Exec.n_locs in
+  let events = ref [] in
+  let n_events = ref 0 in
+  let op_event = Hashtbl.create 64 in  (* op id -> eid *)
+  let by_proc =
+    Array.map
+      (fun ops ->
+        let proc_events = ref [] in
+        let seq = ref 0 in
+        let pending_reads = ref (Graphlib.Bitset.create n_locs) in
+        let pending_writes = ref (Graphlib.Bitset.create n_locs) in
+        let pending_ops = ref [] in
+        let emit body proc =
+          let ev = { Event.eid = !n_events; proc; seq = !seq; body } in
+          incr n_events;
+          incr seq;
+          events := ev :: !events;
+          proc_events := ev :: !proc_events;
+          ev
+        in
+        let flush proc =
+          if !pending_ops <> [] then begin
+            let ev =
+              emit
+                (Event.Computation
+                   {
+                     reads = !pending_reads;
+                     writes = !pending_writes;
+                     ops = List.rev !pending_ops;
+                   })
+                proc
+            in
+            List.iter
+              (fun (o : Memsim.Op.t) -> Hashtbl.replace op_event o.Memsim.Op.id ev.Event.eid)
+              !pending_ops;
+            pending_reads := Graphlib.Bitset.create n_locs;
+            pending_writes := Graphlib.Bitset.create n_locs;
+            pending_ops := []
+          end
+        in
+        Array.iter
+          (fun (o : Memsim.Op.t) ->
+            if Memsim.Op.is_data o.Memsim.Op.cls then begin
+              (match o.Memsim.Op.kind with
+               | Memsim.Op.Read -> Graphlib.Bitset.add !pending_reads o.Memsim.Op.loc
+               | Memsim.Op.Write -> Graphlib.Bitset.add !pending_writes o.Memsim.Op.loc);
+              pending_ops := o :: !pending_ops
+            end
+            else begin
+              flush o.Memsim.Op.proc;
+              let ev = emit (Event.Sync { op = o; slot = -1 }) o.Memsim.Op.proc in
+              Hashtbl.replace op_event o.Memsim.Op.id ev.Event.eid
+            end)
+          ops;
+        (match Array.length ops with
+         | 0 -> ()
+         | n -> flush ops.(n - 1).Memsim.Op.proc);
+        Array.of_list (List.rev !proc_events))
+      e.Memsim.Exec.by_proc
+  in
+  let events = Array.of_list (List.rev !events) in
+  (* per-location synchronization order, by commit time *)
+  let sync_events =
+    Array.to_list events
+    |> List.filter_map (fun (ev : Event.t) ->
+           match ev.Event.body with
+           | Event.Sync { op; _ } -> Some (ev, op)
+           | Event.Computation _ -> None)
+  in
+  let locs =
+    List.map (fun (_, (o : Memsim.Op.t)) -> o.Memsim.Op.loc) sync_events
+    |> List.sort_uniq compare
+  in
+  let sync_order =
+    List.map
+      (fun loc ->
+        let here =
+          List.filter (fun (_, (o : Memsim.Op.t)) -> o.Memsim.Op.loc = loc) sync_events
+          |> List.sort (fun (_, (a : Memsim.Op.t)) (_, (b : Memsim.Op.t)) ->
+                 compare
+                   e.Memsim.Exec.commit.(a.Memsim.Op.id)
+                   e.Memsim.Exec.commit.(b.Memsim.Op.id))
+        in
+        (* record each event's slot *)
+        List.iteri
+          (fun slot ((ev : Event.t), (op : Memsim.Op.t)) ->
+            events.(ev.Event.eid) <- { ev with Event.body = Event.Sync { op; slot } })
+          here;
+        (loc, List.map (fun ((ev : Event.t), _) -> ev.Event.eid) here))
+      locs
+  in
+  (* refresh by_proc with the slot-patched events *)
+  let by_proc = Array.map (Array.map (fun (ev : Event.t) -> events.(ev.Event.eid))) by_proc in
+  let so1 =
+    Memsim.Exec.so1_pairs e
+    |> List.map (fun ((rel : Memsim.Op.t), (acq : Memsim.Op.t)) ->
+           (Hashtbl.find op_event rel.Memsim.Op.id, Hashtbl.find op_event acq.Memsim.Op.id))
+  in
+  {
+    n_procs = e.Memsim.Exec.n_procs;
+    n_locs;
+    model = Memsim.Model.name e.Memsim.Exec.model;
+    truncated = e.Memsim.Exec.truncated;
+    events;
+    by_proc;
+    so1;
+    sync_order;
+  }
+
+let n_events t = Array.length t.events
+
+let n_computation_events t =
+  Array.to_list t.events |> List.filter Event.is_computation |> List.length
+
+let n_sync_events t = n_events t - n_computation_events t
+
+let so1_reconstruct t =
+  List.concat_map
+    (fun (_, eids) ->
+      let evs = List.map (fun eid -> t.events.(eid)) eids in
+      let rec walk last_release acc = function
+        | [] -> List.rev acc
+        | (ev : Event.t) :: rest -> (
+          match ev.Event.body with
+          | Event.Sync { op; _ } -> (
+            match (op.Memsim.Op.kind, op.Memsim.Op.cls) with
+            | Memsim.Op.Write, Memsim.Op.Release -> walk (Some (ev, op)) acc rest
+            | Memsim.Op.Write, _ ->
+              (* a non-release sync write destroys the pairing window *)
+              walk None acc rest
+            | Memsim.Op.Read, Memsim.Op.Acquire -> (
+              match last_release with
+              | Some ((rel : Event.t), (relop : Memsim.Op.t))
+                when relop.Memsim.Op.value = op.Memsim.Op.value ->
+                walk last_release ((rel.Event.eid, ev.Event.eid) :: acc) rest
+              | Some _ | None -> walk last_release acc rest)
+            | Memsim.Op.Read, _ -> walk last_release acc rest)
+          | Event.Computation _ -> walk last_release acc rest)
+      in
+      walk None [] evs)
+    t.sync_order
+
+(* E7 size accounting: a computation-event record is two bit vectors plus a
+   small header; an op-level record is ~16 bytes per memory operation. *)
+let bitvector_bytes n_locs = (n_locs + 7) / 8
+
+let stats_bytes_event_level t =
+  Array.fold_left
+    (fun acc (ev : Event.t) ->
+      acc
+      +
+      match ev.Event.body with
+      | Event.Computation _ -> 8 + (2 * bitvector_bytes t.n_locs)
+      | Event.Sync _ -> 24)
+    0 t.events
+
+let stats_bytes_op_level t =
+  Array.fold_left
+    (fun acc (ev : Event.t) ->
+      acc
+      +
+      match ev.Event.body with
+      | Event.Computation { ops; _ } -> 16 * List.length ops
+      | Event.Sync _ -> 24)
+    0 t.events
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>trace (%s, %d procs, %d locs, %d events)" t.model t.n_procs
+    t.n_locs (n_events t);
+  Array.iteri
+    (fun p evs ->
+      Format.fprintf ppf "@,P%d:" p;
+      Array.iter (fun ev -> Format.fprintf ppf "@,  %a" Event.pp ev) evs)
+    t.by_proc;
+  if t.so1 <> [] then begin
+    Format.fprintf ppf "@,so1:";
+    List.iter (fun (r, a) -> Format.fprintf ppf " E%d->E%d" r a) t.so1
+  end;
+  Format.fprintf ppf "@]"

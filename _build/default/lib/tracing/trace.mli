@@ -1,0 +1,51 @@
+(** Traces: what the instrumented program writes out during execution
+    (§4.1).
+
+    A trace records (1) the order of events issued by each processor,
+    (2) the relative order of synchronization events on the same location
+    (the [slot] of each sync event), and (3) the READ/WRITE sets of each
+    computation event.  Tracers additionally log, for each acquire, which
+    release's value it returned — [so1] — exactly the information a
+    Test&Set instrumentation stub observes. *)
+
+type t = {
+  n_procs : int;
+  n_locs : int;
+  model : string;
+  truncated : bool;
+  events : Event.t array;          (** indexed by [eid] *)
+  by_proc : Event.t array array;   (** per processor, in program order *)
+  so1 : (int * int) list;
+      (** Definition 2.2 at event level: (release eid, acquire eid) pairs
+          where the acquire returned the release's value *)
+  sync_order : (Memsim.Op.loc * int list) list;
+      (** per location: sync event ids in the order they took effect *)
+}
+
+val of_execution : Memsim.Exec.t -> t
+(** Segment each processor's operation stream into events — consecutive
+    data operations form one computation event, every sync operation its
+    own event — and derive so1 from the execution's reads-from. *)
+
+val n_events : t -> int
+val n_computation_events : t -> int
+val n_sync_events : t -> int
+
+val so1_reconstruct : t -> (int * int) list
+(** so1 as a post-mortem analyzer would rebuild it from the per-location
+    synchronization order alone: an acquire pairs with the latest release
+    on the same location that precedes it in that order and whose written
+    value it returned.  Under the discipline that synchronization
+    locations are accessed only by synchronization operations this agrees
+    with [so1]. *)
+
+val stats_bytes_event_level : t -> int
+(** Approximate trace-file size for event-level tracing: per computation
+    event two bit vectors over the location space plus a fixed header;
+    per sync event a fixed record.  Used by experiment E7. *)
+
+val stats_bytes_op_level : t -> int
+(** Approximate trace-file size had every memory operation been logged
+    individually (the naive alternative the paper rejects). *)
+
+val pp : Format.formatter -> t -> unit

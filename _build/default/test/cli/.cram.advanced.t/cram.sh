@@ -1,0 +1,4 @@
+  $ racedet replay unguarded_handoff --seed 2 --watch x --watch flag
+  $ racedet detect fig1b --machine cache --model RCsc --seed 4
+  $ racedet detect counter_racy --machine cache --model WO --seed 1
+  $ racedet cost fig1a

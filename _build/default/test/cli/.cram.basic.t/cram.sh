@@ -1,0 +1,3 @@
+  $ racedet list
+  $ racedet show fig1a
+  $ racedet show no_such_program

@@ -1,0 +1,12 @@
+  $ racedet detect fig1b --model WO --seed 3
+  $ racedet detect fig1a --model RCsc --seed 1
+  $ racedet detect handoff.race --model DRF1 --seed 5
+  $ racedet enumerate handoff.race
+  $ cat > broken.race <<'EOF'
+  > program broken
+  > loc x
+  > proc {
+  >   r := x + 1
+  > }
+  > EOF
+  $ racedet detect broken.race

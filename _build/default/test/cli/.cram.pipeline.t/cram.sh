@@ -1,0 +1,7 @@
+  $ racedet trace unguarded_handoff --model WO --seed 2 -o u.trace
+  $ racedet analyze u.trace
+  $ racedet analyze u.trace --reconstruct-so1
+  $ head -c 120 u.trace > cut.trace
+  $ racedet analyze cut.trace
+  $ racedet check unguarded_handoff -n 4
+  $ racedet check unguarded_handoff --exhaustive

@@ -1,0 +1,10 @@
+  $ racedet graph fig1a --seed 1
+  $ racedet graph guarded_handoff --seed 4 | grep so1
+  $ racedet gen --kind racefree --seed 3 > g.race
+  $ racedet enumerate g.race | tail -1
+  $ racedet gen --kind racy --seed 5 --procs 3 --ops 5 > r.race
+  $ racedet detect r.race --seed 1 > /dev/null 2>&1; echo "exit $?"
+  $ racedet sweep fig1b -n 10
+  $ racedet trace unguarded_handoff --seed 2 --split -o split.d
+  $ ls split.d
+  $ racedet analyze split.d > /dev/null 2>&1; echo "exit $?"

@@ -1,0 +1,40 @@
+The SCP replay debugger — §5's "debug the SC part with SC tools":
+
+  $ racedet replay unguarded_handoff --seed 2 --watch x --watch flag
+  SC-prefix replay (4 steps, SCP fully covered):
+    0 scp  issue(P0)  write[data] x=42
+    1 scp  issue(P1)  read[acquire] flag=1  write[sync] flag=1
+    2 scp  issue(P0)  write[release] flag=0
+    3 scp  issue(P1)  read[data] x=42
+  
+  watch x: [step 0] 42
+  
+  watch flag: [step 0] 1 [step 2] 0
+
+
+
+The cache-coherent machine is a drop-in alternative backend:
+
+  $ racedet detect fig1b --machine cache --model RCsc --seed 4
+  No data races detected.
+  By Condition 3.4(1) the execution was sequentially consistent.
+
+  $ racedet detect counter_racy --machine cache --model WO --seed 1
+  1 data race(s) in 1 first partition(s) — each contains at least
+  one race that also occurs in a sequentially consistent execution:
+  
+  partition #0 (2 events, 1 data races)
+    E0(P0 comp P1:read-counter) <-> E1(P1 comp P2:read-counter) on counter
+  [2]
+
+
+The cost model quantifies what an SC debug mode would give up:
+
+  $ racedet cost fig1a
+  model      cycles       stalls
+  SC             40            0
+  TSO            40           19
+  WO             40           19
+  RCsc           40           19
+  DRF0           40           19
+  DRF1           40           19

@@ -1,0 +1,38 @@
+The stock program list:
+
+  $ racedet list
+  fig1a                2 procs, 2 locations
+  fig1b                2 procs, 3 locations
+  queue_bug            3 procs, 303 locations
+  dekker               2 procs, 2 locations
+  mp_data_flag         2 procs, 2 locations
+  mp_release_acquire   2 procs, 2 locations
+  guarded_handoff      2 procs, 2 locations
+  unguarded_handoff    2 procs, 2 locations
+  counter_locked       2 procs, 2 locations
+  counter_racy         2 procs, 1 locations
+  disjoint             2 procs, 4 locations
+  peterson             2 procs, 4 locations
+  lazy_init            2 procs, 3 locations
+  barrier_phases       3 procs, 6 locations
+
+Showing a program prints its concrete syntax (reparseable):
+
+  $ racedet show fig1a
+  program fig1a
+  loc x
+  loc y
+  proc P0 {
+    x := 1
+    y := 1
+  }
+  proc P1 {
+    r1 := y
+    r2 := x
+  }
+
+Unknown programs are reported helpfully:
+
+  $ racedet show no_such_program
+  racedet: "no_such_program" is neither a stock program nor a readable file (try `racedet list`)
+  [1]

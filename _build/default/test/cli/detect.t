@@ -1,0 +1,40 @@
+A data-race-free program on a weak model: clean bill of health, exit 0.
+
+  $ racedet detect fig1b --model WO --seed 3
+  No data races detected.
+  By Condition 3.4(1) the execution was sequentially consistent.
+
+A racy program: the first partition is reported and the exit status is 2.
+
+  $ racedet detect fig1a --model RCsc --seed 1
+  1 data race(s) in 1 first partition(s) — each contains at least
+  one race that also occurs in a sequentially consistent execution:
+  
+  partition #0 (2 events, 1 data races)
+    E0(P0 comp P1:write-x) <-> E1(P1 comp P2:read-y) on x, y
+  [2]
+
+
+Program files in the concrete syntax work everywhere a stock name does:
+
+  $ racedet detect handoff.race --model DRF1 --seed 5
+  No data races detected.
+  By Condition 3.4(1) the execution was sequentially consistent.
+
+  $ racedet enumerate handoff.race
+  3 sequentially consistent execution(s)
+  0 exhibit data races
+  the program is data-race-free: every weak execution is SC
+
+Parse errors carry line numbers:
+
+  $ cat > broken.race <<'EOF'
+  > program broken
+  > loc x
+  > proc {
+  >   r := x + 1
+  > }
+  > EOF
+  $ racedet detect broken.race
+  racedet: line 4: memory cannot appear inside an expression; load it into a register first
+  [1]

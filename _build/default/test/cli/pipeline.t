@@ -1,0 +1,42 @@
+Trace files round-trip through the post-mortem analyzer:
+
+  $ racedet trace unguarded_handoff --model WO --seed 2 -o u.trace
+  wrote 5 events (2 computation, 3 sync) to u.trace
+
+  $ racedet analyze u.trace
+  1 data race(s) in 1 first partition(s) — each contains at least
+  one race that also occurs in a sequentially consistent execution:
+  
+  partition #0 (5 events, 1 data races)
+    E0(P0 comp) <-> E4(P1 comp) on loc0
+  [2]
+
+
+The analyzer can ignore the recorded pairing and rebuild so1 from the
+per-location synchronization order — same verdict under lock discipline:
+
+  $ racedet analyze u.trace --reconstruct-so1
+  1 data race(s) in 1 first partition(s) — each contains at least
+  one race that also occurs in a sequentially consistent execution:
+  
+  partition #0 (5 events, 1 data races)
+    E0(P0 comp) <-> E4(P1 comp) on loc0
+  [2]
+
+
+A corrupted trace fails loudly instead of inventing an answer:
+
+  $ head -c 120 u.trace > cut.trace
+  $ racedet analyze cut.trace
+  racedet: line 6: unrecognized record "event 1 proc 0"
+  [1]
+
+Condition 3.4 verification against exhaustive SC enumeration:
+
+  $ racedet check unguarded_handoff -n 4
+  Condition 3.4 obeyed on all 16 weak executions
+
+Exhaustive mode checks every schedule of every weak model:
+
+  $ racedet check unguarded_handoff --exhaustive
+  Condition 3.4 obeyed on all 12 weak executions (exhaustive behaviour coverage)

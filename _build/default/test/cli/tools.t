@@ -1,0 +1,50 @@
+Graphviz export of the augmented hb1 graph (Figure 3 style):
+
+  $ racedet graph fig1a --seed 1
+  digraph augmented_hb1 {
+    rankdir=TB; node [shape=box, fontsize=10];
+    subgraph cluster_P0 {
+      label="P0";
+      e0 [label="E0: R{} W{x,y}", style=filled, fillcolor=lightyellow];
+    }
+    subgraph cluster_P1 {
+      label="P1";
+      e1 [label="E1: R{x,y} W{}", style=filled, fillcolor=lightyellow];
+    }
+    e0 -> e1 [dir=both, color=red, penwidth=2];
+  }
+
+  $ racedet graph guarded_handoff --seed 4 | grep so1
+    e1 -> e2 [style=dashed, label="so1"];
+
+Random program generation round-trips through the whole toolchain:
+
+  $ racedet gen --kind racefree --seed 3 > g.race
+  $ racedet enumerate g.race | tail -1
+  the program is data-race-free: every weak execution is SC
+
+  $ racedet gen --kind racy --seed 5 --procs 3 --ops 5 > r.race
+  $ racedet detect r.race --seed 1 > /dev/null 2>&1; echo "exit $?"
+  exit 2
+
+Fuzz sweeps summarize how often races materialize per model:
+
+  $ racedet sweep fig1b -n 10
+  model      runs  racy-runs   races(max)    truncated
+  SC           10          0            0            0
+  TSO          10          0            0            0
+  WO           10          0            0            0
+  RCsc         10          0            0            0
+  DRF0         10          0            0            0
+  DRF1         10          0            0            0
+
+Split (per-processor) trace directories round-trip through analyze:
+
+  $ racedet trace unguarded_handoff --seed 2 --split -o split.d
+  wrote 5 events (2 computation, 3 sync) to split.d
+  $ ls split.d
+  proc0.trace
+  proc1.trace
+  sync.trace
+  $ racedet analyze split.d > /dev/null 2>&1; echo "exit $?"
+  exit 2

@@ -1,0 +1,397 @@
+(* The cache-coherent machine: MSI protocol sanity, the delayed-
+   invalidation weakness, and the mechanism-independence of the paper's
+   results (the same detection stack, Condition 3.4 included, works on a
+   completely different weak-hardware realization). *)
+
+open Coherence
+
+let run ?(model = Memsim.Model.WO) ?n_lines ?warm ~seed p =
+  Cmachine.run_program ?n_lines ?warm ~model ~sched:(Memsim.Sched.adversarial ~seed ()) p
+
+let value_of_label (e : Memsim.Exec.t) label =
+  Array.to_list e.Memsim.Exec.ops
+  |> List.find_map (fun (o : Memsim.Op.t) ->
+         if o.Memsim.Op.label = Some label then Some o.Memsim.Op.value else None)
+
+let seeds n = List.init n (fun s -> s)
+
+(* the lazy-invalidation machine cannot implement TSO *)
+let cache_models =
+  List.filter (fun m -> not (Memsim.Model.fifo_buffer m)) Memsim.Model.all
+
+(* ------------------------------------------------------------------ *)
+(* Cache container                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_basics () =
+  let c = Cache.create ~n_lines:4 in
+  Alcotest.(check bool) "empty" true (Cache.lookup c 3 = None);
+  ignore (Cache.insert c { Cache.loc = 3; state = Cache.Shared; value = 7; writer = 5 });
+  (match Cache.lookup c 3 with
+   | Some l ->
+     Alcotest.(check int) "value" 7 l.Cache.value;
+     Alcotest.(check int) "writer" 5 l.Cache.writer
+   | None -> Alcotest.fail "line missing");
+  (* 7 maps to the same set as 3 (mod 4): conflict eviction *)
+  let victim =
+    Cache.insert c { Cache.loc = 7; state = Cache.Modified; value = 9; writer = 6 }
+  in
+  Alcotest.(check bool) "victim returned" true
+    (match victim with Some v -> v.Cache.loc = 3 | None -> false);
+  Alcotest.(check bool) "3 gone" true (Cache.lookup c 3 = None);
+  Cache.invalidate c 7;
+  Alcotest.(check bool) "7 gone" true (Cache.lookup c 7 = None);
+  Alcotest.(check int) "eviction counted" 1 (Cache.stats c).Cache.evictions
+
+let test_cache_update_requires_presence () =
+  let c = Cache.create ~n_lines:2 in
+  Alcotest.(check bool) "update missing raises" true
+    (try
+       Cache.update c 0 ~value:1 ~writer:0 ~state:Cache.Shared;
+       false
+     with Invalid_argument _ -> true)
+
+let test_cache_warm () =
+  let c = Cache.create ~n_lines:8 in
+  Cache.warm c ~n_locs:8 ~init:[ (2, 42) ];
+  (match Cache.lookup c 2 with
+   | Some l -> Alcotest.(check int) "warm init value" 42 l.Cache.value
+   | None -> Alcotest.fail "warm line missing");
+  (match Cache.lookup c 5 with
+   | Some l -> Alcotest.(check int) "warm default 0" 0 l.Cache.value
+   | None -> Alcotest.fail "warm line missing")
+
+(* ------------------------------------------------------------------ *)
+(* Figures on the coherent machine                                     *)
+(* ------------------------------------------------------------------ *)
+
+let fig1a_outcome e = (value_of_label e "P2:read-y", value_of_label e "P2:read-x")
+
+let test_fig1a_weak_stale_reads () =
+  List.iter
+    (fun model ->
+      let found =
+        List.exists
+          (fun seed -> fig1a_outcome (run ~model ~seed Minilang.Programs.fig1a) = (Some 1, Some 0))
+          (seeds 300)
+      in
+      Alcotest.(check bool)
+        (Memsim.Model.name model ^ " shows new-y-old-x via stale cache line")
+        true found)
+    Memsim.Model.weak
+
+let test_fig1a_sc_never () =
+  List.iter
+    (fun seed ->
+      let e =
+        Cmachine.run_program ~model:Memsim.Model.SC
+          ~sched:(Memsim.Sched.random ~seed) Minilang.Programs.fig1a
+      in
+      if fig1a_outcome e = (Some 1, Some 0) then Alcotest.fail "SC violated SC")
+    (seeds 300)
+
+let test_fig1b_drf_guarantee () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun seed ->
+          let e = run ~model ~seed Minilang.Programs.fig1b in
+          Alcotest.(check bool) "terminates" false e.Memsim.Exec.truncated;
+          Alcotest.(check (option int)) "y" (Some 1) (value_of_label e "P2:read-y");
+          Alcotest.(check (option int)) "x" (Some 1) (value_of_label e "P2:read-x"))
+        (seeds 40))
+    cache_models
+
+let test_queue_bug_stale_dequeue () =
+  let p = Minilang.Programs.queue_bug ~region:8 ~stale:3 () in
+  let found =
+    List.exists
+      (fun seed ->
+        let e = run ~model:Memsim.Model.WO ~seed p in
+        value_of_label e "P2:read-qempty" = Some 0
+        && value_of_label e "P2:dequeue" = Some 3)
+      (seeds 2000)
+  in
+  Alcotest.(check bool) "stale dequeue reproduces on the coherent machine" true found
+
+(* ------------------------------------------------------------------ *)
+(* WO vs RCsc: who flushes at a release                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* P1 writes x; P2 (holding a warm stale copy of x) releases a flag and
+   then reads x.  WO flushes the invalidation queue at the release, so the
+   read is fresh; RCsc does not, so the read can be stale. *)
+let release_then_read =
+  let open Minilang.Build in
+  program ~name:"release_then_read" ~locs:[ "x"; "l" ]
+    [
+      [ store "x" (i 1) ~label:"P1:write-x" ];
+      [ unset "l" ~label:"P2:release"; load "rx" "x" ~label:"P2:read-x" ];
+    ]
+
+let stale_after_release ~model =
+  let commit_of (e : Memsim.Exec.t) label =
+    Array.to_list e.Memsim.Exec.ops
+    |> List.find_map (fun (o : Memsim.Op.t) ->
+           if o.Memsim.Op.label = Some label then
+             Some e.Memsim.Exec.commit.(o.Memsim.Op.id)
+           else None)
+  in
+  List.exists
+    (fun seed ->
+      let e = run ~model ~seed release_then_read in
+      (* a stale read is only forbidden (under WO) when P1's write reached
+         the bus before the release that should have flushed it *)
+      value_of_label e "P2:read-x" = Some 0
+      &&
+      match (commit_of e "P1:write-x", commit_of e "P2:release") with
+      | Some w, Some rel -> w < rel
+      | _ -> false)
+    (seeds 500)
+
+let test_release_flush_wo_vs_rcsc () =
+  Alcotest.(check bool) "WO: release flushes, never stale" false
+    (stale_after_release ~model:Memsim.Model.WO);
+  Alcotest.(check bool) "RCsc: release does not flush, stale possible" true
+    (stale_after_release ~model:Memsim.Model.RCsc)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol invariants                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let prop_sc_rf_latest_write =
+  QCheck.Test.make ~name:"SC coherent machine: rf is the latest preceding write"
+    ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let p = Minilang.Gen.random_racy ~seed () in
+      let e =
+        Cmachine.run_program ~model:Memsim.Model.SC
+          ~sched:(Memsim.Sched.random ~seed:(seed + 1)) p
+      in
+      Array.for_all
+        (fun (o : Memsim.Op.t) ->
+          o.Memsim.Op.kind <> Memsim.Op.Read
+          ||
+          let latest =
+            Array.to_list e.Memsim.Exec.ops
+            |> List.filter (fun (w : Memsim.Op.t) ->
+                   w.Memsim.Op.kind = Memsim.Op.Write
+                   && w.Memsim.Op.loc = o.Memsim.Op.loc
+                   && e.Memsim.Exec.commit.(w.Memsim.Op.id)
+                      < e.Memsim.Exec.commit.(o.Memsim.Op.id))
+            |> List.fold_left
+                 (fun acc (w : Memsim.Op.t) ->
+                   match acc with
+                   | None -> Some w
+                   | Some b ->
+                     if e.Memsim.Exec.commit.(w.Memsim.Op.id)
+                        > e.Memsim.Exec.commit.(b.Memsim.Op.id)
+                     then Some w
+                     else acc)
+                 None
+          in
+          match latest with
+          | None -> e.Memsim.Exec.rf.(o.Memsim.Op.id) = -1
+          | Some w -> e.Memsim.Exec.rf.(o.Memsim.Op.id) = w.Memsim.Op.id)
+        e.Memsim.Exec.ops)
+
+let prop_per_location_monotonicity =
+  (* a processor's successive reads of one location never observe values
+     older than ones it already saw (writes to each location are totally
+     ordered by the bus) *)
+  QCheck.Test.make ~name:"coherent reads never go backwards" ~count:80
+    QCheck.(pair (int_bound 10_000) (int_bound 4))
+    (fun (seed, mi) ->
+      let model = List.nth cache_models (mi mod List.length cache_models) in
+      let p = Minilang.Gen.random_racy ~seed () in
+      let e = run ~model ~seed:(seed + 1) p in
+      (* order writes per location by commit *)
+      let write_rank = Hashtbl.create 16 in
+      Array.to_list e.Memsim.Exec.ops
+      |> List.filter (fun (o : Memsim.Op.t) -> o.Memsim.Op.kind = Memsim.Op.Write)
+      |> List.sort (fun (a : Memsim.Op.t) b ->
+             compare e.Memsim.Exec.commit.(a.Memsim.Op.id)
+               e.Memsim.Exec.commit.(b.Memsim.Op.id))
+      |> List.iteri (fun i (o : Memsim.Op.t) -> Hashtbl.replace write_rank o.Memsim.Op.id i);
+      let rank (o : Memsim.Op.t) =
+        let w = e.Memsim.Exec.rf.(o.Memsim.Op.id) in
+        if w < 0 then -1 else Hashtbl.find write_rank w
+      in
+      Array.for_all
+        (fun proc_ops ->
+          let per_loc = Hashtbl.create 8 in
+          Array.for_all
+            (fun (o : Memsim.Op.t) ->
+              if o.Memsim.Op.kind <> Memsim.Op.Read then true
+              else begin
+                let prev =
+                  Option.value ~default:(-1) (Hashtbl.find_opt per_loc o.Memsim.Op.loc)
+                in
+                let cur = rank o in
+                Hashtbl.replace per_loc o.Memsim.Op.loc (max prev cur);
+                cur >= prev || prev = -1
+              end)
+            proc_ops)
+        e.Memsim.Exec.by_proc)
+
+(* ------------------------------------------------------------------ *)
+(* Mechanism independence: the paper's results on the coherent machine  *)
+(* ------------------------------------------------------------------ *)
+
+let sc_pool p =
+  let r = Memsim.Enumerate.explore ~limit:500_000 (fun () -> Minilang.Interp.source p) in
+  if not r.Memsim.Enumerate.complete then Alcotest.fail "enumeration incomplete";
+  r.Memsim.Enumerate.executions
+
+let test_condition_34_on_coherent_machine () =
+  let programs =
+    [ Minilang.Programs.fig1a; Minilang.Programs.unguarded_handoff;
+      Minilang.Programs.mp_data_flag; Minilang.Programs.guarded_handoff;
+      Minilang.Gen.random_racy ~seed:3 (); Minilang.Gen.random_racefree ~seed:4 () ]
+  in
+  List.iter
+    (fun p ->
+      let pool = sc_pool p in
+      List.iter
+        (fun model ->
+          List.iter
+            (fun seed ->
+              let e = run ~model ~seed p in
+              let v = Racedetect.Condition.check ~sc:pool e in
+              if not v.Racedetect.Condition.holds then
+                Alcotest.failf "Condition 3.4 violated on coherent %s (%s seed %d)"
+                  p.Minilang.Ast.name (Memsim.Model.name model) seed)
+            (seeds 8))
+        Memsim.Model.weak)
+    programs
+
+let test_detection_pipeline_on_coherent_machine () =
+  (* race-free programs stay silent, racy ones report, on this machine too *)
+  List.iter
+    (fun (p, expect_race) ->
+      let e = run ~model:Memsim.Model.WO ~seed:1 p in
+      let a = Racedetect.Postmortem.analyze_execution e in
+      Alcotest.(check bool)
+        (p.Minilang.Ast.name ^ " detector verdict")
+        expect_race
+        (not (Racedetect.Postmortem.race_free a)))
+    [
+      (Minilang.Programs.fig1a, true);
+      (Minilang.Programs.fig1b, false);
+      (Minilang.Programs.counter_locked, false);
+      (Minilang.Programs.counter_racy, true);
+      (Minilang.Programs.mp_release_acquire, false);
+    ]
+
+let test_theorem_41_on_coherent_machine () =
+  (* Thm 4.1 is a property of the analysis, so it must hold regardless of
+     which hardware produced the execution *)
+  List.iter
+    (fun seed ->
+      let p =
+        if seed mod 2 = 0 then Minilang.Gen.random_racy ~seed ()
+        else Minilang.Gen.random_racefree ~seed ()
+      in
+      List.iter
+        (fun model ->
+          let e = run ~model ~seed p in
+          let a = Racedetect.Postmortem.analyze_execution e in
+          Alcotest.(check bool) "first partitions iff data races"
+            (Racedetect.Postmortem.data_races a <> [])
+            (Racedetect.Postmortem.first_partitions a <> []))
+        cache_models)
+    (seeds 25)
+
+let test_counter_locked_all_models () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun seed ->
+          let e = run ~model ~seed Minilang.Programs.counter_locked in
+          Alcotest.(check bool) "terminates" false e.Memsim.Exec.truncated;
+          Alcotest.(check int) "counter = 2" 2 e.Memsim.Exec.final_mem.(0))
+        (seeds 30))
+    cache_models
+
+let test_tso_rejected () =
+  Alcotest.(check bool) "TSO raises" true
+    (try
+       ignore
+         (Cmachine.create ~model:Memsim.Model.TSO
+            (Minilang.Interp.source Minilang.Programs.fig1a));
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Capacity and statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_cold_caches_miss () =
+  let p = Minilang.Programs.fig1a in
+  let src = Minilang.Interp.source p in
+  let m = Cmachine.create ~warm:false ~model:Memsim.Model.WO src in
+  let rec drive () =
+    match Cmachine.enabled m with
+    | [] -> ()
+    | d :: _ -> Cmachine.perform m d; drive ()
+  in
+  drive ();
+  let stats = Cmachine.cache_stats m in
+  let total f = Array.fold_left (fun acc (s : Cache.stats) -> acc + f s) 0 stats in
+  Alcotest.(check bool) "misses happened" true (total (fun s -> s.Cache.misses) > 0);
+  Alcotest.(check int) "no stale hits possible cold" 0
+    (total (fun s -> s.Cache.invalidations_applied))
+
+let test_tiny_cache_still_correct () =
+  (* capacity conflicts evict stale lines early, but correctness and the
+     DRF guarantee are unaffected *)
+  List.iter
+    (fun seed ->
+      let e = run ~n_lines:1 ~model:Memsim.Model.WO ~seed Minilang.Programs.fig1b in
+      Alcotest.(check (option int)) "y" (Some 1) (value_of_label e "P2:read-y");
+      Alcotest.(check (option int)) "x" (Some 1) (value_of_label e "P2:read-x"))
+    (seeds 25)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "coherence"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "update requires presence" `Quick
+            test_cache_update_requires_presence;
+          Alcotest.test_case "warm" `Quick test_cache_warm;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "fig1a weak stale reads" `Quick test_fig1a_weak_stale_reads;
+          Alcotest.test_case "fig1a SC never" `Quick test_fig1a_sc_never;
+          Alcotest.test_case "fig1b DRF guarantee" `Quick test_fig1b_drf_guarantee;
+          Alcotest.test_case "queue bug stale dequeue" `Quick test_queue_bug_stale_dequeue;
+        ] );
+      ( "models",
+        [ Alcotest.test_case "WO flushes at release, RCsc does not" `Quick
+            test_release_flush_wo_vs_rcsc ] );
+      ("invariants", qsuite [ prop_sc_rf_latest_write; prop_per_location_monotonicity ]);
+      ( "mechanism-independence",
+        [
+          Alcotest.test_case "Condition 3.4 holds here too" `Slow
+            test_condition_34_on_coherent_machine;
+          Alcotest.test_case "detector verdicts unchanged" `Quick
+            test_detection_pipeline_on_coherent_machine;
+          Alcotest.test_case "locked counter on all models" `Quick
+            test_counter_locked_all_models;
+          Alcotest.test_case "TSO rejected" `Quick test_tso_rejected;
+          Alcotest.test_case "Theorem 4.1 holds here too" `Quick
+            test_theorem_41_on_coherent_machine;
+        ] );
+      ( "capacity",
+        [
+          Alcotest.test_case "cold caches miss" `Quick test_cold_caches_miss;
+          Alcotest.test_case "single-line cache still correct" `Quick
+            test_tiny_cache_still_correct;
+        ] );
+    ]

@@ -1,0 +1,216 @@
+(* Exhaustive weak-model exploration: the strongest form of the paper's
+   validation.  For litmus-sized programs we enumerate EVERY schedule a
+   weak model admits (issues and retirements) and check the claims over
+   the whole envelope, not a sample:
+
+   - data-race-free programs are sequentially consistent on every weak
+     execution (the DRF guarantee behind WO/RCsc/DRF0/DRF1);
+   - Condition 3.4 holds on every weak execution (Theorem 3.5);
+   - WO's behaviours are contained in RCsc's (the envelope ordering);
+   - the SC behaviours are contained in every weak model's. *)
+
+open Racedetect
+
+let explore_weak ~model p =
+  let r =
+    Memsim.Enumerate.explore_weak ~limit:2_000_000 ~model (fun () ->
+        Minilang.Interp.source p)
+  in
+  if not r.Memsim.Enumerate.complete then
+    Alcotest.failf "weak exploration incomplete for %s" p.Minilang.Ast.name;
+  r.Memsim.Enumerate.executions
+
+let explore_sc p =
+  let r = Memsim.Enumerate.explore ~limit:2_000_000 (fun () -> Minilang.Interp.source p) in
+  if not r.Memsim.Enumerate.complete then Alcotest.fail "SC enumeration incomplete";
+  r.Memsim.Enumerate.executions
+
+let behaviour_subset a b =
+  List.for_all
+    (fun ea -> List.exists (Memsim.Exec.same_program_behaviour ea) b)
+    (Memsim.Enumerate.behaviours a)
+
+(* ------------------------------------------------------------------ *)
+
+let test_fig1a_envelopes () =
+  let p = Minilang.Programs.fig1a in
+  let sc = explore_sc p in
+  let outcome (e : Memsim.Exec.t) =
+    Array.to_list e.Memsim.Exec.ops
+    |> List.filter_map (fun (o : Memsim.Op.t) ->
+           if o.Memsim.Op.kind = Memsim.Op.Read then Some o.Memsim.Op.value else None)
+  in
+  List.iter
+    (fun model ->
+      let weak = explore_weak ~model p in
+      (* SC behaviours are a strict subset of the weak envelope *)
+      Alcotest.(check bool) "SC within weak" true (behaviour_subset sc weak);
+      let outcomes = List.map outcome weak |> List.sort_uniq compare in
+      Alcotest.(check (list (list int)))
+        (Memsim.Model.name model ^ " all four outcomes")
+        [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+        outcomes)
+    Memsim.Model.weak
+
+let test_tso_between_sc_and_wo () =
+  (* fig1a: TSO's FIFO buffer preserves the x-then-y write order, so the
+     paper's (1,0) anomaly is impossible; dekker's (0,0) survives *)
+  let outcome (e : Memsim.Exec.t) =
+    Array.to_list e.Memsim.Exec.ops
+    |> List.filter_map (fun (o : Memsim.Op.t) ->
+           if o.Memsim.Op.kind = Memsim.Op.Read then Some o.Memsim.Op.value else None)
+  in
+  let tso_fig1a = explore_weak ~model:Memsim.Model.TSO Minilang.Programs.fig1a in
+  Alcotest.(check bool) "fig1a (1,0) impossible under TSO" false
+    (List.exists (fun e -> outcome e = [ 1; 0 ]) tso_fig1a);
+  let tso_dekker = explore_weak ~model:Memsim.Model.TSO Minilang.Programs.dekker in
+  Alcotest.(check bool) "dekker (0,0) possible under TSO" true
+    (List.exists (fun e -> outcome e = [ 0; 0 ]) tso_dekker);
+  (* envelope ordering: SC within TSO within WO *)
+  List.iter
+    (fun p ->
+      let sc = explore_sc p in
+      let tso = explore_weak ~model:Memsim.Model.TSO p in
+      let wo = explore_weak ~model:Memsim.Model.WO p in
+      Alcotest.(check bool) "SC within TSO" true (behaviour_subset sc tso);
+      Alcotest.(check bool) "TSO within WO" true (behaviour_subset tso wo))
+    [ Minilang.Programs.fig1a; Minilang.Programs.dekker;
+      Minilang.Programs.mp_data_flag ]
+
+let test_condition_34_tso () =
+  (* TSO is "a weak implementation" in the paper's sense too: it must obey
+     Condition 3.4 — over its entire envelope *)
+  List.iter
+    (fun p ->
+      let pool = explore_sc p in
+      List.iter
+        (fun e ->
+          let v = Condition.check ~sc:pool e in
+          if not v.Condition.holds then
+            Alcotest.failf "Condition 3.4 violated on TSO for %s" p.Minilang.Ast.name)
+        (Memsim.Enumerate.behaviours
+           (explore_weak ~model:Memsim.Model.TSO p)))
+    [ Minilang.Programs.fig1a; Minilang.Programs.dekker;
+      Minilang.Programs.unguarded_handoff ]
+
+let test_wo_within_rcsc () =
+  List.iter
+    (fun p ->
+      let wo = explore_weak ~model:Memsim.Model.WO p in
+      let rcsc = explore_weak ~model:Memsim.Model.RCsc p in
+      Alcotest.(check bool)
+        (p.Minilang.Ast.name ^ ": WO behaviours within RCsc")
+        true (behaviour_subset wo rcsc);
+      Alcotest.(check bool)
+        (p.Minilang.Ast.name ^ ": at least as many RCsc schedules")
+        true
+        (List.length rcsc >= List.length wo))
+    [ Minilang.Programs.fig1a; Minilang.Programs.unguarded_handoff;
+      Minilang.Programs.mp_data_flag ]
+
+let test_drf_programs_always_sc () =
+  (* the DRF guarantee, exhaustively: every weak execution of a
+     data-race-free program matches an SC execution read for read *)
+  List.iter
+    (fun p ->
+      let sc = explore_sc p in
+      List.iter
+        (fun model ->
+          let weak = explore_weak ~model p in
+          List.iter
+            (fun e ->
+              if not (List.exists (Memsim.Exec.same_program_behaviour e) sc) then
+                Alcotest.failf "%s on %s: weak execution outside the SC set"
+                  p.Minilang.Ast.name (Memsim.Model.name model))
+            weak)
+        Memsim.Model.weak)
+    [ Minilang.Programs.guarded_handoff; Minilang.Programs.mp_release_acquire;
+      Minilang.Programs.disjoint ]
+
+let test_condition_34_exhaustively () =
+  (* Theorem 3.5 over the ENTIRE envelope of each program *)
+  let tiny_cfg =
+    { Minilang.Gen.n_procs = 2; n_shared = 2; n_locks = 1; ops_per_proc = 3; sync_freq = 3 }
+  in
+  let programs =
+    [ Minilang.Programs.fig1a; Minilang.Programs.unguarded_handoff;
+      Minilang.Programs.mp_data_flag;
+      Minilang.Gen.random_racy ~config:tiny_cfg ~seed:11 ();
+      Minilang.Gen.random_racy ~config:tiny_cfg ~seed:12 () ]
+  in
+  List.iter
+    (fun p ->
+      let pool = explore_sc p in
+      List.iter
+        (fun model ->
+          let weak = explore_weak ~model p in
+          List.iter
+            (fun e ->
+              let v = Condition.check ~sc:pool e in
+              if not v.Condition.holds then
+                Alcotest.failf "Condition 3.4 violated: %s on %s"
+                  p.Minilang.Ast.name (Memsim.Model.name model))
+            (Memsim.Enumerate.behaviours weak))
+        Memsim.Model.weak)
+    programs
+
+let test_theorems_41_42_exhaustively () =
+  let p = Minilang.Programs.unguarded_handoff in
+  let pool = explore_sc p in
+  List.iter
+    (fun model ->
+      List.iter
+        (fun e ->
+          let a = Postmortem.analyze_execution e in
+          let races = Postmortem.data_races a <> [] in
+          let first = Postmortem.first_partitions a in
+          Alcotest.(check bool) "Thm 4.1" races (first <> []);
+          if first <> [] then begin
+            let v = Condition.check ~sc:pool e in
+            Alcotest.(check bool) "SCP witness exists" true
+              (v.Condition.scp_witness <> None)
+          end)
+        (explore_weak ~model p))
+    Memsim.Model.weak
+
+let test_weak_exploration_incompleteness_flag () =
+  (* spinning programs cannot be explored exhaustively; the flag says so *)
+  let r =
+    Memsim.Enumerate.explore_weak ~max_steps:30 ~limit:200 ~model:Memsim.Model.WO
+      (fun () -> Minilang.Interp.source Minilang.Programs.fig1b)
+  in
+  Alcotest.(check bool) "incomplete" false r.Memsim.Enumerate.complete
+
+let test_behaviours_dedup () =
+  let p = Minilang.Programs.disjoint in
+  let weak = explore_weak ~model:Memsim.Model.WO p in
+  (* disjoint has a single behaviour: no shared values flow anywhere *)
+  Alcotest.(check int) "one behaviour" 1
+    (List.length (Memsim.Enumerate.behaviours weak));
+  Alcotest.(check bool) "many schedules" true (List.length weak > 1)
+
+let () =
+  Alcotest.run "exhaustive"
+    [
+      ( "envelopes",
+        [
+          Alcotest.test_case "fig1a all outcomes on every weak model" `Slow
+            test_fig1a_envelopes;
+          Alcotest.test_case "WO within RCsc" `Slow test_wo_within_rcsc;
+          Alcotest.test_case "TSO between SC and WO" `Slow test_tso_between_sc_and_wo;
+          Alcotest.test_case "Condition 3.4 on TSO" `Slow test_condition_34_tso;
+          Alcotest.test_case "behaviour dedup" `Quick test_behaviours_dedup;
+        ] );
+      ( "drf-guarantee",
+        [ Alcotest.test_case "DRF programs are SC on every weak execution" `Slow
+            test_drf_programs_always_sc ] );
+      ( "condition-3.4",
+        [ Alcotest.test_case "holds on the entire envelope" `Slow
+            test_condition_34_exhaustively ] );
+      ( "theorems",
+        [ Alcotest.test_case "4.1/4.2 on the entire envelope" `Slow
+            test_theorems_41_42_exhaustively ] );
+      ( "limits",
+        [ Alcotest.test_case "incompleteness is reported" `Quick
+            test_weak_exploration_incompleteness_flag ] );
+    ]

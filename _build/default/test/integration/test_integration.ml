@@ -1,0 +1,165 @@
+(* End-to-end integration: a ground-truth verdict table over every stock
+   program, every model, both machines; plus a scale check of the whole
+   pipeline on a workload three orders of magnitude above litmus size. *)
+
+open Racedetect
+
+(* Expected detector verdict per program.
+   [`Racy_always]     — every adversarial execution exhibits data races
+                        (the racing accesses are unconditional);
+   [`Racy_sometimes]  — races appear only on executions taking a branch;
+   [`Race_free]       — no execution may report a race. *)
+let ground_truth =
+  [
+    ("fig1a", `Racy_always);
+    ("fig1b", `Race_free);
+    ("queue_bug", `Racy_always);  (* the QEmpty read always races *)
+    ("dekker", `Racy_always);
+    ("mp_data_flag", `Racy_always);  (* the flag accesses always race *)
+    ("mp_release_acquire", `Race_free);
+    ("guarded_handoff", `Race_free);  (* the branch guards every access *)
+    ("unguarded_handoff", `Racy_sometimes);
+    ("counter_locked", `Race_free);
+    ("counter_racy", `Racy_always);
+    ("disjoint", `Race_free);
+    ("peterson", `Racy_always);
+    ("lazy_init", `Racy_always);  (* the fast-path check always races *)
+    ("barrier_phases", `Race_free);
+  ]
+
+let machines = [ ("buffer", `Buffer); ("cache", `Cache) ]
+
+let run_on machine model seed p =
+  match machine with
+  | `Buffer ->
+    Minilang.Interp.run ~model ~sched:(Memsim.Sched.adversarial ~seed ()) p
+  | `Cache ->
+    Coherence.Cmachine.run_program ~model ~sched:(Memsim.Sched.adversarial ~seed ()) p
+
+let test_ground_truth_table () =
+  List.iter
+    (fun (name, expected) ->
+      let p =
+        match Minilang.Programs.find name with
+        | Some p -> p
+        | None -> Alcotest.failf "unknown stock program %s" name
+      in
+      List.iter
+        (fun (mname, machine) ->
+          List.iter
+            (fun model ->
+              if not (machine = `Cache && Memsim.Model.fifo_buffer model) then begin
+                let verdicts =
+                  List.init 12 (fun seed ->
+                      let e = run_on machine model seed p in
+                      if e.Memsim.Exec.truncated then None
+                      else
+                        Some
+                          (not
+                             (Postmortem.race_free (Postmortem.analyze_execution e))))
+                  |> List.filter_map (fun v -> v)
+                in
+                let ctx =
+                  Printf.sprintf "%s on %s/%s" name mname (Memsim.Model.name model)
+                in
+                match expected with
+                | `Race_free ->
+                  Alcotest.(check bool) (ctx ^ ": never racy") true
+                    (List.for_all not verdicts)
+                | `Racy_always ->
+                  Alcotest.(check bool) (ctx ^ ": always racy") true
+                    (verdicts <> [] && List.for_all (fun v -> v) verdicts)
+                | `Racy_sometimes ->
+                  (* must never crash and must be racy for at least one seed
+                     across the whole sweep (checked globally below) *)
+                  ()
+              end)
+            Memsim.Model.all)
+        machines)
+    ground_truth
+
+let test_racy_sometimes_programs () =
+  List.iter
+    (fun name ->
+      let p = Option.get (Minilang.Programs.find name) in
+      let racy_seen = ref false and clean_seen = ref false in
+      for seed = 0 to 40 do
+        let e = run_on `Buffer Memsim.Model.WO seed p in
+        if Postmortem.race_free (Postmortem.analyze_execution e) then clean_seen := true
+        else racy_seen := true
+      done;
+      Alcotest.(check bool) (name ^ ": both verdicts occur") true
+        (!racy_seen && !clean_seen))
+    [ "unguarded_handoff" ]
+
+(* every stock program's verdict agrees between the recorded-so1 analysis,
+   the reconstructed-so1 analysis, and a codec round trip *)
+let test_analysis_paths_agree () =
+  List.iter
+    (fun (name, p) ->
+      let e = run_on `Buffer Memsim.Model.RCsc 5 p in
+      let t = Tracing.Trace.of_execution e in
+      let verdict so1 tr = Postmortem.race_free (Postmortem.analyze ~so1 tr) in
+      let v1 = verdict `Recorded t in
+      let v2 = verdict `Reconstructed t in
+      let v3 =
+        match Tracing.Codec.decode (Tracing.Codec.encode t) with
+        | Ok t' -> verdict `Recorded t'
+        | Error msg -> Alcotest.failf "%s: codec failed: %s" name msg
+      in
+      Alcotest.(check bool) (name ^ ": reconstructed agrees") v1 v2;
+      Alcotest.(check bool) (name ^ ": codec agrees") v1 v3)
+    Minilang.Programs.all
+
+(* the pipeline at three orders of magnitude above litmus size *)
+let test_scale () =
+  let p = Minilang.Programs.queue_bug ~region:400 () in
+  let started = Unix.gettimeofday () in
+  let e =
+    Minilang.Interp.run ~max_steps:100_000 ~model:Memsim.Model.WO
+      ~sched:(Memsim.Sched.adversarial ~seed:11 ())
+      p
+  in
+  Alcotest.(check bool) "terminates" false e.Memsim.Exec.truncated;
+  (* P3 alone scans 400 cells; if P2 dequeues, the count triples *)
+  Alcotest.(check bool) "hundreds of operations" true (Memsim.Exec.n_ops e > 400);
+  let a = Postmortem.analyze_execution e in
+  Alcotest.(check bool) "races found" true (Postmortem.data_races a <> []);
+  Alcotest.(check bool) "first partitions non-empty" true
+    (Postmortem.first_partitions a <> []);
+  let t = a.Postmortem.trace in
+  (match Tracing.Codec.decode (Tracing.Codec.encode t) with
+   | Ok t' -> Alcotest.(check bool) "codec at scale" true (Tracing.Codec.equivalent t t')
+   | Error msg -> Alcotest.failf "codec at scale: %s" msg);
+  let elapsed = Unix.gettimeofday () -. started in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipeline under 10s (took %.2fs)" elapsed)
+    true (elapsed < 10.0)
+
+let test_big_barrier () =
+  let p = Minilang.Programs.barrier_phases ~n_procs:6 () in
+  List.iter
+    (fun seed ->
+      let e = run_on `Buffer Memsim.Model.DRF1 seed p in
+      Alcotest.(check bool) "terminates" false e.Memsim.Exec.truncated;
+      Alcotest.(check bool) "race free at 6 processors" true
+        (Postmortem.race_free (Postmortem.analyze_execution e)))
+    (List.init 10 (fun s -> s))
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "ground-truth",
+        [
+          Alcotest.test_case "verdict table" `Slow test_ground_truth_table;
+          Alcotest.test_case "branch-dependent programs" `Quick
+            test_racy_sometimes_programs;
+        ] );
+      ( "consistency",
+        [ Alcotest.test_case "analysis paths agree" `Quick test_analysis_paths_agree ] );
+      ( "scale",
+        [
+          Alcotest.test_case "queue region 400" `Slow test_scale;
+          Alcotest.test_case "six-processor barrier" `Slow test_big_barrier;
+        ] );
+    ]

@@ -1,0 +1,533 @@
+(* Machine-level semantics: store buffering, model drain rules, schedules,
+   replay, reads-from, and the SC enumerator. *)
+
+open Memsim
+
+let value_of_label (e : Exec.t) label =
+  match
+    Array.to_list e.ops |> List.find_opt (fun (o : Op.t) -> o.label = Some label)
+  with
+  | Some o -> Some o.Op.value
+  | None -> None
+
+let run_program ?max_steps ~model ~sched p = Minilang.Interp.run ?max_steps ~model ~sched p
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 13 in
+    if v < 0 || v >= 13 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_split_independent () =
+  let parent = Rng.create 1 in
+  let child = Rng.split parent in
+  let xs = List.init 20 (fun _ -> Rng.int parent 100) in
+  let ys = List.init 20 (fun _ -> Rng.int child 100) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+(* ------------------------------------------------------------------ *)
+(* Model                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_model_names () =
+  List.iter
+    (fun m ->
+      match Model.of_name (Model.name m) with
+      | Some m' -> Alcotest.(check string) "roundtrip" (Model.name m) (Model.name m')
+      | None -> Alcotest.fail "name roundtrip failed")
+    Model.all;
+  Alcotest.(check bool) "unknown name" true (Model.of_name "pso" = None)
+
+let test_model_drain_rules () =
+  (* WO and DRF0 drain on every sync class; RCsc and DRF1 only on release *)
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "data never drains" false (Model.drains_on m Op.Data))
+    Model.all;
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "acquire drains" true (Model.drains_on m Op.Acquire);
+      Alcotest.(check bool) "plain sync drains" true (Model.drains_on m Op.Plain_sync))
+    [ Model.TSO; Model.WO; Model.DRF0 ];
+  Alcotest.(check bool) "only TSO is FIFO" true
+    (List.for_all (fun m -> Model.fifo_buffer m = (m = Model.TSO)) Model.all);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "acquire does not drain" false (Model.drains_on m Op.Acquire);
+      Alcotest.(check bool) "release drains" true (Model.drains_on m Op.Release))
+    [ Model.RCsc; Model.DRF1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fig 1a / store-buffering behaviour                                   *)
+(* ------------------------------------------------------------------ *)
+
+let fig1a_outcome e = (value_of_label e "P2:read-y", value_of_label e "P2:read-x")
+
+let test_fig1a_sc_never_reorders () =
+  (* exhaustively: no SC execution shows new-y-old-x *)
+  let r = Enumerate.explore (fun () -> Minilang.Interp.source Minilang.Programs.fig1a) in
+  Alcotest.(check bool) "enumeration complete" true r.Enumerate.complete;
+  List.iter
+    (fun e ->
+      match fig1a_outcome e with
+      | Some 1, Some 0 -> Alcotest.fail "SC execution violated SC"
+      | _ -> ())
+    r.Enumerate.executions;
+  (* the interleaving count of two 2-op straight-line threads is C(4,2)=6 *)
+  Alcotest.(check int) "interleavings" 6 (List.length r.Enumerate.executions)
+
+let exists_outcome ~model ~mk_sched ~seeds p want =
+  List.exists
+    (fun seed ->
+      let e = run_program ~model ~sched:(mk_sched seed) p in
+      fig1a_outcome e = want)
+    seeds
+
+let seeds = List.init 200 (fun s -> s)
+
+let test_fig1a_weak_reorders () =
+  (* every weak model can show the paper's violation: P2 reads the new y
+     but the old x (Figure 1a's discussion in §2.2) *)
+  List.iter
+    (fun model ->
+      Alcotest.(check bool)
+        (Model.name model ^ " exhibits new-y-old-x")
+        true
+        (exists_outcome ~model
+           ~mk_sched:(fun seed -> Sched.adversarial ~seed ())
+           ~seeds Minilang.Programs.fig1a (Some 1, Some 0)))
+    Model.weak
+
+let test_fig1a_eager_is_sc_like () =
+  (* retiring writes immediately re-serializes everything: the violation
+     disappears even on weak models *)
+  List.iter
+    (fun model ->
+      Alcotest.(check bool)
+        (Model.name model ^ " eager never shows the violation")
+        false
+        (exists_outcome ~model
+           ~mk_sched:(fun seed -> Sched.eager ~seed)
+           ~seeds Minilang.Programs.fig1a (Some 1, Some 0)))
+    Model.weak
+
+(* ------------------------------------------------------------------ *)
+(* Fig 1b: data-race-free -> SC on all models                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig1b_always_sc () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun seed ->
+          let e =
+            run_program ~model ~sched:(Sched.adversarial ~seed ())
+              Minilang.Programs.fig1b
+          in
+          Alcotest.(check bool) "not truncated" false e.Exec.truncated;
+          Alcotest.(check (option int)) "read y = 1" (Some 1) (value_of_label e "P2:read-y");
+          Alcotest.(check (option int)) "read x = 1" (Some 1) (value_of_label e "P2:read-x"))
+        (List.init 60 (fun s -> s)))
+    Model.all
+
+let test_fig1b_so1_pairing () =
+  let e =
+    run_program ~model:Model.WO ~sched:(Sched.random ~seed:3) Minilang.Programs.fig1b
+  in
+  let pairs = Exec.so1_pairs e in
+  Alcotest.(check bool) "at least one release/acquire pair" true (pairs <> []);
+  List.iter
+    (fun ((rel : Op.t), (acq : Op.t)) ->
+      Alcotest.(check bool) "release is a write" true (rel.kind = Op.Write);
+      Alcotest.(check bool) "acquire is a read" true (acq.kind = Op.Read);
+      Alcotest.(check int) "same location" rel.loc acq.loc;
+      Alcotest.(check int) "value communicated" rel.value acq.value)
+    pairs
+
+(* ------------------------------------------------------------------ *)
+(* Dekker (store buffering litmus)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let dekker_outcome e = (value_of_label e "P1:read-y", value_of_label e "P2:read-x")
+
+let test_dekker_sc_excludes_00 () =
+  let r = Enumerate.explore (fun () -> Minilang.Interp.source Minilang.Programs.dekker) in
+  Alcotest.(check bool) "complete" true r.Enumerate.complete;
+  List.iter
+    (fun e ->
+      if dekker_outcome e = (Some 0, Some 0) then
+        Alcotest.fail "SC produced 0,0 for dekker")
+    r.Enumerate.executions
+
+let test_dekker_weak_allows_00 () =
+  List.iter
+    (fun model ->
+      let found =
+        List.exists
+          (fun seed ->
+            let e =
+              run_program ~model ~sched:(Sched.adversarial ~seed ())
+                Minilang.Programs.dekker
+            in
+            dekker_outcome e = (Some 0, Some 0))
+          seeds
+      in
+      Alcotest.(check bool) (Model.name model ^ " allows 0,0") true found)
+    Model.weak
+
+(* ------------------------------------------------------------------ *)
+(* WO vs RCsc envelope                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* P1: store x := 1 (data); Test&Set l.  P2: read l (data); if l = 1 then
+   read x.  WO drains the buffer before the Test&Set, so l = 1 implies
+   x = 1 is visible.  RCsc lets the Test&Set overtake the pending store:
+   l = 1 with x = 0 is observable. *)
+let wo_vs_rcsc_program =
+  let open Minilang.Build in
+  program ~name:"wo_vs_rcsc" ~locs:[ "x"; "l" ]
+    [
+      [ store "x" (i 1) ~label:"P1:write-x"; test_and_set "t" "l" ~label:"P1:tas" ];
+      [
+        load "rl" "l" ~label:"P2:read-l";
+        if_ (r "rl" =: i 1) [ load "rx" "x" ~label:"P2:read-x" ] [];
+      ];
+    ]
+
+let observes_tas_before_store ~model =
+  List.exists
+    (fun seed ->
+      let e = run_program ~model ~sched:(Sched.adversarial ~seed ()) wo_vs_rcsc_program in
+      value_of_label e "P2:read-l" = Some 1 && value_of_label e "P2:read-x" = Some 0)
+    (List.init 400 (fun s -> s))
+
+let test_wo_drains_before_sync () =
+  List.iter
+    (fun model ->
+      Alcotest.(check bool)
+        (Model.name model ^ " forbids tas-overtakes-store")
+        false (observes_tas_before_store ~model))
+    [ Model.WO; Model.DRF0 ]
+
+let test_rcsc_allows_sync_overtaking () =
+  List.iter
+    (fun model ->
+      Alcotest.(check bool)
+        (Model.name model ^ " allows tas-overtakes-store")
+        true (observes_tas_before_store ~model))
+    [ Model.RCsc; Model.DRF1 ]
+
+(* ------------------------------------------------------------------ *)
+(* Determinism, replay, coherence                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_same_seed_same_execution () =
+  let run () =
+    run_program ~model:Model.WO ~sched:(Sched.adversarial ~seed:11 ())
+      (Minilang.Programs.queue_bug ~region:5 ())
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "identical behaviour" true (Exec.same_program_behaviour a b);
+  Alcotest.(check int) "identical length" (Exec.n_ops a) (Exec.n_ops b)
+
+let test_replay_reproduces () =
+  let p = Minilang.Programs.counter_racy in
+  let orig = run_program ~model:Model.RCsc ~sched:(Sched.random ~seed:5) p in
+  let replayed =
+    run_program ~model:Model.RCsc ~sched:(Sched.replay orig.Exec.schedule) p
+  in
+  Alcotest.(check bool) "same behaviour" true (Exec.same_program_behaviour orig replayed);
+  Alcotest.(check bool) "same final memory" true
+    (orig.Exec.final_mem = replayed.Exec.final_mem)
+
+let test_replay_rejects_bad_decision () =
+  let p = Minilang.Programs.fig1a in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (run_program ~model:Model.SC ~sched:(Sched.replay [ Exec.Retire (0, 0) ]) p);
+       false
+     with Invalid_argument _ -> true)
+
+(* Per-location coherence: the reads of one processor from one location
+   never observe values "going backwards" relative to another processor's
+   program-order writes to it. *)
+let coherence_program =
+  let open Minilang.Build in
+  program ~name:"coherence" ~locs:[ "x" ]
+    [
+      [ store "x" (i 1); store "x" (i 2); store "x" (i 3) ];
+      [ load "a" "x"; load "b" "x"; load "c" "x" ];
+    ]
+
+let test_per_location_coherence () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun seed ->
+          let e = run_program ~model ~sched:(Sched.random ~seed) coherence_program in
+          let reads =
+            Array.to_list e.Exec.by_proc.(1) |> List.map (fun (o : Op.t) -> o.Op.value)
+          in
+          let rec monotone = function
+            | a :: (b :: _ as rest) -> a <= b && monotone rest
+            | _ -> true
+          in
+          Alcotest.(check bool) "reads monotone" true (monotone reads))
+        (List.init 100 (fun s -> s)))
+    Model.all
+
+(* Forwarding: a processor always sees its own latest write. *)
+let forwarding_program =
+  let open Minilang.Build in
+  program ~name:"forwarding" ~locs:[ "x" ]
+    [ [ store "x" (i 1); load "a" "x"; store "x" (i 2); load "b" "x" ] ]
+
+let test_own_writes_forwarded () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun seed ->
+          let e = run_program ~model ~sched:(Sched.adversarial ~seed ()) forwarding_program in
+          let vals =
+            Array.to_list e.Exec.by_proc.(0)
+            |> List.filter (fun (o : Op.t) -> o.Op.kind = Op.Read)
+            |> List.map (fun (o : Op.t) -> o.Op.value)
+          in
+          Alcotest.(check (list int)) "forwarded" [ 1; 2 ] vals)
+        (List.init 50 (fun s -> s)))
+    Model.all
+
+(* ------------------------------------------------------------------ *)
+(* Machine statistics                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_machine_stats () =
+  let p = Minilang.Programs.queue_bug ~region:10 () in
+  let run model =
+    Machine.run_with_stats ~model ~sched:(Sched.adversarial ~seed:3 ())
+      (Minilang.Interp.source p)
+  in
+  let _, sc_stats = run Model.SC in
+  Alcotest.(check int) "SC buffers nothing" 0 sc_stats.Machine.buffered_writes;
+  Alcotest.(check int) "SC retires nothing" 0 sc_stats.Machine.retires;
+  let e, wo_stats = run Model.WO in
+  Alcotest.(check bool) "not truncated" false e.Exec.truncated;
+  Alcotest.(check bool) "WO buffers writes" true (wo_stats.Machine.buffered_writes > 0);
+  Alcotest.(check int) "every buffered write retires"
+    wo_stats.Machine.buffered_writes wo_stats.Machine.retires;
+  Alcotest.(check bool) "peak occupancy positive" true (wo_stats.Machine.max_buffer >= 1);
+  Alcotest.(check bool) "delays non-negative" true (wo_stats.Machine.delay_total >= 0)
+
+let test_tso_retires_in_order () =
+  (* under TSO a processor's writes reach memory in program order: their
+     commit timestamps are increasing per processor *)
+  List.iter
+    (fun seed ->
+      let e =
+        run_program ~model:Model.TSO ~sched:(Sched.adversarial ~seed ())
+          Minilang.Programs.fig1a
+      in
+      Array.iter
+        (fun ops ->
+          let commits =
+            Array.to_list ops
+            |> List.filter (fun (o : Op.t) -> o.Op.kind = Op.Write)
+            |> List.map (fun (o : Op.t) -> e.Exec.commit.(o.Op.id))
+          in
+          let rec increasing = function
+            | a :: (b :: _ as rest) -> a < b && increasing rest
+            | _ -> true
+          in
+          Alcotest.(check bool) "write commits increase" true (increasing commits))
+        e.Exec.by_proc)
+    (List.init 50 (fun s -> s))
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_enumerate_counts () =
+  (* two independent threads of lengths 2 and 2: C(4,2) = 6 interleavings;
+     guarded_handoff: P1 has 2 ops; P2 has 1-2 ops depending on branch *)
+  let n, complete =
+    Enumerate.count (fun () -> Minilang.Interp.source Minilang.Programs.disjoint)
+  in
+  Alcotest.(check bool) "complete" true complete;
+  (* 3 ops each: C(6,3) = 20 *)
+  Alcotest.(check int) "disjoint interleavings" 20 n
+
+let test_enumerate_finds_all_counter_outcomes () =
+  let r =
+    Enumerate.explore (fun () -> Minilang.Interp.source Minilang.Programs.counter_racy)
+  in
+  Alcotest.(check bool) "complete" true r.Enumerate.complete;
+  let finals =
+    List.map (fun e -> e.Exec.final_mem.(0)) r.Enumerate.executions
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check (list int)) "lost update and correct outcomes" [ 1; 2 ] finals
+
+let test_enumerate_truncates_infinite_loops () =
+  let open Minilang.Build in
+  let spin = program ~name:"spin" ~locs:[ "x" ] [ [ while_ (i 1) [ load "r" "x" ] ] ] in
+  let r =
+    Enumerate.explore ~max_steps:50 ~limit:10 (fun () -> Minilang.Interp.source spin)
+  in
+  Alcotest.(check bool) "incomplete" false r.Enumerate.complete;
+  List.iter
+    (fun e -> Alcotest.(check bool) "truncated" true e.Exec.truncated)
+    r.Enumerate.executions
+
+let test_sample_is_sc () =
+  let es =
+    Enumerate.sample ~seeds:(List.init 10 (fun i -> i))
+      (fun () -> Minilang.Interp.source Minilang.Programs.fig1a)
+  in
+  List.iter
+    (fun e ->
+      match fig1a_outcome e with
+      | Some 1, Some 0 -> Alcotest.fail "sampled SC execution violated SC"
+      | _ -> ())
+    es
+
+(* ------------------------------------------------------------------ *)
+(* Locked counter: mutual exclusion works on every model                *)
+(* ------------------------------------------------------------------ *)
+
+let test_counter_locked_all_models () =
+  List.iter
+    (fun model ->
+      List.iter
+        (fun seed ->
+          let e =
+            run_program ~model ~sched:(Sched.random ~seed) Minilang.Programs.counter_locked
+          in
+          Alcotest.(check bool) "terminates" false e.Exec.truncated;
+          Alcotest.(check int) "counter = 2" 2 e.Exec.final_mem.(0))
+        (List.init 40 (fun s -> s)))
+    Model.all
+
+(* qcheck: on SC, every read returns the value of the commit-order-latest
+   write to its location that precedes it (reads-from correctness). *)
+let prop_sc_rf_is_latest_write =
+  QCheck.Test.make ~name:"SC reads-from is the latest preceding write" ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let p = Minilang.Gen.random_racy ~seed () in
+      let e =
+        run_program ~model:Model.SC ~sched:(Sched.random ~seed:(seed + 1)) p
+      in
+      Array.for_all
+        (fun (o : Op.t) ->
+          o.Op.kind <> Op.Read
+          ||
+          let before_writes =
+            Array.to_list e.Exec.ops
+            |> List.filter (fun (w : Op.t) ->
+                   w.Op.kind = Op.Write && w.Op.loc = o.Op.loc
+                   && e.Exec.commit.(w.Op.id) < e.Exec.commit.(o.Op.id))
+          in
+          let latest =
+            List.fold_left
+              (fun acc (w : Op.t) ->
+                match acc with
+                | None -> Some w
+                | Some best ->
+                  if e.Exec.commit.(w.Op.id) > e.Exec.commit.(best.Op.id) then Some w
+                  else acc)
+              None before_writes
+          in
+          match latest with
+          | None -> e.Exec.rf.(o.Op.id) = -1
+          | Some w -> e.Exec.rf.(o.Op.id) = w.Op.id)
+        e.Exec.ops)
+
+let prop_weak_runs_terminate =
+  QCheck.Test.make ~name:"loop-free random programs always terminate" ~count:60
+    QCheck.(pair (int_bound 10_000) (int_bound 3))
+    (fun (seed, m) ->
+      let model = List.nth Model.all (m mod List.length Model.all) in
+      let p = Minilang.Gen.random_racy ~seed () in
+      let e = run_program ~model ~sched:(Sched.adversarial ~seed ()) p in
+      not e.Exec.truncated)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "memsim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "names" `Quick test_model_names;
+          Alcotest.test_case "drain rules" `Quick test_model_drain_rules;
+        ] );
+      ( "fig1a",
+        [
+          Alcotest.test_case "SC never reorders" `Quick test_fig1a_sc_never_reorders;
+          Alcotest.test_case "weak models reorder" `Quick test_fig1a_weak_reorders;
+          Alcotest.test_case "eager retirement hides weakness" `Quick
+            test_fig1a_eager_is_sc_like;
+        ] );
+      ( "fig1b",
+        [
+          Alcotest.test_case "always SC" `Quick test_fig1b_always_sc;
+          Alcotest.test_case "so1 pairing" `Quick test_fig1b_so1_pairing;
+        ] );
+      ( "dekker",
+        [
+          Alcotest.test_case "SC excludes 0,0" `Quick test_dekker_sc_excludes_00;
+          Alcotest.test_case "weak allows 0,0" `Quick test_dekker_weak_allows_00;
+        ] );
+      ( "wo-vs-rcsc",
+        [
+          Alcotest.test_case "WO/DRF0 drain before sync" `Quick test_wo_drains_before_sync;
+          Alcotest.test_case "RCsc/DRF1 let sync overtake" `Quick
+            test_rcsc_allows_sync_overtaking;
+        ] );
+      ( "machine",
+        [
+          Alcotest.test_case "same seed, same execution" `Quick test_same_seed_same_execution;
+          Alcotest.test_case "replay reproduces" `Quick test_replay_reproduces;
+          Alcotest.test_case "replay rejects bad decision" `Quick
+            test_replay_rejects_bad_decision;
+          Alcotest.test_case "per-location coherence" `Quick test_per_location_coherence;
+          Alcotest.test_case "own writes forwarded" `Quick test_own_writes_forwarded;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "machine statistics" `Quick test_machine_stats;
+          Alcotest.test_case "TSO retires in order" `Quick test_tso_retires_in_order;
+        ] );
+      ( "enumerate",
+        [
+          Alcotest.test_case "counts interleavings" `Quick test_enumerate_counts;
+          Alcotest.test_case "finds all counter outcomes" `Quick
+            test_enumerate_finds_all_counter_outcomes;
+          Alcotest.test_case "truncates infinite loops" `Quick
+            test_enumerate_truncates_infinite_loops;
+          Alcotest.test_case "samples are SC" `Quick test_sample_is_sc;
+        ] );
+      ( "locked-counter",
+        [ Alcotest.test_case "mutual exclusion on all models" `Quick
+            test_counter_locked_all_models ] );
+      ("props", qsuite [ prop_sc_rf_is_latest_write; prop_weak_runs_terminate ]);
+    ]

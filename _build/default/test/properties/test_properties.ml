@@ -1,0 +1,264 @@
+(* Cross-cutting invariants, property-checked over random programs on
+   random models and schedules.  These are the "laws" the rest of the
+   system is entitled to assume. *)
+
+open Racedetect
+
+let arb_seed = QCheck.int_bound 1_000_000
+
+let model_of i = List.nth Memsim.Model.all (i mod List.length Memsim.Model.all)
+
+let random_exec ?(machine = `Buffer) (seed, mi) =
+  let model = model_of mi in
+  let model =
+    (* the coherent machine cannot implement TSO *)
+    if machine = `Cache && Memsim.Model.fifo_buffer model then Memsim.Model.WO
+    else model
+  in
+  let p =
+    match seed mod 3 with
+    | 0 -> Minilang.Gen.random_racy ~seed ()
+    | 1 -> Minilang.Gen.random_racefree ~seed ()
+    | _ -> Minilang.Gen.random_racefree_ra ~seed ()
+  in
+  match machine with
+  | `Buffer -> Minilang.Interp.run ~model ~sched:(Memsim.Sched.random ~seed:(seed + 1)) p
+  | `Cache ->
+    Coherence.Cmachine.run_program ~model ~sched:(Memsim.Sched.random ~seed:(seed + 1)) p
+
+let arb_case =
+  QCheck.pair arb_seed (QCheck.int_bound 4)
+
+(* ------------------------------------------------------------------ *)
+(* Execution well-formedness                                           *)
+(* ------------------------------------------------------------------ *)
+
+let exec_well_formed (e : Memsim.Exec.t) =
+  let ok = ref true in
+  (* ids are dense and index the ops array *)
+  Array.iteri (fun idx (o : Memsim.Op.t) -> if o.Memsim.Op.id <> idx then ok := false) e.Memsim.Exec.ops;
+  (* per-processor pindex is contiguous from zero *)
+  Array.iter
+    (fun ops ->
+      Array.iteri
+        (fun j (o : Memsim.Op.t) -> if o.Memsim.Op.pindex <> j then ok := false)
+        ops)
+    e.Memsim.Exec.by_proc;
+  (* reads have rf in [-1, n); writes have -2; everything committed *)
+  Array.iter
+    (fun (o : Memsim.Op.t) ->
+      let id = o.Memsim.Op.id in
+      (match o.Memsim.Op.kind with
+       | Memsim.Op.Read ->
+         if e.Memsim.Exec.rf.(id) < -1 || e.Memsim.Exec.rf.(id) >= Memsim.Exec.n_ops e
+         then ok := false
+       | Memsim.Op.Write -> if e.Memsim.Exec.rf.(id) <> -2 then ok := false);
+      if e.Memsim.Exec.commit.(id) = max_int then ok := false)
+    e.Memsim.Exec.ops;
+  (* rf points to a write of the same location, and its value matches *)
+  Array.iter
+    (fun (o : Memsim.Op.t) ->
+      if o.Memsim.Op.kind = Memsim.Op.Read then begin
+        let w = e.Memsim.Exec.rf.(o.Memsim.Op.id) in
+        if w >= 0 then begin
+          let src = e.Memsim.Exec.ops.(w) in
+          if src.Memsim.Op.kind <> Memsim.Op.Write then ok := false;
+          if src.Memsim.Op.loc <> o.Memsim.Op.loc then ok := false;
+          if src.Memsim.Op.value <> o.Memsim.Op.value then ok := false
+        end
+      end)
+    e.Memsim.Exec.ops;
+  !ok
+
+let prop_exec_well_formed machine name =
+  QCheck.Test.make ~name ~count:150 arb_case (fun case ->
+      exec_well_formed (random_exec ~machine case))
+
+(* ------------------------------------------------------------------ *)
+(* hb1 structure                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let prop_hb1_acyclic_on_sc =
+  QCheck.Test.make ~name:"hb1 of an SC execution is acyclic" ~count:100 arb_seed
+    (fun seed ->
+      let p = Minilang.Gen.random_racy ~seed () in
+      let e =
+        Minilang.Interp.run ~model:Memsim.Model.SC
+          ~sched:(Memsim.Sched.random ~seed:(seed + 1)) p
+      in
+      let ophb = Ophb.build e in
+      Graphlib.Digraph.topological_order (Ophb.graph ophb) <> None)
+
+let prop_event_vs_op_races =
+  (* a pair of events races iff some pair of their operations races *)
+  QCheck.Test.make ~name:"event races and operation races coincide" ~count:100 arb_case
+    (fun case ->
+      let e = random_exec case in
+      let trace = Tracing.Trace.of_execution e in
+      let hb = Hb.build trace in
+      let ophb = Ophb.build e in
+      let event_races =
+        Race.find_all hb |> Race.data_races
+        |> List.map (fun (r : Race.t) -> (r.Race.a, r.Race.b))
+      in
+      let ops_of eid =
+        match trace.Tracing.Trace.events.(eid).Tracing.Event.body with
+        | Tracing.Event.Computation { ops; _ } -> ops
+        | Tracing.Event.Sync { op; _ } -> [ op ]
+      in
+      let op_event = Hashtbl.create 32 in
+      Array.iter
+        (fun (ev : Tracing.Event.t) ->
+          List.iter
+            (fun (o : Memsim.Op.t) -> Hashtbl.replace op_event o.Memsim.Op.id ev.Tracing.Event.eid)
+            (ops_of ev.Tracing.Event.eid))
+        trace.Tracing.Trace.events;
+      let op_races_as_events =
+        Ophb.data_races ophb
+        |> List.map (fun (a, b) ->
+               let ea = Hashtbl.find op_event a and eb = Hashtbl.find op_event b in
+               (min ea eb, max ea eb))
+        |> List.sort_uniq compare
+      in
+      List.sort_uniq compare event_races = op_races_as_events)
+
+(* ------------------------------------------------------------------ *)
+(* Reporting laws                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let prop_every_race_affected_by_a_reported_race =
+  (* the report is complete in the paper's sense: every data race either
+     is reported or is affected by a reported one — fixing the first
+     partitions fixes everything downstream *)
+  QCheck.Test.make ~name:"every data race is affected by a reported race" ~count:100
+    arb_case
+    (fun case ->
+      let e = random_exec case in
+      let a = Postmortem.analyze_execution e in
+      let reported = Postmortem.reported_races a in
+      List.for_all
+        (fun r ->
+          List.exists (fun r' -> Augment.affects a.Postmortem.augmented r' r) reported)
+        (Postmortem.data_races a))
+
+let prop_first_partitions_unordered =
+  QCheck.Test.make ~name:"first partitions are pairwise unordered" ~count:100 arb_case
+    (fun case ->
+      let e = random_exec case in
+      let a = Postmortem.analyze_execution e in
+      let t = a.Postmortem.partitions in
+      let first = Partition.first_partitions t in
+      List.for_all
+        (fun p1 ->
+          List.for_all
+            (fun p2 ->
+              p1 == p2
+              || not (Partition.ordered_before t p1 p2 || Partition.ordered_before t p2 p1))
+            first)
+        first)
+
+let prop_analysis_survives_codec =
+  QCheck.Test.make ~name:"verdicts identical after encode/decode" ~count:100 arb_case
+    (fun case ->
+      let e = random_exec case in
+      let t = Tracing.Trace.of_execution e in
+      match Tracing.Codec.decode (Tracing.Codec.encode t) with
+      | Error _ -> false
+      | Ok t' ->
+        let races tr =
+          Postmortem.reported_races (Postmortem.analyze tr)
+          |> List.map (fun (r : Race.t) -> (r.Race.a, r.Race.b))
+        in
+        races t = races t')
+
+(* ------------------------------------------------------------------ *)
+(* Cost model laws                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let prop_cost_weak_never_slower =
+  QCheck.Test.make ~name:"buffered timing never exceeds SC timing" ~count:100 arb_case
+    (fun case ->
+      let e = random_exec case in
+      let sc = (Memsim.Cost.estimate ~mode:Memsim.Model.SC e).Memsim.Cost.makespan in
+      let wo = (Memsim.Cost.estimate ~mode:Memsim.Model.WO e).Memsim.Cost.makespan in
+      let rc = (Memsim.Cost.estimate ~mode:Memsim.Model.RCsc e).Memsim.Cost.makespan in
+      rc <= wo && wo <= sc)
+
+(* ------------------------------------------------------------------ *)
+(* Vector clock laws                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let arb_vc =
+  QCheck.make
+    ~print:(fun xs -> String.concat "," (List.map string_of_int xs))
+    QCheck.Gen.(list_size (return 4) (int_bound 20))
+
+let vc_of xs =
+  List.fold_left
+    (fun (vc, idx) x ->
+      let rec tick v n = if n = 0 then v else tick (Vclock.tick v idx) (n - 1) in
+      (tick vc x, idx + 1))
+    (Vclock.make 4, 0)
+    xs
+  |> fst
+
+let prop_vclock_join_laws =
+  QCheck.Test.make ~name:"vector clock join is a semilattice" ~count:200
+    (QCheck.pair arb_vc arb_vc)
+    (fun (xs, ys) ->
+      let a = vc_of xs and b = vc_of ys in
+      Vclock.equal (Vclock.join a b) (Vclock.join b a)
+      && Vclock.equal (Vclock.join a a) a
+      && Vclock.leq a (Vclock.join a b)
+      && Vclock.leq b (Vclock.join a b))
+
+let prop_vclock_leq_partial_order =
+  QCheck.Test.make ~name:"vector clock leq is a partial order" ~count:200
+    (QCheck.pair arb_vc arb_vc)
+    (fun (xs, ys) ->
+      let a = vc_of xs and b = vc_of ys in
+      Vclock.leq a a
+      && ((not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let prop_analysis_deterministic =
+  QCheck.Test.make ~name:"analysis is deterministic" ~count:60 arb_case (fun case ->
+      let e = random_exec case in
+      let races a =
+        Postmortem.reported_races a |> List.map (fun (r : Race.t) -> (r.Race.a, r.Race.b))
+      in
+      races (Postmortem.analyze_execution e) = races (Postmortem.analyze_execution e))
+
+let prop_onthefly_deterministic =
+  QCheck.Test.make ~name:"on-the-fly detection is deterministic" ~count:60 arb_case
+    (fun case ->
+      let e = random_exec case in
+      Onthefly.race_pairs (Onthefly.detect e) = Onthefly.race_pairs (Onthefly.detect e))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "executions",
+        qsuite
+          [
+            prop_exec_well_formed `Buffer "store-buffer executions well formed";
+            prop_exec_well_formed `Cache "coherent executions well formed";
+            prop_hb1_acyclic_on_sc;
+          ] );
+      ("granularity", qsuite [ prop_event_vs_op_races ]);
+      ( "reporting",
+        qsuite
+          [
+            prop_every_race_affected_by_a_reported_race;
+            prop_first_partitions_unordered;
+            prop_analysis_survives_codec;
+          ] );
+      ("cost", qsuite [ prop_cost_weak_never_slower ]);
+      ("vclock", qsuite [ prop_vclock_join_laws; prop_vclock_leq_partial_order ]);
+      ("determinism", qsuite [ prop_analysis_deterministic; prop_onthefly_deterministic ]);
+    ]

@@ -1,0 +1,275 @@
+(* Event segmentation, access sets, so1 recording/reconstruction, the
+   trace codec, and corruption behaviour. *)
+
+open Tracing
+
+let exec_of ?(model = Memsim.Model.WO) ?(seed = 1) p =
+  Minilang.Interp.run ~model ~sched:(Memsim.Sched.random ~seed) p
+
+let trace_of ?model ?seed p = Trace.of_execution (exec_of ?model ?seed p)
+
+(* ------------------------------------------------------------------ *)
+(* Segmentation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_segment_fig1b () =
+  let t = trace_of ~model:Memsim.Model.SC Minilang.Programs.fig1b in
+  (* P1: one computation event (two writes) then the Unset sync event *)
+  let p1 = t.Trace.by_proc.(0) in
+  Alcotest.(check int) "P1 has 2 events" 2 (Array.length p1);
+  (match p1.(0).Event.body with
+   | Event.Computation { reads; writes; ops } ->
+     Alcotest.(check int) "no reads" 0 (Graphlib.Bitset.cardinal reads);
+     Alcotest.(check (list int)) "writes x and y" [ 0; 1 ] (Graphlib.Bitset.elements writes);
+     Alcotest.(check int) "two ops" 2 (List.length ops)
+   | Event.Sync _ -> Alcotest.fail "expected computation event");
+  (match p1.(1).Event.body with
+   | Event.Sync { op; _ } ->
+     Alcotest.(check bool) "unset is a release write" true
+       (op.Memsim.Op.cls = Memsim.Op.Release && op.Memsim.Op.kind = Memsim.Op.Write)
+   | Event.Computation _ -> Alcotest.fail "expected sync event")
+
+let test_segment_alternation () =
+  (* data, sync, data, data, sync -> comp, sync, comp, sync *)
+  let open Minilang.Build in
+  let p =
+    program ~name:"alt" ~locs:[ "a"; "l" ]
+      [ [ store "a" (i 1); unset "l"; store "a" (i 2); store "a" (i 3); unset "l" ] ]
+  in
+  let t = trace_of ~model:Memsim.Model.SC p in
+  let shapes =
+    Array.to_list t.Trace.by_proc.(0)
+    |> List.map (fun (e : Event.t) -> if Event.is_sync e then "S" else "C")
+  in
+  Alcotest.(check (list string)) "segmentation" [ "C"; "S"; "C"; "S" ] shapes
+
+let test_event_seq_and_eids () =
+  let t = trace_of Minilang.Programs.counter_racy in
+  Array.iteri
+    (fun eid (e : Event.t) -> Alcotest.(check int) "eid is index" eid e.Event.eid)
+    t.Trace.events;
+  Array.iter
+    (fun evs ->
+      Array.iteri
+        (fun i (e : Event.t) -> Alcotest.(check int) "seq within proc" i e.Event.seq)
+        evs)
+    t.Trace.by_proc
+
+let test_conflict_predicates () =
+  let t = trace_of ~model:Memsim.Model.SC Minilang.Programs.fig1a in
+  let p1c = t.Trace.by_proc.(0).(0) and p2c = t.Trace.by_proc.(1).(0) in
+  Alcotest.(check bool) "writer vs reader conflict" true (Event.conflict p1c p2c);
+  Alcotest.(check (list int)) "conflict locations" [ 0; 1 ]
+    (Event.conflict_locs p1c p2c ~n_locs:t.Trace.n_locs);
+  Alcotest.(check bool) "computation involves data" true (Event.involves_data p1c)
+
+let test_sync_order_slots () =
+  let t = trace_of ~model:Memsim.Model.SC Minilang.Programs.counter_locked in
+  List.iter
+    (fun (_, eids) ->
+      List.iteri
+        (fun slot eid ->
+          match t.Trace.events.(eid).Event.body with
+          | Event.Sync { slot = s; _ } -> Alcotest.(check int) "slot" slot s
+          | Event.Computation _ -> Alcotest.fail "sync order lists a computation event")
+        eids)
+    t.Trace.sync_order
+
+(* ------------------------------------------------------------------ *)
+(* so1                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_so1_recorded_vs_reconstructed () =
+  (* under lock discipline the post-mortem reconstruction from the
+     per-location sync order equals the recorded pairing *)
+  List.iter
+    (fun (p, model, seed) ->
+      let t = trace_of ~model ~seed p in
+      let recorded = List.sort compare t.Trace.so1 in
+      let rebuilt = List.sort compare (Trace.so1_reconstruct t) in
+      Alcotest.(check (list (pair int int))) "so1 agrees" recorded rebuilt)
+    [
+      (Minilang.Programs.fig1b, Memsim.Model.WO, 1);
+      (Minilang.Programs.counter_locked, Memsim.Model.RCsc, 2);
+      (Minilang.Programs.guarded_handoff, Memsim.Model.DRF0, 3);
+      (Minilang.Programs.queue_bug ~region:5 (), Memsim.Model.DRF1, 4);
+    ]
+
+let test_so1_endpoints_are_sync () =
+  let t = trace_of ~model:Memsim.Model.WO ~seed:7 Minilang.Programs.counter_locked in
+  List.iter
+    (fun (rel, acq) ->
+      Alcotest.(check bool) "endpoints are sync events" true
+        (Event.is_sync t.Trace.events.(rel) && Event.is_sync t.Trace.events.(acq)))
+    t.Trace.so1
+
+(* ------------------------------------------------------------------ *)
+(* Codec                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip t =
+  match Codec.decode (Codec.encode t) with
+  | Ok t' -> t'
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_codec_roundtrip_stock () =
+  List.iter
+    (fun (name, p) ->
+      let t = trace_of p in
+      let t' = roundtrip t in
+      Alcotest.(check bool) (name ^ " roundtrips") true (Codec.equivalent t t');
+      Alcotest.(check int) "same events" (Trace.n_events t) (Trace.n_events t');
+      Alcotest.(check (list (pair int int))) "same so1" t.Trace.so1 t'.Trace.so1)
+    Minilang.Programs.all
+
+let test_codec_rejects_garbage () =
+  List.iter
+    (fun text ->
+      match Codec.decode text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage %S" text)
+    [ ""; "not a trace"; "weakrace-trace 999"; "weakrace-trace 1\nbogus line" ]
+
+let test_codec_file_io () =
+  let t = trace_of Minilang.Programs.fig1a in
+  let path = Filename.temp_file "weakrace" ".trace" in
+  Codec.write_file path t;
+  (match Codec.read_file path with
+   | Ok t' -> Alcotest.(check bool) "file roundtrip" true (Codec.equivalent t t')
+   | Error msg -> Alcotest.failf "read_file: %s" msg);
+  Sys.remove path;
+  (match Codec.read_file path with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "read of missing file succeeded")
+
+let prop_codec_roundtrip_random =
+  QCheck.Test.make ~name:"codec roundtrip on random executions" ~count:80
+    QCheck.(pair (int_bound 10_000) (int_bound 3))
+    (fun (seed, mi) ->
+      let model = List.nth Memsim.Model.weak (mi mod List.length Memsim.Model.weak) in
+      let p = Minilang.Gen.random_racy ~seed () in
+      let t = trace_of ~model ~seed:(seed + 1) p in
+      match Codec.decode (Codec.encode t) with
+      | Ok t' -> Codec.equivalent t t'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Corruption (§5 pathology)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_corruption_is_detected_or_changes_content () =
+  let t = trace_of ~seed:3 (Minilang.Programs.queue_bug ~region:4 ()) in
+  let text = Codec.encode t in
+  List.iter
+    (fun (name, damage) ->
+      let damaged = Corrupt.apply ~seed:42 damage text in
+      if String.equal damaged text then ()
+      else
+        match Codec.decode damaged with
+        | Error _ -> ()  (* loud failure: good *)
+        | Ok t' ->
+          Alcotest.(check bool)
+            (name ^ ": silently decoded trace must differ")
+            false (Codec.equivalent t t'))
+    [
+      ("garble", Corrupt.Garble_bytes 20);
+      ("drop", Corrupt.Drop_lines 3);
+      ("swap", Corrupt.Swap_events);
+      ("truncate", Corrupt.Truncate_tail 40);
+    ]
+
+let test_corruption_deterministic () =
+  let text = Codec.encode (trace_of Minilang.Programs.fig1b) in
+  let a = Corrupt.apply ~seed:9 (Corrupt.Garble_bytes 10) text in
+  let b = Corrupt.apply ~seed:9 (Corrupt.Garble_bytes 10) text in
+  Alcotest.(check string) "same damage" a b
+
+(* ------------------------------------------------------------------ *)
+(* E7 size accounting                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_event_level_smaller_for_dense_computation () =
+  (* queue_bug touches ~3 locations per loop iteration; event-level traces
+     amortize them into two bit vectors per computation event *)
+  let t = trace_of ~seed:5 (Minilang.Programs.queue_bug ~region:50 ()) in
+  let ev = Trace.stats_bytes_event_level t in
+  let op = Trace.stats_bytes_op_level t in
+  Alcotest.(check bool)
+    (Printf.sprintf "event-level (%d) < op-level (%d)" ev op)
+    true (ev < op)
+
+let test_split_dir_roundtrip () =
+  let dir = Filename.temp_file "weakrace" ".d" in
+  Sys.remove dir;
+  List.iter
+    (fun (name, p) ->
+      let t = trace_of ~seed:9 p in
+      Codec.write_dir dir t;
+      match Codec.read_dir dir with
+      | Ok t' ->
+        Alcotest.(check bool) (name ^ " split roundtrip") true (Codec.equivalent t t')
+      | Error msg -> Alcotest.failf "%s: read_dir failed: %s" name msg)
+    [ ("fig1b", Minilang.Programs.fig1b);
+      ("queue", Minilang.Programs.queue_bug ~region:5 ());
+      ("barrier", Minilang.Programs.barrier_phases ()) ];
+  (* the per-processor files really are per-processor *)
+  let t = trace_of ~seed:9 Minilang.Programs.fig1b in
+  Codec.write_dir dir t;
+  let proc0 = In_channel.with_open_text (Filename.concat dir "proc0.trace") In_channel.input_all in
+  Alcotest.(check bool) "proc0 file has only proc 0 events" true
+    (String.split_on_char '\n' proc0
+     |> List.for_all (fun l ->
+            l = ""
+            ||
+            match String.split_on_char ' ' l with
+            | "event" :: _ :: "proc" :: q :: _ -> q = "0"
+            | _ -> false))
+
+let test_split_dir_missing () =
+  match Codec.read_dir "/nonexistent-weakrace-dir" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "read_dir of missing directory succeeded"
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "tracing"
+    [
+      ( "segmentation",
+        [
+          Alcotest.test_case "fig1b events" `Quick test_segment_fig1b;
+          Alcotest.test_case "alternation" `Quick test_segment_alternation;
+          Alcotest.test_case "eids and seqs" `Quick test_event_seq_and_eids;
+          Alcotest.test_case "conflicts" `Quick test_conflict_predicates;
+          Alcotest.test_case "sync order slots" `Quick test_sync_order_slots;
+        ] );
+      ( "so1",
+        [
+          Alcotest.test_case "recorded vs reconstructed" `Quick
+            test_so1_recorded_vs_reconstructed;
+          Alcotest.test_case "endpoints are sync" `Quick test_so1_endpoints_are_sync;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip stock programs" `Quick test_codec_roundtrip_stock;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+          Alcotest.test_case "file io" `Quick test_codec_file_io;
+        ] );
+      ("codec-props", qsuite [ prop_codec_roundtrip_random ]);
+      ( "split-files",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_split_dir_roundtrip;
+          Alcotest.test_case "missing directory" `Quick test_split_dir_missing;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "detected or content changes" `Quick
+            test_corruption_is_detected_or_changes_content;
+          Alcotest.test_case "deterministic" `Quick test_corruption_deterministic;
+        ] );
+      ( "sizes",
+        [
+          Alcotest.test_case "event-level beats op-level" `Quick
+            test_event_level_smaller_for_dense_computation;
+        ] );
+    ]
