@@ -25,6 +25,12 @@ let section_header title =
   Format.printf "%s@." title;
   Format.printf "==================================================================@."
 
+(* Monte-Carlo sections fan their seed ranges out over this many domains
+   (-j/--jobs; 1 = serial).  Workers only compute — all aggregation and
+   printing stays in the main domain — so the output is identical for
+   every job count. *)
+let jobs = ref 1
+
 let run_weak ?(sched = `Adversarial) ~model ~seed p =
   let sched =
     match sched with
@@ -105,17 +111,14 @@ let fig1b () =
     "always SC?";
   List.iter
     (fun model ->
-      let outcomes = Hashtbl.create 4 in
-      let race_free = ref true in
-      for seed = 0 to 599 do
-        let e = run_weak ~model ~seed p in
-        Hashtbl.replace outcomes
-          (value_of_label e "P2:read-y", value_of_label e "P2:read-x")
-          ();
-        if not (Racedetect.Postmortem.race_free (Racedetect.Postmortem.analyze_execution e))
-        then race_free := false
-      done;
-      let os = Hashtbl.fold (fun k () acc -> k :: acc) outcomes [] in
+      let runs =
+        Engine.Parbatch.map_seeds ~jobs:!jobs 600 (fun seed ->
+            let e = run_weak ~model ~seed p in
+            ( (value_of_label e "P2:read-y", value_of_label e "P2:read-x"),
+              Racedetect.Postmortem.race_free (Racedetect.Postmortem.analyze_execution e) ))
+      in
+      let os = Array.to_list runs |> List.map fst |> List.sort_uniq compare in
+      let race_free = Array.for_all snd runs in
       Format.printf "%-6s %-22s %-12b %b@." (Memsim.Model.name model)
         (String.concat " "
            (List.map
@@ -123,7 +126,7 @@ let fig1b () =
                 | Some a, Some b -> Printf.sprintf "(%d,%d)" a b
                 | _ -> "(?)")
               os))
-        !race_free
+        race_free
         (os = [ (Some 1, Some 1) ]))
     Memsim.Model.all
 
@@ -251,24 +254,27 @@ let cond34 () =
         (Memsim.Enumerate.explore ~limit:500_000 (fun () -> Minilang.Interp.source p))
           .Memsim.Enumerate.executions
       in
-      let total = ref 0 and holds = ref 0 and c1 = ref 0 and c2 = ref 0 in
-      List.iter
-        (fun model ->
-          List.iter
-            (fun seed ->
-              let e = run_weak ~model ~seed p in
-              let v = Racedetect.Condition.check ~sc:pool e in
-              incr total;
-              if v.Racedetect.Condition.holds then incr holds;
-              if v.Racedetect.Condition.cond1 = Racedetect.Condition.Holds then incr c1;
-              if v.Racedetect.Condition.cond2 = Racedetect.Condition.Holds then incr c2)
-            seeds)
-        Memsim.Model.weak;
-      grand_total := !grand_total + !total;
-      grand_holds := !grand_holds + !holds;
+      let cases =
+        Array.of_list
+          (List.concat_map
+             (fun model -> List.map (fun seed -> (model, seed)) seeds)
+             Memsim.Model.weak)
+      in
+      let verdicts =
+        Engine.Parbatch.map ~jobs:!jobs
+          (fun (model, seed) -> Racedetect.Condition.check ~sc:pool (run_weak ~model ~seed p))
+          cases
+      in
+      let count f = Array.fold_left (fun acc v -> if f v then acc + 1 else acc) 0 verdicts in
+      let total = Array.length verdicts in
+      let holds = count (fun v -> v.Racedetect.Condition.holds) in
+      let c1 = count (fun v -> v.Racedetect.Condition.cond1 = Racedetect.Condition.Holds) in
+      let c2 = count (fun v -> v.Racedetect.Condition.cond2 = Racedetect.Condition.Holds) in
+      grand_total := !grand_total + total;
+      grand_holds := !grand_holds + holds;
       let short n = if String.length n > 12 then String.sub n 0 12 else n in
       Format.printf "%-9s %-12s %8d %8d %8d %8d@." kind (short p.Minilang.Ast.name)
-        !total !holds !c1 !c2)
+        total holds c1 c2)
     programs;
   Format.printf "@.Condition 3.4 held on %d / %d weak executions@." !grand_holds
     !grand_total
@@ -283,68 +289,90 @@ let thm41_42 () =
     "4.1: no first partitions with data races iff no data races occurred.@.\
      4.2: every first partition contains a data race belonging to an SCP.@.@.";
   let module Iset = Set.Make (Int) in
-  let checks = ref 0 and t41 = ref 0 and t42_parts = ref 0 and t42_ok = ref 0 in
-  List.iter
-    (fun pseed ->
-      let p =
-        if pseed mod 2 = 0 then Minilang.Gen.random_racy ~seed:pseed ()
-        else Minilang.Gen.random_racefree ~seed:pseed ()
-      in
-      let pool =
-        (Memsim.Enumerate.explore ~limit:500_000 (fun () -> Minilang.Interp.source p))
-          .Memsim.Enumerate.executions
-      in
-      List.iter
-        (fun model ->
-          List.iter
-            (fun seed ->
-              let e = run_weak ~model ~seed p in
-              let a = Racedetect.Postmortem.analyze_execution e in
-              incr checks;
-              let races = Racedetect.Postmortem.data_races a <> [] in
-              let first = Racedetect.Postmortem.first_partitions a in
-              if races = (first <> []) then incr t41;
-              if first <> [] then begin
-                let v = Racedetect.Condition.check ~sc:pool e in
-                match v.Racedetect.Condition.scp_witness with
-                | None -> t42_parts := !t42_parts + List.length first
-                | Some scp ->
-                  let s = Iset.of_list scp in
-                  let ophb = Racedetect.Ophb.build e in
-                  let trace = a.Racedetect.Postmortem.trace in
-                  let ops_of eid =
-                    match trace.Tracing.Trace.events.(eid).Tracing.Event.body with
-                    | Tracing.Event.Computation { ops; _ } -> ops
-                    | Tracing.Event.Sync { op; _ } -> [ op ]
-                  in
-                  List.iter
-                    (fun (part : Racedetect.Partition.partition) ->
-                      incr t42_parts;
-                      let has_scp_race =
+  (* stage 1: SC ground-truth pools, one per random program, in parallel *)
+  let pools =
+    Engine.Parbatch.map_list ~jobs:!jobs
+      (fun pseed ->
+        let p =
+          if pseed mod 2 = 0 then Minilang.Gen.random_racy ~seed:pseed ()
+          else Minilang.Gen.random_racefree ~seed:pseed ()
+        in
+        let pool =
+          (Memsim.Enumerate.explore ~limit:500_000 (fun () -> Minilang.Interp.source p))
+            .Memsim.Enumerate.executions
+        in
+        (p, pool))
+      (List.init 8 (fun s -> s + 1))
+  in
+  (* stage 2: every (program, model, seed) check is independent *)
+  let cases =
+    Array.of_list
+      (List.concat_map
+         (fun (p, pool) ->
+           List.concat_map
+             (fun model ->
+               List.map (fun seed -> (p, pool, model, seed)) (List.init 5 (fun s -> s)))
+             Memsim.Model.weak)
+         pools)
+  in
+  let tallies =
+    Engine.Parbatch.map ~jobs:!jobs
+      (fun (p, pool, model, seed) ->
+        let e = run_weak ~model ~seed p in
+        let a = Racedetect.Postmortem.analyze_execution e in
+        let races = Racedetect.Postmortem.data_races a <> [] in
+        let first = Racedetect.Postmortem.first_partitions a in
+        let t41 = if races = (first <> []) then 1 else 0 in
+        if first = [] then (t41, 0, 0)
+        else
+          let v = Racedetect.Condition.check ~sc:pool e in
+          match v.Racedetect.Condition.scp_witness with
+          | None -> (t41, List.length first, 0)
+          | Some scp ->
+            let s = Iset.of_list scp in
+            let ophb = Racedetect.Ophb.build e in
+            let trace = a.Racedetect.Postmortem.trace in
+            let ops_of eid =
+              match trace.Tracing.Trace.events.(eid).Tracing.Event.body with
+              | Tracing.Event.Computation { ops; _ } -> ops
+              | Tracing.Event.Sync { op; _ } -> [ op ]
+            in
+            let ok =
+              List.fold_left
+                (fun acc (part : Racedetect.Partition.partition) ->
+                  let has_scp_race =
+                    List.exists
+                      (fun (race : Racedetect.Race.t) ->
                         List.exists
-                          (fun (race : Racedetect.Race.t) ->
+                          (fun (x : Memsim.Op.t) ->
                             List.exists
-                              (fun (x : Memsim.Op.t) ->
-                                List.exists
-                                  (fun (y : Memsim.Op.t) ->
-                                    Memsim.Op.conflict x y
-                                    && (Memsim.Op.is_data x.Memsim.Op.cls
-                                        || Memsim.Op.is_data y.Memsim.Op.cls)
-                                    && (not
-                                          (Racedetect.Ophb.ordered ophb x.Memsim.Op.id
-                                             y.Memsim.Op.id))
-                                    && Iset.mem x.Memsim.Op.id s
-                                    && Iset.mem y.Memsim.Op.id s)
-                                  (ops_of race.Racedetect.Race.b))
-                              (ops_of race.Racedetect.Race.a))
-                          part.Racedetect.Partition.races
-                      in
-                      if has_scp_race then incr t42_ok)
-                    first
-              end)
-            (List.init 5 (fun s -> s)))
-        Memsim.Model.weak)
-    (List.init 8 (fun s -> s + 1));
+                              (fun (y : Memsim.Op.t) ->
+                                Memsim.Op.conflict x y
+                                && (Memsim.Op.is_data x.Memsim.Op.cls
+                                    || Memsim.Op.is_data y.Memsim.Op.cls)
+                                && (not
+                                      (Racedetect.Ophb.ordered ophb x.Memsim.Op.id
+                                         y.Memsim.Op.id))
+                                && Iset.mem x.Memsim.Op.id s
+                                && Iset.mem y.Memsim.Op.id s)
+                              (ops_of race.Racedetect.Race.b))
+                          (ops_of race.Racedetect.Race.a))
+                      part.Racedetect.Partition.races
+                  in
+                  if has_scp_race then acc + 1 else acc)
+                0 first
+            in
+            (t41, List.length first, ok))
+      cases
+  in
+  let checks = ref 0 and t41 = ref 0 and t42_parts = ref 0 and t42_ok = ref 0 in
+  Array.iter
+    (fun (a, parts, ok) ->
+      incr checks;
+      t41 := !t41 + a;
+      t42_parts := !t42_parts + parts;
+      t42_ok := !t42_ok + ok)
+    tallies;
   Format.printf "Theorem 4.1: held on %d / %d executions@." !t41 !checks;
   Format.printf "Theorem 4.2: %d / %d first partitions contained an SCP race@." !t42_ok
     !t42_parts
@@ -633,10 +661,10 @@ let coherence () =
   List.iter
     (fun model ->
       let outcomes =
-        List.init 300 (fun seed ->
+        Engine.Parbatch.map_seeds ~jobs:!jobs 300 (fun seed ->
             let e = run_c ~model ~seed Minilang.Programs.fig1a in
             (value_of_label e "P2:read-y", value_of_label e "P2:read-x"))
-        |> List.sort_uniq compare
+        |> Array.to_list |> List.sort_uniq compare
       in
       Format.printf "%-6s %-30s %b@." (Memsim.Model.name model)
         (String.concat " "
@@ -648,15 +676,13 @@ let coherence () =
   (* 2. queue bug *)
   let p = Minilang.Programs.queue_bug ~region:8 ~stale:3 () in
   let hits =
-    List.filter
-      (fun seed ->
+    Engine.Parbatch.map_seeds ~jobs:!jobs 2000 (fun seed ->
         let e = run_c ~model:Memsim.Model.WO ~seed p in
         value_of_label e "P2:read-qempty" = Some 0
         && value_of_label e "P2:dequeue" = Some 3)
-      (List.init 2000 (fun s -> s))
+    |> Array.fold_left (fun acc hit -> if hit then acc + 1 else acc) 0
   in
-  Format.printf "@.queue_bug stale dequeue: %d / 2000 adversarial schedules@."
-    (List.length hits);
+  Format.printf "@.queue_bug stale dequeue: %d / 2000 adversarial schedules@." hits;
   (* 3. Condition 3.4 spot check *)
   let programs =
     [ Minilang.Programs.fig1a; Minilang.Programs.unguarded_handoff;
@@ -669,16 +695,21 @@ let coherence () =
         (Memsim.Enumerate.explore ~limit:500_000 (fun () -> Minilang.Interp.source p))
           .Memsim.Enumerate.executions
       in
-      List.iter
-        (fun model ->
-          List.iter
-            (fun seed ->
-              let e = run_c ~model ~seed p in
-              incr total;
-              if (Racedetect.Condition.check ~sc:pool e).Racedetect.Condition.holds then
-                incr holds)
-            (List.init 6 (fun s -> s)))
-        Memsim.Model.weak)
+      let cases =
+        Array.of_list
+          (List.concat_map
+             (fun model -> List.map (fun seed -> (model, seed)) (List.init 6 (fun s -> s)))
+             Memsim.Model.weak)
+      in
+      let oks =
+        Engine.Parbatch.map ~jobs:!jobs
+          (fun (model, seed) ->
+            (Racedetect.Condition.check ~sc:pool (run_c ~model ~seed p))
+              .Racedetect.Condition.holds)
+          cases
+      in
+      total := !total + Array.length oks;
+      Array.iter (fun ok -> if ok then incr holds) oks)
     programs;
   Format.printf "Condition 3.4 on the coherent machine: %d / %d weak executions@."
     !holds !total;
@@ -688,29 +719,37 @@ let coherence () =
   Format.printf "%-14s %12s %12s@." "cache lines" "(1,0) rate" "hit rate";
   List.iter
     (fun n_lines ->
-      let hits = ref 0 in
-      let ch = ref 0 and cm = ref 0 in
-      for seed = 0 to 399 do
-        let src = Minilang.Interp.source Minilang.Programs.fig1a in
-        let m = Coherence.Cmachine.create ~n_lines ~model:Memsim.Model.WO src in
-        let sched = Memsim.Sched.adversarial ~seed () in
-        let rec loop () =
-          match Coherence.Cmachine.enabled m with
-          | [] -> ()
-          | ds -> Coherence.Cmachine.perform m (Memsim.Sched.choose sched ds); loop ()
-        in
-        loop ();
-        let e = Coherence.Cmachine.to_execution m in
-        if
-          (value_of_label e "P2:read-y", value_of_label e "P2:read-x")
-          = (Some 1, Some 0)
-        then incr hits;
-        Array.iter
-          (fun (st : Coherence.Cache.stats) ->
-            ch := !ch + st.Coherence.Cache.hits;
-            cm := !cm + st.Coherence.Cache.misses)
-          (Coherence.Cmachine.cache_stats m)
-      done;
+      let runs =
+        Engine.Parbatch.map_seeds ~jobs:!jobs 400 (fun seed ->
+            let src = Minilang.Interp.source Minilang.Programs.fig1a in
+            let m = Coherence.Cmachine.create ~n_lines ~model:Memsim.Model.WO src in
+            let sched = Memsim.Sched.adversarial ~seed () in
+            let rec loop () =
+              match Coherence.Cmachine.enabled m with
+              | [] -> ()
+              | ds -> Coherence.Cmachine.perform m (Memsim.Sched.choose sched ds); loop ()
+            in
+            loop ();
+            let e = Coherence.Cmachine.to_execution m in
+            let hit =
+              (value_of_label e "P2:read-y", value_of_label e "P2:read-x")
+              = (Some 1, Some 0)
+            in
+            let ch = ref 0 and cm = ref 0 in
+            Array.iter
+              (fun (st : Coherence.Cache.stats) ->
+                ch := !ch + st.Coherence.Cache.hits;
+                cm := !cm + st.Coherence.Cache.misses)
+              (Coherence.Cmachine.cache_stats m);
+            (hit, !ch, !cm))
+      in
+      let hits = ref 0 and ch = ref 0 and cm = ref 0 in
+      Array.iter
+        (fun (hit, h, m) ->
+          if hit then incr hits;
+          ch := !ch + h;
+          cm := !cm + m)
+        runs;
       Format.printf "%-14d %9d/400 %11.2f@." n_lines !hits
         (float_of_int !ch /. float_of_int (max 1 (!ch + !cm))))
     [ 2; 1 ]
@@ -718,6 +757,42 @@ let coherence () =
 (* ================================================================== *)
 (* perf: bechamel microbenchmarks                                      *)
 (* ================================================================== *)
+
+(* machine-readable perf trajectory: BENCH_perf.json, diffable across PRs *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v = if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
+
+let write_bench_json ~micro ~speedups ~parallel path =
+  let oc = open_out path in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n  \"schema\": 1,\n  \"microbench_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, ns, r2) ->
+      out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
+        (json_escape name) (json_float ns) (json_float r2)
+        (if i = List.length micro - 1 then "" else ","))
+    micro;
+  out "  ],\n  \"speedups\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      out "    \"%s\": %s%s\n" (json_escape name) (json_float v)
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  let batch, njobs, serial_s, parallel_s = parallel in
+  out "  },\n  \"parallel_montecarlo\": {\"batch\": %d, \"jobs\": %d, \"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s}\n}\n"
+    batch njobs (json_float serial_s) (json_float parallel_s)
+    (json_float (serial_s /. parallel_s));
+  close_out oc
 
 let perf () =
   section_header "perf: analysis pipeline microbenchmarks (bechamel, OLS ns/run)";
@@ -732,22 +807,65 @@ let perf () =
   let big_cfg =
     { Minilang.Gen.n_procs = 4; n_shared = 6; n_locks = 3; ops_per_proc = 24; sync_freq = 5 }
   in
+  let huge_cfg =
+    { Minilang.Gen.n_procs = 8; n_shared = 12; n_locks = 4; ops_per_proc = 100;
+      sync_freq = 6 }
+  in
+  let xl_cfg =
+    { Minilang.Gen.n_procs = 8; n_shared = 16; n_locks = 4; ops_per_proc = 400;
+      sync_freq = 8 }
+  in
   let e100 = mk_exec 100 and e400 = mk_exec 400 in
   let t100 = Tracing.Trace.of_execution e100 in
   let t400 = Tracing.Trace.of_execution e400 in
   let text400 = Tracing.Codec.encode t400 in
   let ebig = exec_of_config big_cfg 5 in
+  let ehuge = exec_of_config huge_cfg 7 in
+  let thuge = Tracing.Trace.of_execution ehuge in
+  let txl = Tracing.Trace.of_execution (exec_of_config xl_cfg 11) in
+  let hb400v = Racedetect.Hb.build t400 in
+  let hb400c = Racedetect.Hb.build ~index:`Closure t400 in
+  let hbhugev = Racedetect.Hb.build thuge in
+  let hbhugec = Racedetect.Hb.build ~index:`Closure thuge in
+  Format.printf
+    "hb1 index in use: %s (queue400), %s (random-8x100, %d events); xl trace: %d events@."
+    (if Racedetect.Hb.uses_clocks hb400v then "vclock" else "closure")
+    (if Racedetect.Hb.uses_clocks hbhugev then "vclock" else "closure")
+    (Tracing.Trace.n_events thuge) (Tracing.Trace.n_events txl);
   let tests =
     [
       Test.make ~name:"simulate/queue100" (Staged.stage (fun () -> ignore (mk_exec 100)));
       Test.make ~name:"segment/queue400"
         (Staged.stage (fun () -> ignore (Tracing.Trace.of_execution e400)));
-      Test.make ~name:"hb1-build/queue400"
+      Test.make ~name:"hb1-vclock/queue400"
         (Staged.stage (fun () -> ignore (Racedetect.Hb.build t400)));
+      Test.make ~name:"hb1-closure/queue400"
+        (Staged.stage (fun () -> ignore (Racedetect.Hb.build ~index:`Closure t400)));
+      Test.make ~name:"hb1-vclock/rand-8x100"
+        (Staged.stage (fun () -> ignore (Racedetect.Hb.build thuge)));
+      Test.make ~name:"hb1-closure/rand-8x100"
+        (Staged.stage (fun () -> ignore (Racedetect.Hb.build ~index:`Closure thuge)));
+      Test.make ~name:"hb1-vclock/rand-8x400"
+        (Staged.stage (fun () -> ignore (Racedetect.Hb.build txl)));
+      Test.make ~name:"hb1-closure/rand-8x400"
+        (Staged.stage (fun () -> ignore (Racedetect.Hb.build ~index:`Closure txl)));
+      Test.make ~name:"races-vclock/queue400"
+        (Staged.stage (fun () -> ignore (Racedetect.Race.find_all hb400v)));
+      Test.make ~name:"races-closure/queue400"
+        (Staged.stage (fun () -> ignore (Racedetect.Race.find_all hb400c)));
+      Test.make ~name:"races-vclock/rand-8x100"
+        (Staged.stage (fun () -> ignore (Racedetect.Race.find_all hbhugev)));
+      Test.make ~name:"races-closure/rand-8x100"
+        (Staged.stage (fun () -> ignore (Racedetect.Race.find_all hbhugec)));
       Test.make ~name:"analyze/queue100"
         (Staged.stage (fun () -> ignore (Racedetect.Postmortem.analyze t100)));
       Test.make ~name:"analyze/queue400"
         (Staged.stage (fun () -> ignore (Racedetect.Postmortem.analyze t400)));
+      Test.make ~name:"analyze/rand-8x100"
+        (Staged.stage (fun () -> ignore (Racedetect.Postmortem.analyze thuge)));
+      Test.make ~name:"analyze-closure/rand-8x100"
+        (Staged.stage (fun () ->
+             ignore (Racedetect.Postmortem.analyze ~index:`Closure thuge)));
       Test.make ~name:"onthefly/queue400"
         (Staged.stage (fun () -> ignore (Racedetect.Onthefly.detect e400)));
       Test.make ~name:"onthefly/random-big"
@@ -759,14 +877,6 @@ let perf () =
       Test.make ~name:"ophb-races/random-big"
         (Staged.stage (fun () ->
              ignore (Racedetect.Ophb.data_races (Racedetect.Ophb.build ebig))));
-      (let huge_cfg =
-         { Minilang.Gen.n_procs = 8; n_shared = 12; n_locks = 4; ops_per_proc = 100;
-           sync_freq = 6 }
-       in
-       let ehuge = exec_of_config huge_cfg 7 in
-       let thuge = Tracing.Trace.of_execution ehuge in
-       Test.make ~name:"analyze/random-8x100"
-         (Staged.stage (fun () -> ignore (Racedetect.Postmortem.analyze thuge))));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
@@ -774,21 +884,71 @@ let perf () =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   Format.printf "%-24s %14s %10s@." "benchmark" "ns/run" "r^2";
-  List.iter
-    (fun test ->
-      List.iter
-        (fun elt ->
-          let m = Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt in
-          let est = Analyze.one ols Toolkit.Instance.monotonic_clock m in
-          let ns =
-            match Analyze.OLS.estimates est with
-            | Some (v :: _) -> v
-            | _ -> nan
-          in
-          let r2 = Option.value ~default:nan (Analyze.OLS.r_square est) in
-          Format.printf "%-24s %14.0f %10.4f@." (Test.Elt.name elt) ns r2)
-        (Test.elements test))
-    tests
+  let micro =
+    List.concat_map
+      (fun test ->
+        List.map
+          (fun elt ->
+            let m = Benchmark.run cfg Toolkit.Instance.[ monotonic_clock ] elt in
+            let est = Analyze.one ols Toolkit.Instance.monotonic_clock m in
+            let ns =
+              match Analyze.OLS.estimates est with
+              | Some (v :: _) -> v
+              | _ -> nan
+            in
+            let r2 = Option.value ~default:nan (Analyze.OLS.r_square est) in
+            Format.printf "%-24s %14.0f %10.4f@." (Test.Elt.name elt) ns r2;
+            (Test.Elt.name elt, ns, r2))
+          (Test.elements test))
+      tests
+  in
+  let ns_of name =
+    match List.find_opt (fun (n, _, _) -> n = name) micro with
+    | Some (_, ns, _) -> ns
+    | None -> nan
+  in
+  let speedups =
+    [
+      ("hb1_closure_over_vclock/queue400",
+       ns_of "hb1-closure/queue400" /. ns_of "hb1-vclock/queue400");
+      ("hb1_closure_over_vclock/rand-8x100",
+       ns_of "hb1-closure/rand-8x100" /. ns_of "hb1-vclock/rand-8x100");
+      ("hb1_closure_over_vclock/rand-8x400",
+       ns_of "hb1-closure/rand-8x400" /. ns_of "hb1-vclock/rand-8x400");
+      ("races_closure_over_vclock/rand-8x100",
+       ns_of "races-closure/rand-8x100" /. ns_of "races-vclock/rand-8x100");
+      ("analyze_closure_over_vclock/rand-8x100",
+       ns_of "analyze-closure/rand-8x100" /. ns_of "analyze/rand-8x100");
+    ]
+  in
+  Format.printf "@.closure-vs-vclock (hb1 index; >1 means the vclock path wins):@.";
+  List.iter (fun (n, v) -> Format.printf "  %-40s %8.2fx@." n v) speedups;
+  (* serial vs domain-parallel Monte-Carlo: the fig1b-style loop that every
+     bench section now runs through Engine.Parbatch *)
+  let batch = 48 in
+  let montecarlo j =
+    Engine.Parbatch.map_seeds ~jobs:j batch (fun seed ->
+        let e = exec_of_config big_cfg seed in
+        List.length
+          (Racedetect.Postmortem.data_races (Racedetect.Postmortem.analyze_execution e)))
+  in
+  ignore (montecarlo 1 : int array) (* warm up *);
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* at least two domains so the parallel path is exercised even on a
+     single-core box (where the speedup will honestly be ~1x) *)
+  let njobs = max 2 (Engine.Parbatch.default_jobs ()) in
+  let serial_r, serial_s = wall (fun () -> montecarlo 1) in
+  let par_r, par_s = wall (fun () -> montecarlo njobs) in
+  Format.printf
+    "@.Monte-Carlo batch (%d simulate+analyze runs): serial %.3fs, %d domains %.3fs — %.2fx; identical results: %b@."
+    batch serial_s njobs par_s (serial_s /. par_s) (serial_r = par_r);
+  let path = "BENCH_perf.json" in
+  write_bench_json ~micro ~speedups ~parallel:(batch, njobs, serial_s, par_s) path;
+  Format.printf "wrote %s@." path
 
 (* ================================================================== *)
 
@@ -801,10 +961,24 @@ let sections =
   ]
 
 let () =
+  (* strip -j/--jobs[=]N; whatever remains selects sections *)
+  let rec parse_args acc = function
+    | [] -> List.rev acc
+    | ("-j" | "--jobs") :: n :: rest -> jobs := int_of_string n; parse_args acc rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      jobs := int_of_string (String.sub arg 7 (String.length arg - 7));
+      parse_args acc rest
+    | arg :: rest -> parse_args (arg :: acc) rest
+  in
+  let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
+  if !jobs < 1 then begin
+    Format.eprintf "bench: --jobs must be >= 1@.";
+    exit 1
+  end;
   let requested =
-    match Array.to_list Sys.argv with
-    | [] | _ :: ([] | [ "all" ]) -> List.map fst sections
-    | _ :: names -> names
+    match names with
+    | [] | [ "all" ] -> List.map fst sections
+    | names -> names
   in
   List.iter
     (fun name ->

@@ -72,21 +72,54 @@ let max_steps_arg =
   let doc = "Abort (and drain) after this many machine steps." in
   Arg.(value & opt int 20_000 & info [ "max-steps" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Evaluate batch seeds on $(docv) parallel domains (1 = serial; 0 = one \
+     per core).  Output is identical for every value."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let batch_arg =
+  let doc =
+    "Batch mode: run $(docv) consecutive seeds starting at --seed and print a \
+     per-seed summary instead of the single-run report."
+  in
+  Arg.(value & opt int 1 & info [ "batch" ] ~docv:"N" ~doc)
+
+let resolve_jobs jobs =
+  if jobs < 0 then begin
+    Format.eprintf "racedet: --jobs must be >= 0@.";
+    exit 1
+  end
+  else if jobs = 0 then Engine.Parbatch.default_jobs ()
+  else jobs
+
 let or_fail = function
   | Ok v -> v
   | Error msg ->
     Format.eprintf "racedet: %s@." msg;
     exit 1
 
+let exec_of p machine model sched max_steps seed =
+  match machine with
+  | `Buffer -> Minilang.Interp.run ~max_steps ~model ~sched:(make_sched sched seed) p
+  | `Cache ->
+    Coherence.Cmachine.run_program ~max_steps ~model ~sched:(make_sched sched seed) p
+
 let run_exec program machine model sched seed max_steps =
   let p = or_fail (load_program program) in
-  let e =
-    match machine with
-    | `Buffer -> Minilang.Interp.run ~max_steps ~model ~sched:(make_sched sched seed) p
-    | `Cache ->
-      Coherence.Cmachine.run_program ~max_steps ~model ~sched:(make_sched sched seed) p
+  (p, exec_of p machine model sched max_steps seed)
+
+(* batch mode: seeds [seed .. seed+batch-1] fanned out over the domain pool;
+   [f] must be pure — results are printed in seed order by the caller *)
+let run_batch program machine model sched seed max_steps ~batch ~jobs f =
+  let p = or_fail (load_program program) in
+  let rs =
+    Engine.Parbatch.map_seeds ~jobs batch (fun i ->
+        let s = seed + i in
+        (s, f p (exec_of p machine model sched max_steps s)))
   in
-  (p, e)
+  (p, rs)
 
 (* -- list ------------------------------------------------------------- *)
 
@@ -114,20 +147,49 @@ let show_cmd =
 (* -- run --------------------------------------------------------------- *)
 
 let run_cmd =
-  let run program machine model sched seed max_steps =
-    let p, e = run_exec program machine model sched seed max_steps in
-    Format.printf "%a@." Memsim.Exec.pp e;
-    Format.printf "@.final memory (non-zero):@.";
-    Array.iteri
-      (fun l v ->
-        if v <> 0 then Format.printf "  %s = %d@." (Minilang.Ast.loc_name p l) v)
-      e.Memsim.Exec.final_mem
+  let run program machine model sched seed max_steps batch jobs =
+    if batch <= 1 then begin
+      let p, e = run_exec program machine model sched seed max_steps in
+      Format.printf "%a@." Memsim.Exec.pp e;
+      Format.printf "@.final memory (non-zero):@.";
+      Array.iteri
+        (fun l v ->
+          if v <> 0 then Format.printf "  %s = %d@." (Minilang.Ast.loc_name p l) v)
+        e.Memsim.Exec.final_mem
+    end
+    else begin
+      let jobs = resolve_jobs jobs in
+      let p, rs =
+        run_batch program machine model sched seed max_steps ~batch ~jobs
+          (fun _p e ->
+            let mem =
+              Array.to_seq e.Memsim.Exec.final_mem
+              |> Seq.mapi (fun l v -> (l, v))
+              |> Seq.filter (fun (_, v) -> v <> 0)
+              |> List.of_seq
+            in
+            (Memsim.Exec.n_ops e, e.Memsim.Exec.truncated, mem))
+      in
+      Array.iter
+        (fun (s, (n_ops, truncated, mem)) ->
+          Format.printf "seed %-6d %5d ops%s  %s@." s n_ops
+            (if truncated then " (truncated)" else "")
+            (String.concat " "
+               (List.map
+                  (fun (l, v) -> Printf.sprintf "%s=%d" (Minilang.Ast.loc_name p l) v)
+                  mem)))
+        rs
+    end
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Execute a program on a memory model and print the execution.")
+    (Cmd.info "run"
+       ~doc:
+         "Execute a program on a memory model and print the execution.  With \
+          $(b,--batch) N, run N consecutive seeds (in parallel with $(b,--jobs)) \
+          and print one summary line per seed.")
     Term.(
       const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
-      $ max_steps_arg)
+      $ max_steps_arg $ batch_arg $ jobs_arg)
 
 (* -- detect ------------------------------------------------------------ *)
 
@@ -136,30 +198,55 @@ let detect_cmd =
     let doc = "Also show the suppressed non-first partitions in full." in
     Arg.(value & flag & info [ "a"; "all" ] ~doc)
   in
-  let run program machine model sched seed max_steps show_all =
-    let p, e = run_exec program machine model sched seed max_steps in
-    let a = Racedetect.Postmortem.analyze_execution e in
-    let loc_name = Minilang.Ast.loc_name p in
-    Format.printf "%a@." (Racedetect.Report.pp_analysis ~loc_name) a;
-    if show_all then begin
-      let trace = a.Racedetect.Postmortem.trace in
-      List.iter
-        (fun part ->
-          Format.printf "@.%a@."
-            (Racedetect.Report.pp_partition ~loc_name ~trace)
-            part)
-        (Racedetect.Partition.non_first_partitions a.Racedetect.Postmortem.partitions)
-    end;
-    if not (Racedetect.Postmortem.race_free a) then exit 2
+  let run program machine model sched seed max_steps show_all batch jobs =
+    if batch <= 1 then begin
+      let p, e = run_exec program machine model sched seed max_steps in
+      let a = Racedetect.Postmortem.analyze_execution e in
+      let loc_name = Minilang.Ast.loc_name p in
+      Format.printf "%a@." (Racedetect.Report.pp_analysis ~loc_name) a;
+      if show_all then begin
+        let trace = a.Racedetect.Postmortem.trace in
+        List.iter
+          (fun part ->
+            Format.printf "@.%a@."
+              (Racedetect.Report.pp_partition ~loc_name ~trace)
+              part)
+          (Racedetect.Partition.non_first_partitions a.Racedetect.Postmortem.partitions)
+      end;
+      if not (Racedetect.Postmortem.race_free a) then exit 2
+    end
+    else begin
+      let jobs = resolve_jobs jobs in
+      let _, rs =
+        run_batch program machine model sched seed max_steps ~batch ~jobs
+          (fun _p e ->
+            let a = Racedetect.Postmortem.analyze_execution e in
+            ( List.length (Racedetect.Postmortem.data_races a),
+              List.length (Racedetect.Postmortem.reported_races a) ))
+      in
+      let racy = ref 0 in
+      Array.iter
+        (fun (s, (all, reported)) ->
+          if reported > 0 then incr racy;
+          if reported = 0 then Format.printf "seed %-6d race-free@." s
+          else
+            Format.printf "seed %-6d %d data race(s), %d reported after partitioning@."
+              s all reported)
+        rs;
+      Format.printf "%d / %d seeds racy@." !racy batch;
+      if !racy > 0 then exit 2
+    end
   in
   Cmd.v
     (Cmd.info "detect"
        ~doc:
          "Run a program, trace it, and report the first partitions of data races \
-          (exit status 2 when races are found).")
+          (exit status 2 when races are found).  With $(b,--batch) N, analyze N \
+          consecutive seeds (in parallel with $(b,--jobs)) and print one line per \
+          seed.")
     Term.(
       const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
-      $ max_steps_arg $ all_arg)
+      $ max_steps_arg $ all_arg $ batch_arg $ jobs_arg)
 
 (* -- trace / analyze --------------------------------------------------- *)
 
@@ -275,7 +362,8 @@ let check_cmd =
     in
     Arg.(value & flag & info [ "exhaustive" ] ~doc)
   in
-  let run program machine n limit exhaustive =
+  let run program machine n limit exhaustive jobs =
+    let jobs = resolve_jobs jobs in
     let p = or_fail (load_program program) in
     let r = Memsim.Enumerate.explore ~limit (fun () -> Minilang.Interp.source p) in
     if not r.Memsim.Enumerate.complete then begin
@@ -286,9 +374,8 @@ let check_cmd =
     let pool = r.Memsim.Enumerate.executions in
     let failures = ref 0 in
     let total = ref 0 in
-    let check_exec model tag e =
+    let report model tag v =
       incr total;
-      let v = Racedetect.Condition.check ~sc:pool e in
       if not v.Racedetect.Condition.holds then begin
         incr failures;
         Format.printf "%s %s: %a@." (Memsim.Model.name model) tag
@@ -307,25 +394,28 @@ let check_cmd =
               (Memsim.Model.name model);
             exit 1
           end;
-          List.iteri
-            (fun i e -> check_exec model (Printf.sprintf "schedule %d" i) e)
-            (Memsim.Enumerate.behaviours w.Memsim.Enumerate.executions)
+          let behaviours = Memsim.Enumerate.behaviours w.Memsim.Enumerate.executions in
+          Engine.Parbatch.map_list ~jobs
+            (fun e -> Racedetect.Condition.check ~sc:pool e)
+            behaviours
+          |> List.iteri (fun i v -> report model (Printf.sprintf "schedule %d" i) v)
         end
         else
-          for seed = 0 to n - 1 do
-            let e =
-              match machine with
-              | `Buffer ->
-                Minilang.Interp.run ~model
-                  ~sched:(Memsim.Sched.adversarial ~seed ())
-                  p
-              | `Cache ->
-                Coherence.Cmachine.run_program ~model
-                  ~sched:(Memsim.Sched.adversarial ~seed ())
-                  p
-            in
-            check_exec model (Printf.sprintf "seed=%d" seed) e
-          done)
+          (* verdicts computed in parallel; reported in seed order *)
+          Engine.Parbatch.map_seeds ~jobs n (fun seed ->
+              let e =
+                match machine with
+                | `Buffer ->
+                  Minilang.Interp.run ~model
+                    ~sched:(Memsim.Sched.adversarial ~seed ())
+                    p
+                | `Cache ->
+                  Coherence.Cmachine.run_program ~model
+                    ~sched:(Memsim.Sched.adversarial ~seed ())
+                    p
+              in
+              Racedetect.Condition.check ~sc:pool e)
+          |> Array.iteri (fun seed v -> report model (Printf.sprintf "seed=%d" seed) v))
       Memsim.Model.weak;
     if !failures = 0 then
       Format.printf "Condition 3.4 obeyed on all %d weak executions%s@." !total
@@ -340,7 +430,9 @@ let check_cmd =
        ~doc:
          "Verify Condition 3.4 (Theorem 3.5) on weak executions of a program, \
           against exhaustive SC enumeration.")
-    Term.(const run $ program_arg $ machine_arg $ seeds_arg $ limit_arg $ exhaustive_arg)
+    Term.(
+      const run $ program_arg $ machine_arg $ seeds_arg $ limit_arg $ exhaustive_arg
+      $ jobs_arg)
 
 (* -- sweep ----------------------------------------------------------------- *)
 

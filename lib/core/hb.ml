@@ -1,10 +1,39 @@
+type index =
+  | Clocks of Vclock.t array
+      (* acyclic hb1: per-event vector clock; ordering queries are an O(1)
+         component comparison *)
+  | Closure of Graphlib.Reach.t
+      (* cyclic hb1 (possible on weak executions, §3.1) or forced by the
+         caller: SCC condensation + bitset transitive closure *)
+
 type t = {
   trace : Tracing.Trace.t;
   graph : Graphlib.Digraph.t;
-  reach : Graphlib.Reach.t;
+  index : index;
+  mutable reach : Graphlib.Reach.t option;  (* cached; see [reach] *)
 }
 
-let build ?(so1 = `Recorded) (trace : Tracing.Trace.t) =
+(* One forward pass in topological order: an event's clock is the join of
+   its predecessors' clocks with its own processor component incremented.
+   Event [a] then happens-before event [b] iff [b]'s clock has seen [a]'s
+   increment of proc(a)'s component — a single integer comparison.  The
+   po chains give the clocks width n_procs; so1 edges are the recorded
+   release→acquire pairs.  Total cost O(n·P + m·P) time and O(n·P) space,
+   replacing the O(n·m/64) time / O(n²/64) space bitset closure. *)
+let clocks_of_graph (trace : Tracing.Trace.t) g order =
+  let n = Graphlib.Digraph.n_nodes g in
+  let n_procs = trace.Tracing.Trace.n_procs in
+  let clocks = Array.init n (fun _ -> Vclock.make n_procs) in
+  List.iter
+    (fun u ->
+      (* all predecessors of [u] are finalized, so joining forward from
+         [u] after its own tick keeps every clock exclusively owned *)
+      Vclock.tick_into clocks.(u) trace.Tracing.Trace.events.(u).Tracing.Event.proc;
+      Graphlib.Digraph.iter_succ g u (fun v -> Vclock.join_into clocks.(v) clocks.(u)))
+    order;
+  clocks
+
+let build ?(so1 = `Recorded) ?(index = `Auto) (trace : Tracing.Trace.t) =
   let n = Array.length trace.Tracing.Trace.events in
   let g = Graphlib.Digraph.create n in
   (* program order: consecutive events of each processor *)
@@ -20,12 +49,39 @@ let build ?(so1 = `Recorded) (trace : Tracing.Trace.t) =
     | `Reconstructed -> Tracing.Trace.so1_reconstruct trace
   in
   List.iter (fun (rel, acq) -> Graphlib.Digraph.add_edge g rel acq) pairs;
-  { trace; graph = g; reach = Graphlib.Reach.compute g }
+  match index with
+  | `Closure ->
+    let r = Graphlib.Reach.compute g in
+    { trace; graph = g; index = Closure r; reach = Some r }
+  | `Auto -> (
+    match Graphlib.Digraph.topological_order g with
+    | Some order ->
+      { trace; graph = g; index = Clocks (clocks_of_graph trace g order); reach = None }
+    | None ->
+      (* a cycle: vector clocks cannot represent mutual reachability *)
+      let r = Graphlib.Reach.compute g in
+      { trace; graph = g; index = Closure r; reach = Some r })
 
 let trace t = t.trace
 let graph t = t.graph
-let reach t = t.reach
 
-let happens_before t a b = a <> b && Graphlib.Reach.reaches t.reach a b
+let uses_clocks t = match t.index with Clocks _ -> true | Closure _ -> false
+
+let reach t =
+  match t.reach with
+  | Some r -> r
+  | None ->
+    let r = Graphlib.Reach.compute t.graph in
+    t.reach <- Some r;
+    r
+
+let happens_before t a b =
+  a <> b
+  &&
+  match t.index with
+  | Clocks clocks ->
+    let pa = t.trace.Tracing.Trace.events.(a).Tracing.Event.proc in
+    Vclock.get clocks.(b) pa >= Vclock.get clocks.(a) pa
+  | Closure r -> Graphlib.Reach.reaches r a b
 
 let ordered t a b = happens_before t a b || happens_before t b a

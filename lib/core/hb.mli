@@ -2,24 +2,41 @@
     lifted to events as in §4.1).
 
     [hb1 = (po ∪ so1)+]: program order within each processor, plus an edge
-    from each release event to every acquire event it paired with.  On a
-    weak execution hb1 {e need not be a partial order} (§3.1) — the
-    reachability structure tolerates cycles by construction. *)
+    from each release event to every acquire event it paired with.
+
+    Ordering queries are answered from a vector-clock index built in one
+    forward pass over the trace — O(n·P) space, O(1) per query — whenever
+    hb1 is acyclic (every execution in practice).  On a weak execution hb1
+    {e need not be a partial order} (§3.1): if a cycle is present the
+    index falls back to the SCC-condensation bitset closure, which
+    tolerates cycles by construction. *)
 
 type t
 
-val build : ?so1:[ `Recorded | `Reconstructed ] -> Tracing.Trace.t -> t
-(** [`Recorded] (default) uses the pairing the tracer logged;
+val build :
+  ?so1:[ `Recorded | `Reconstructed ] -> ?index:[ `Auto | `Closure ] -> Tracing.Trace.t -> t
+(** [so1 = `Recorded] (default) uses the pairing the tracer logged;
     [`Reconstructed] rebuilds so1 from the per-location synchronization
     order, as a purely post-mortem analyzer must
-    ({!Tracing.Trace.so1_reconstruct}). *)
+    ({!Tracing.Trace.so1_reconstruct}).
+
+    [index = `Auto] (default) uses the vector-clock index when hb1 is
+    acyclic and the transitive closure otherwise; [`Closure] forces the
+    closure — the reference implementation the property tests compare
+    against. *)
 
 val trace : t -> Tracing.Trace.t
 
 val graph : t -> Graphlib.Digraph.t
 (** One node per event ([eid]); po and so1 edges. *)
 
+val uses_clocks : t -> bool
+(** Whether ordering queries go through the vector-clock fast path. *)
+
 val reach : t -> Graphlib.Reach.t
+(** The bitset transitive closure, computed on first use and cached.
+    Ordering queries never need it on the vclock path; it exists for
+    callers that want whole-graph reachability. *)
 
 val happens_before : t -> int -> int -> bool
 (** [happens_before t a b]: a path of po/so1 edges leads from event [a]

@@ -54,7 +54,7 @@ let observe t (o : Memsim.Op.t) =
      (* pairing first: an acquire that returned the last release's value
         becomes ordered after it before any race check runs *)
      if o.Memsim.Op.cls = Memsim.Op.Acquire && st.rel_value = Some o.Memsim.Op.value
-     then t.clocks.(p) <- Vclock.join t.clocks.(p) st.rel_clock;
+     then Vclock.join_into t.clocks.(p) st.rel_clock;
      (match st.last_write with
       | Some w when w.proc <> p && unordered w && (w.was_data || data) ->
         report w o.Memsim.Op.id l
@@ -80,11 +80,13 @@ let observe t (o : Memsim.Op.t) =
      st.last_write <- Some me;
      (match o.Memsim.Op.cls with
       | Memsim.Op.Release ->
-        (* publish the clock including this write, then advance so the
-           processor's subsequent accesses are not covered by it *)
-        st.rel_clock <- t.clocks.(p);
+        (* publish a snapshot of the clock including this write, then
+           advance in place so the processor's subsequent accesses are not
+           covered by it — the snapshot is the only copy per release;
+           joins and ticks no longer allocate *)
+        st.rel_clock <- Vclock.copy t.clocks.(p);
         st.rel_value <- Some o.Memsim.Op.value;
-        t.clocks.(p) <- Vclock.tick t.clocks.(p) p
+        Vclock.tick_into t.clocks.(p) p
       | Memsim.Op.Data | Memsim.Op.Plain_sync | Memsim.Op.Acquire ->
         (* any other write destroys the pairing window (an acquire that
            reads it is not synchronizing with the old release) *)

@@ -6,14 +6,14 @@ type analysis = {
   partitions : Partition.t;
 }
 
-let analyze ?so1 trace =
-  let hb = Hb.build ?so1 trace in
+let analyze ?so1 ?index trace =
+  let hb = Hb.build ?so1 ?index trace in
   let races = Race.find_all hb in
   let augmented = Augment.build hb races in
   let partitions = Partition.compute augmented in
   { trace; hb; races; augmented; partitions }
 
-let analyze_execution ?so1 e = analyze ?so1 (Tracing.Trace.of_execution e)
+let analyze_execution ?so1 ?index e = analyze ?so1 ?index (Tracing.Trace.of_execution e)
 
 let data_races a = Race.data_races a.races
 

@@ -10,10 +10,21 @@ type analysis = {
   partitions : Partition.t;
 }
 
-val analyze : ?so1:[ `Recorded | `Reconstructed ] -> Tracing.Trace.t -> analysis
+val analyze :
+  ?so1:[ `Recorded | `Reconstructed ] ->
+  ?index:[ `Auto | `Closure ] ->
+  Tracing.Trace.t ->
+  analysis
+(** [index] selects the hb1 ordering index ({!Hb.build}): the default
+    [`Auto] answers race queries from the O(n·P) vector-clock index with
+    no full-trace transitive closure on the hot path; [`Closure] forces
+    the reference bitset closure. *)
 
 val analyze_execution :
-  ?so1:[ `Recorded | `Reconstructed ] -> Memsim.Exec.t -> analysis
+  ?so1:[ `Recorded | `Reconstructed ] ->
+  ?index:[ `Auto | `Closure ] ->
+  Memsim.Exec.t ->
+  analysis
 (** Trace the execution ({!Tracing.Trace.of_execution}) and analyze. *)
 
 val data_races : analysis -> Race.t list

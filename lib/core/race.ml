@@ -23,6 +23,14 @@ let find_all hb =
         (fun l -> touchers.(l) <- eid :: touchers.(l))
         (Tracing.Event.reads ev ~n_locs))
     events;
+  (* a location's occurrence lists collect one entry per bitset the event
+     touches it through, so an event reading and writing the same location
+     appears twice in [touchers]; dedupe before the quadratic pair loop *)
+  let n = Array.length events in
+  for l = 0 to n_locs - 1 do
+    writers.(l) <- List.sort_uniq compare writers.(l);
+    touchers.(l) <- List.sort_uniq compare touchers.(l)
+  done;
   let seen = Hashtbl.create 64 in
   let races = ref [] in
   Array.iteri
@@ -32,8 +40,9 @@ let find_all hb =
           List.iter
             (fun o ->
               let a = min w o and b = max w o in
-              if a <> b && not (Hashtbl.mem seen (a, b)) then begin
-                Hashtbl.add seen (a, b) ();
+              let key = (a * n) + b in
+              if a <> b && not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
                 let ea = events.(a) and eb = events.(b) in
                 if
                   ea.Tracing.Event.proc <> eb.Tracing.Event.proc

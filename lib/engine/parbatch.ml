@@ -1,0 +1,58 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Workers claim fixed-size chunks of the index space from a shared atomic
+   cursor — dynamic load balancing without any per-item contention — and
+   write results (and any exception) into per-index slots, so collection
+   is ordered by construction and the output is independent of how the
+   chunks happened to interleave.  After the join, the error at the
+   smallest index wins: which exception propagates is deterministic even
+   when several items fail on different workers. *)
+let map ?jobs f arr =
+  let n = Array.length arr in
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Parbatch.map: jobs must be >= 1"
+    | Some j -> min j n
+    | None -> min (default_jobs ()) n
+  in
+  if n = 0 then [||]
+  else if jobs <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let chunk = max 1 (n / (jobs * 4)) in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let start = Atomic.fetch_and_add cursor chunk in
+        if start < n then begin
+          for i = start to min n (start + chunk) - 1 do
+            match f arr.(i) with
+            | v -> results.(i) <- Some v
+            | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ())
+          done;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every index ran and none stored an error *))
+      results
+  end
+
+let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
+
+let map_seeds ?jobs n f = map ?jobs f (Array.init n (fun s -> s))
+
+let iter_seeds ?jobs n f = ignore (map_seeds ?jobs n f)

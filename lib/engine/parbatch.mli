@@ -1,0 +1,32 @@
+(** Domain-parallel batch evaluation for deterministic Monte-Carlo loops.
+
+    The simulate-and-analyze pipeline is embarrassingly parallel across
+    seeds: every run is a pure function of its seed (all RNG state is
+    per-instance).  [map] fans a batch out over OCaml 5 domains with
+    chunked work distribution and ordered result collection, so the
+    output — including which exception propagates when several items
+    fail — is identical for every job count.
+
+    Work functions must not print or touch shared mutable state: compute
+    in the workers, aggregate and print in the caller. *)
+
+val default_jobs : unit -> int
+(** {!Domain.recommended_domain_count} — a sensible [jobs] for
+    compute-bound batches. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f arr] is [Array.map f arr] evaluated on up to [jobs]
+    domains (default {!default_jobs}, clamped to the array length).
+    [jobs = 1] runs serially in the calling domain — no domain is
+    spawned, and items are evaluated in index order.  If any [f] raises,
+    the exception of the smallest failing index is re-raised with its
+    backtrace after all workers have joined.
+
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+val map_seeds : ?jobs:int -> int -> (int -> 'b) -> 'b array
+(** [map_seeds ~jobs n f] maps [f] over the seed range [0 .. n-1]. *)
+
+val iter_seeds : ?jobs:int -> int -> (int -> unit) -> unit

@@ -1,0 +1,114 @@
+(* The domain pool: determinism across job counts, serial fallback,
+   exception propagation, and domain-safety of the full
+   simulate-and-analyze pipeline. *)
+
+open Engine
+
+exception Boom of int
+
+let test_map_basic () =
+  Alcotest.(check (array int))
+    "identity-ish map" [| 0; 2; 4; 6; 8 |]
+    (Parbatch.map ~jobs:2 (fun x -> 2 * x) [| 0; 1; 2; 3; 4 |]);
+  Alcotest.(check (array int)) "empty array" [||] (Parbatch.map ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (list string))
+    "map_list" [ "a!"; "b!" ]
+    (Parbatch.map_list ~jobs:3 (fun s -> s ^ "!") [ "a"; "b" ])
+
+let test_jobs_one_is_serial_in_order () =
+  (* jobs=1 runs in the calling domain in index order: observable effects
+     happen sequentially, which parallel execution cannot guarantee *)
+  let log = ref [] in
+  let r =
+    Parbatch.map ~jobs:1
+      (fun i ->
+        log := i :: !log;
+        i * i)
+      (Array.init 20 (fun i -> i))
+  in
+  Alcotest.(check (list int)) "index order" (List.init 20 (fun i -> i)) (List.rev !log);
+  Alcotest.(check (array int)) "results" (Array.init 20 (fun i -> i * i)) r
+
+let test_determinism_across_job_counts () =
+  (* a non-trivial deterministic function: hash-mix each seed a few
+     thousand times so chunks finish at staggered times *)
+  let f seed =
+    let h = ref seed in
+    for i = 1 to 5_000 do
+      h := (!h * 1_000_003) + i
+    done;
+    !h
+  in
+  let reference = Parbatch.map_seeds ~jobs:1 64 f in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d equals serial" jobs)
+        reference
+        (Parbatch.map_seeds ~jobs 64 f))
+    [ 2; 3; 4; 7; 16; 64 ]
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "raises through jobs=%d" jobs)
+        (Boom 3)
+        (fun () ->
+          ignore
+            (Parbatch.map_seeds ~jobs 32 (fun i -> if i = 3 then raise (Boom i) else i))))
+    [ 1; 2; 8 ]
+
+let test_first_failing_index_wins () =
+  (* several items fail on different workers: the propagated exception is
+     the smallest index's, independent of scheduling *)
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "smallest index wins at jobs=%d" jobs)
+        (Boom 5)
+        (fun () ->
+          ignore
+            (Parbatch.map_seeds ~jobs 32 (fun i ->
+                 if i >= 5 && i mod 5 = 0 then raise (Boom i) else i))))
+    [ 1; 2; 8 ]
+
+let test_bad_jobs_rejected () =
+  Alcotest.check_raises "jobs=0 rejected" (Invalid_argument "Parbatch.map: jobs must be >= 1")
+    (fun () -> ignore (Parbatch.map ~jobs:0 (fun x -> x) [| 1 |]))
+
+let test_pipeline_domain_safe () =
+  (* the real workload: simulate + trace + analyze random racy programs on
+     several domains and compare against the serial run — exercises
+     Memsim, Minilang.Gen, Tracing and the whole Racedetect stack for
+     shared mutable state *)
+  let f seed =
+    let p = Minilang.Gen.random_racy ~seed () in
+    let e =
+      Minilang.Interp.run ~model:Memsim.Model.WO
+        ~sched:(Memsim.Sched.adversarial ~seed ()) p
+    in
+    let a = Racedetect.Postmortem.analyze_execution e in
+    Racedetect.Postmortem.reported_races a
+    |> List.map (fun (r : Racedetect.Race.t) -> (r.Racedetect.Race.a, r.Racedetect.Race.b))
+  in
+  let serial = Parbatch.map_seeds ~jobs:1 24 f in
+  let parallel = Parbatch.map_seeds ~jobs:4 24 f in
+  Alcotest.(check (array (list (pair int int)))) "same race sets" serial parallel
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "parbatch",
+        [
+          Alcotest.test_case "map basics" `Quick test_map_basic;
+          Alcotest.test_case "jobs=1 serial fallback" `Quick test_jobs_one_is_serial_in_order;
+          Alcotest.test_case "deterministic across job counts" `Quick
+            test_determinism_across_job_counts;
+          Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+          Alcotest.test_case "first failing index wins" `Quick test_first_failing_index_wins;
+          Alcotest.test_case "invalid jobs rejected" `Quick test_bad_jobs_rejected;
+          Alcotest.test_case "analysis pipeline is domain-safe" `Quick
+            test_pipeline_domain_safe;
+        ] );
+    ]

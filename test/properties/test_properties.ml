@@ -221,6 +221,43 @@ let prop_vclock_leq_partial_order =
       && ((not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b))
 
 (* ------------------------------------------------------------------ *)
+(* hb1 index equivalence: vclock fast path vs closure reference        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_vclock_index_matches_closure =
+  (* random programs × models × seeds: the O(n·P) vector-clock index must
+     answer exactly as the bitset transitive closure, on every event pair *)
+  QCheck.Test.make ~name:"vclock hb1 index agrees with closure on all pairs" ~count:150
+    arb_case
+    (fun case ->
+      let e = random_exec case in
+      let t = Tracing.Trace.of_execution e in
+      let hv = Hb.build t in
+      let hc = Hb.build ~index:`Closure t in
+      let n = Tracing.Trace.n_events t in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Hb.happens_before hv a b <> Hb.happens_before hc a b then ok := false
+        done
+      done;
+      !ok)
+
+let prop_postmortem_same_races_both_indexes =
+  QCheck.Test.make ~name:"postmortem race sets identical through both hb1 indexes"
+    ~count:120 arb_case
+    (fun case ->
+      let e = random_exec case in
+      let t = Tracing.Trace.of_execution e in
+      let races index =
+        let a = Postmortem.analyze ~index t in
+        ( Postmortem.data_races a |> List.map (fun (r : Race.t) -> (r.Race.a, r.Race.b)),
+          Postmortem.reported_races a
+          |> List.map (fun (r : Race.t) -> (r.Race.a, r.Race.b)) )
+      in
+      races `Auto = races `Closure)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -260,5 +297,9 @@ let () =
           ] );
       ("cost", qsuite [ prop_cost_weak_never_slower ]);
       ("vclock", qsuite [ prop_vclock_join_laws; prop_vclock_leq_partial_order ]);
+      ( "hb1-index",
+        qsuite
+          [ prop_vclock_index_matches_closure; prop_postmortem_same_races_both_indexes ]
+      );
       ("determinism", qsuite [ prop_analysis_deterministic; prop_onthefly_deterministic ]);
     ]
