@@ -772,10 +772,10 @@ let json_escape s =
 
 let json_float v = if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
 
-let write_bench_json ~micro ~speedups ~parallel path =
+let write_bench_json ~micro ~speedups ~streaming ~parallel path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": 1,\n  \"microbench_ns_per_run\": [\n";
+  out "{\n  \"schema\": 2,\n  \"microbench_ns_per_run\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
       out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
@@ -788,11 +788,87 @@ let write_bench_json ~micro ~speedups ~parallel path =
       out "    \"%s\": %s%s\n" (json_escape name) (json_float v)
         (if i = List.length speedups - 1 then "" else ","))
     speedups;
+  out "  },\n";
+  let rows, vm_hwm_kb = streaming in
+  out "  \"streaming\": {\n    \"vm_hwm_kb\": %s,\n    \"workloads\": [\n"
+    (match vm_hwm_kb with Some kb -> string_of_int kb | None -> "null");
+  List.iteri
+    (fun i (name, events, batch_ns_ev, stream_ns_ev, peak, retired, forced) ->
+      out
+        "      {\"name\": \"%s\", \"events\": %d, \"batch_ns_per_event\": %s, \
+         \"stream_ns_per_event\": %s, \"peak_live\": %d, \"retired\": %d, \
+         \"forced\": %d}%s\n"
+        (json_escape name) events (json_float batch_ns_ev) (json_float stream_ns_ev)
+        peak retired forced
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  out "    ]\n  },\n";
   let batch, njobs, serial_s, parallel_s = parallel in
-  out "  },\n  \"parallel_montecarlo\": {\"batch\": %d, \"jobs\": %d, \"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s}\n}\n"
+  out "  \"parallel_montecarlo\": {\"batch\": %d, \"jobs\": %d, \"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s}\n}\n"
     batch njobs (json_float serial_s) (json_float parallel_s)
     (json_float (serial_s /. parallel_s));
   close_out oc
+
+(* peak resident set of this process, from the kernel's high-water mark *)
+let vm_hwm_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> None
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          String.sub line 6 (String.length line - 6)
+          |> String.split_on_char '\t'
+          |> List.concat_map (String.split_on_char ' ')
+          |> List.filter (fun s -> s <> "")
+          |> (function n :: _ -> int_of_string_opt n | [] -> None)
+        else scan ()
+    in
+    let r = (try scan () with Failure _ -> None) in
+    close_in_noerr ic;
+    r
+
+(* a long, fully synchronized workload in the stream-ordered layout: a
+   token ring where each round acquires the token, does owned work, and
+   releases it.  hb1 totally orders the rounds, so §5 retirement keeps
+   the live set O(procs) while the trace grows without bound. *)
+let token_ring_stream ~procs ~rounds =
+  let buf = Buffer.create (rounds * 96) in
+  let line fmt =
+    Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt
+  in
+  let n_events = 3 * rounds in
+  line "weakrace-trace 1";
+  line "model SC";
+  line "truncated 0";
+  line "procs %d locs %d events %d" procs (1 + procs) n_events;
+  let seq = Array.make procs 0 in
+  let eid = ref 0 and slot = ref 0 in
+  let prev_release = ref (-1) in
+  let sync_eids = ref [] in
+  for r = 0 to rounds - 1 do
+    let h = r mod procs in
+    let next () = let e = !eid in incr eid; e in
+    let nseq () = let s = seq.(h) in seq.(h) <- s + 1; s in
+    let a = next () in
+    if !prev_release < 0 then line "so1 - %d" a else line "so1 %d %d" !prev_release a;
+    line "event %d proc %d seq %d sync loc 0 kind R cls acquire value 1 slot %d label -"
+      a h (nseq ()) !slot;
+    incr slot;
+    sync_eids := a :: !sync_eids;
+    line "event %d proc %d seq %d comp reads - writes %d" (next ()) h (nseq ()) (1 + h);
+    let rl = next () in
+    line "event %d proc %d seq %d sync loc 0 kind W cls release value 1 slot %d label -"
+      rl h (nseq ()) !slot;
+    incr slot;
+    sync_eids := rl :: !sync_eids;
+    prev_release := rl
+  done;
+  line "syncorder 0 %s" (String.concat "," (List.rev_map string_of_int !sync_eids));
+  line "end %d" n_events;
+  Buffer.contents buf
 
 let perf () =
   section_header "perf: analysis pipeline microbenchmarks (bechamel, OLS ns/run)";
@@ -946,8 +1022,60 @@ let perf () =
   Format.printf
     "@.Monte-Carlo batch (%d simulate+analyze runs): serial %.3fs, %d domains %.3fs — %.2fx; identical results: %b@."
     batch serial_s njobs par_s (serial_s /. par_s) (serial_r = par_r);
+  (* streaming vs batch analysis: same report, §5 event GC bounds memory.
+     ns/event compares full pipelines (parse + hb1 + races + partitions);
+     peak-live vs events is the paper's bounded-trace-buffer claim. *)
+  let stream_cases =
+    [
+      ("queue400", Tracing.Codec.encode_stream t400);
+      ("rand-8x400", Tracing.Codec.encode_stream txl);
+      ("token-ring-8x2000", token_ring_stream ~procs:8 ~rounds:2000);
+    ]
+  in
+  Format.printf
+    "@.streaming vs batch (identical reports; peak-live << events on@.synchronized stream-ordered traces):@.@.";
+  Format.printf "%-20s %8s %12s %12s %10s %8s@." "workload" "events" "batch-ns/ev"
+    "stream-ns/ev" "peak-live" "retired";
+  let reps = 3 in
+  let stream_rows =
+    List.map
+      (fun (name, text) ->
+        let st =
+          match Racedetect.Stream.analyze_string text with
+          | Ok (_, st) -> st
+          | Error msg -> failwith ("stream bench: " ^ msg)
+        in
+        let events = st.Racedetect.Stream.total_events in
+        let (), batch_s =
+          wall (fun () ->
+              for _ = 1 to reps do
+                match Tracing.Codec.decode text with
+                | Ok t -> ignore (Racedetect.Postmortem.analyze t)
+                | Error msg -> failwith ("batch bench: " ^ msg)
+              done)
+        in
+        let (), stream_s =
+          wall (fun () ->
+              for _ = 1 to reps do
+                ignore (Racedetect.Stream.analyze_string text)
+              done)
+        in
+        let per_ev s = s *. 1e9 /. float_of_int (reps * max 1 events) in
+        let peak = st.Racedetect.Stream.peak_live in
+        let retired = st.Racedetect.Stream.retired in
+        let forced = st.Racedetect.Stream.forced_retired in
+        Format.printf "%-20s %8d %12.0f %12.0f %10d %8d@." name events
+          (per_ev batch_s) (per_ev stream_s) peak retired;
+        (name, events, per_ev batch_s, per_ev stream_s, peak, retired, forced))
+      stream_cases
+  in
+  let hwm = vm_hwm_kb () in
+  (match hwm with
+   | Some kb -> Format.printf "@.process peak RSS (VmHWM): %d kB@." kb
+   | None -> ());
   let path = "BENCH_perf.json" in
-  write_bench_json ~micro ~speedups ~parallel:(batch, njobs, serial_s, par_s) path;
+  write_bench_json ~micro ~speedups ~streaming:(stream_rows, hwm)
+    ~parallel:(batch, njobs, serial_s, par_s) path;
   Format.printf "wrote %s@." path
 
 (* ================================================================== *)

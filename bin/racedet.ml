@@ -259,10 +259,24 @@ let trace_cmd =
     let doc = "Write a split-trace directory (one file per processor) instead." in
     Arg.(value & flag & info [ "split" ] ~doc)
   in
-  let run program machine model sched seed max_steps out split =
+  let stream_arg =
+    let doc =
+      "Write the stream-ordered layout: events interleaved in hb1-topological \
+       order with each acquire's so1 record ahead of it and a trailing end \
+       marker, so $(b,analyze --stream) retires events as it reads."
+    in
+    Arg.(value & flag & info [ "stream" ] ~doc)
+  in
+  let run program machine model sched seed max_steps out split stream =
+    if split && stream then begin
+      Format.eprintf "racedet: --split and --stream are mutually exclusive@.";
+      exit 1
+    end;
     let _, e = run_exec program machine model sched seed max_steps in
     let t = Tracing.Trace.of_execution e in
-    if split then Tracing.Codec.write_dir out t else Tracing.Codec.write_file out t;
+    if split then Tracing.Codec.write_dir out t
+    else if stream then Tracing.Codec.write_stream_file out t
+    else Tracing.Codec.write_file out t;
     Format.printf "wrote %d events (%d computation, %d sync) to %s@."
       (Tracing.Trace.n_events t)
       (Tracing.Trace.n_computation_events t)
@@ -273,7 +287,42 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run a program and write its trace file.")
     Term.(
       const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
-      $ max_steps_arg $ out_arg $ split_arg)
+      $ max_steps_arg $ out_arg $ split_arg $ stream_arg)
+
+(* --follow: tail a trace file that is still being written, feeding each
+   appended chunk to the streaming engine.  Stops at the end marker, or
+   after [idle] seconds without growth. *)
+let follow_analyze ?max_live ~idle file =
+  match open_in_bin file with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let t = Racedetect.Stream.create ?max_live () in
+    let d = Tracing.Codec.decoder () in
+    let buf = Bytes.create 65536 in
+    let push () r = Racedetect.Stream.push t r in
+    let rec loop idle_for =
+      if Racedetect.Stream.saw_end t then Ok ()
+      else
+        match input ic buf 0 (Bytes.length buf) with
+        | 0 ->
+          if idle_for >= idle then Ok ()
+          else begin
+            Unix.sleepf 0.05;
+            loop (idle_for +. 0.05)
+          end
+        | n ->
+          (match Tracing.Codec.feed d (Bytes.sub_string buf 0 n) ~f:push () with
+           | Ok () -> loop 0.
+           | Error _ as e -> e)
+        | exception Sys_error msg -> Error msg
+    in
+    let r =
+      match loop 0. with
+      | Error _ as e -> e
+      | Ok () -> Tracing.Codec.finish_feed d ~f:push ()
+    in
+    close_in_noerr ic;
+    (match r with Error _ as e -> e | Ok () -> Racedetect.Stream.finish t)
 
 let analyze_cmd =
   let file_arg =
@@ -290,24 +339,106 @@ let analyze_cmd =
     in
     Arg.(value & flag & info [ "reconstruct-so1" ] ~doc)
   in
-  let run file reconstruct =
-    let result =
-      if Sys.file_exists file && Sys.is_directory file then Tracing.Codec.read_dir file
-      else Tracing.Codec.read_file file
+  let stream_flag =
+    let doc =
+      "Streaming analysis: decode the file in chunks and retire events as soon \
+       as every processor's clock has passed them (§5 event GC), so memory \
+       tracks the live set instead of the trace.  The report is byte-identical \
+       to the batch mode's.  Retirement progresses while reading only on \
+       stream-ordered files ($(b,racedet trace --stream)); batch-layout files \
+       are analyzed correctly but resolve their acquires at end of input."
     in
-    match result with
-    | Error msg ->
-      Format.eprintf "racedet: %s@." msg;
-      exit 1
-    | Ok t ->
-      let so1 = if reconstruct then `Reconstructed else `Recorded in
-      let a = Racedetect.Postmortem.analyze ~so1 t in
-      Format.printf "%a@." (Racedetect.Report.pp_analysis ?loc_name:None) a;
-      if not (Racedetect.Postmortem.race_free a) then exit 2
+    Arg.(value & flag & info [ "stream" ] ~doc)
+  in
+  let follow_arg =
+    let doc =
+      "Tail a trace that is still being written (implies $(b,--stream)): keep \
+       reading as the file grows, stop at the end marker or after \
+       $(b,--idle-timeout) seconds without growth."
+    in
+    Arg.(value & flag & info [ "follow" ] ~doc)
+  in
+  let max_live_arg =
+    let doc =
+      "Cap the number of resident race candidates (implies $(b,--stream)).  \
+       Beyond the cap the oldest candidates are evicted: hb1 ordering stays \
+       exact, but a race whose endpoints are further apart in the stream than \
+       the window may be missed (the count is reported with $(b,--stats))."
+    in
+    Arg.(value & opt (some int) None & info [ "max-live" ] ~docv:"N" ~doc)
+  in
+  let stats_arg =
+    let doc =
+      "After the report, print streaming statistics (total events, peak live \
+       set, retirements, forced evictions) to standard error (implies \
+       $(b,--stream))."
+    in
+    Arg.(value & flag & info [ "stats" ] ~doc)
+  in
+  let idle_arg =
+    let doc =
+      "With $(b,--follow): give up waiting for more input after this many \
+       seconds without the file growing."
+    in
+    Arg.(value & opt float 5.0 & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
+  in
+  let run file reconstruct stream follow max_live stats idle =
+    let stream_mode = stream || follow || max_live <> None || stats in
+    if not stream_mode then begin
+      let result =
+        if Sys.file_exists file && Sys.is_directory file then Tracing.Codec.read_dir file
+        else Tracing.Codec.read_file file
+      in
+      match result with
+      | Error msg ->
+        Format.eprintf "racedet: %s@." msg;
+        exit 1
+      | Ok t ->
+        let so1 = if reconstruct then `Reconstructed else `Recorded in
+        let a = Racedetect.Postmortem.analyze ~so1 t in
+        Format.printf "%a@." (Racedetect.Report.pp_analysis ?loc_name:None) a;
+        if not (Racedetect.Postmortem.race_free a) then exit 2
+    end
+    else begin
+      (match max_live with
+       | Some k when k < 1 ->
+         Format.eprintf "racedet: --max-live must be at least 1@.";
+         exit 1
+       | _ -> ());
+      if reconstruct then begin
+        Format.eprintf
+          "racedet: --reconstruct-so1 is not available with --stream (streaming \
+           consumes the recorded pairing)@.";
+        exit 1
+      end;
+      if Sys.file_exists file && Sys.is_directory file then begin
+        Format.eprintf
+          "racedet: --stream reads a single trace file, not a split directory@.";
+        exit 1
+      end;
+      let result =
+        if follow then follow_analyze ?max_live ~idle file
+        else Racedetect.Stream.analyze_file ?max_live file
+      in
+      match result with
+      | Error msg ->
+        Format.eprintf "racedet: %s@." msg;
+        exit 1
+      | Ok (a, st) ->
+        Format.printf "%a@." (Racedetect.Report.pp_analysis ?loc_name:None) a;
+        if stats then
+          Format.eprintf "stream: %a@." Racedetect.Stream.pp_stats st;
+        if not (Racedetect.Postmortem.race_free a) then exit 2
+    end
   in
   Cmd.v
-    (Cmd.info "analyze" ~doc:"Post-mortem analysis of an existing trace file.")
-    Term.(const run $ file_arg $ reconstruct_arg)
+    (Cmd.info "analyze"
+       ~doc:
+         "Post-mortem analysis of an existing trace file, batch or streaming \
+          ($(b,--stream)); both modes print the same report.")
+    Term.(
+      const run $ file_arg $ reconstruct_arg $ stream_flag $ follow_arg
+      $ max_live_arg $ stats_arg $ idle_arg)
 
 (* -- enumerate ---------------------------------------------------------- *)
 

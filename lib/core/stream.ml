@@ -1,0 +1,509 @@
+module Codec = Tracing.Codec
+module Event = Tracing.Event
+module Trace = Tracing.Trace
+module Bitset = Graphlib.Bitset
+
+exception Fail of string
+
+let failf fmt = Printf.ksprintf (fun msg -> raise (Fail msg)) fmt
+
+type stats = {
+  total_events : int;
+  peak_live : int;
+  retired : int;
+  forced_retired : int;
+  surviving : int;
+  races : int;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "events %d, peak live %d, retired %d (forced %d), surviving %d, races %d"
+    s.total_events s.peak_live s.retired s.forced_retired s.surviving s.races
+
+(* A processed event that is still a race candidate: its payload is
+   resident, and [tick] is its own component of its hb1 clock — a later
+   event [f] is ordered after it iff C_f[proc] >= tick. *)
+type cand = { ev : Event.t; tick : int }
+
+type t = {
+  max_live : int option;
+  mutable model : string;
+  mutable truncated : bool;
+  mutable sizes : Codec.sizes option;
+  mutable seen_any : bool;
+  mutable ended : bool;
+  mutable so1_complete : bool;
+  (* dimensioned once the procs/locs/events header arrives *)
+  mutable pending : Event.t Queue.t array; (* decoded, waiting on so1 info *)
+  mutable pending_count : int;
+  mutable frontier : Vclock.t array; (* clock of each proc's last processed event *)
+  mutable minclock : int array;      (* pointwise min of the frontiers *)
+  mutable arrival_seq : int array;
+  mutable ev_proc : int array;       (* eid -> proc; -1 = not yet seen *)
+  mutable ev_seq : int array;
+  mutable processed : Bytes.t;
+  mutable proc_eids : int list array; (* processed eids per proc, newest first *)
+  mutable loc_writers : int list array;
+  mutable loc_touchers : int list array;
+  cands : (int, cand) Hashtbl.t;
+  clocks : (int, Vclock.t) Hashtbl.t; (* processed events not yet clock-dominated *)
+  so1_in : (int, int list) Hashtbl.t; (* acquire -> releases, newest first *)
+  so1_known : (int, unit) Hashtbl.t;
+  pinned : (int, Event.t) Hashtbl.t;
+  fifo : int Queue.t; (* candidates in processing order, for --max-live *)
+  mutable so1_list : (int * int) list;       (* newest first *)
+  mutable sync_order : (int * int list) list;
+  mutable races : Race.t list;
+  mutable seen_events : int;
+  mutable live : int; (* resident payloads: pending + candidates *)
+  mutable peak_live : int;
+  mutable retired : int;
+  mutable forced : int;
+}
+
+let create ?max_live () =
+  (match max_live with
+   | Some k when k < 1 -> invalid_arg "Stream.create: max_live must be >= 1"
+   | _ -> ());
+  {
+    max_live;
+    model = "";
+    truncated = false;
+    sizes = None;
+    seen_any = false;
+    ended = false;
+    so1_complete = false;
+    pending = [||];
+    pending_count = 0;
+    frontier = [||];
+    minclock = [||];
+    arrival_seq = [||];
+    ev_proc = [||];
+    ev_seq = [||];
+    processed = Bytes.empty;
+    proc_eids = [||];
+    loc_writers = [||];
+    loc_touchers = [||];
+    cands = Hashtbl.create 64;
+    clocks = Hashtbl.create 64;
+    so1_in = Hashtbl.create 16;
+    so1_known = Hashtbl.create 16;
+    pinned = Hashtbl.create 16;
+    fifo = Queue.create ();
+    so1_list = [];
+    sync_order = [];
+    races = [];
+    seen_events = 0;
+    live = 0;
+    peak_live = 0;
+    retired = 0;
+    forced = 0;
+  }
+
+let saw_end t = t.ended
+let seen_events t = t.seen_events
+
+let sizes_exn t what =
+  match t.sizes with
+  | Some s -> s
+  | None -> failf "%s before the procs/locs/events header" what
+
+let is_processed t eid = Bytes.get t.processed eid <> '\000'
+
+let rels_of t eid =
+  match Hashtbl.find_opt t.so1_in eid with
+  | Some l -> l
+  | None -> []
+
+let is_acquire (ev : Event.t) =
+  match ev.Event.body with
+  | Event.Sync { op; _ } -> op.Memsim.Op.cls = Memsim.Op.Acquire
+  | _ -> false
+
+(* An event is processable once its hb1 predecessors outside program
+   order are settled: non-acquires immediately, acquires once their so1
+   record (or unpaired marker, or end of input) has arrived and every
+   incoming release has itself been processed. *)
+let ready t (ev : Event.t) =
+  if not (is_acquire ev) then true
+  else if Hashtbl.mem t.so1_known ev.Event.eid || t.so1_complete then
+    List.for_all (fun r -> is_processed t r) (rels_of t ev.Event.eid)
+  else false
+
+let clock_dominated c m =
+  let n = Array.length m in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Vclock.get c i > m.(i) then ok := false
+  done;
+  !ok
+
+let update_minclock t (s : Codec.sizes) =
+  let changed = ref false in
+  for i = 0 to s.n_procs - 1 do
+    let m = ref max_int in
+    for p = 0 to s.n_procs - 1 do
+      let v = Vclock.get t.frontier.(p) i in
+      if v < !m then m := v
+    done;
+    if !m <> t.minclock.(i) then begin
+      t.minclock.(i) <- !m;
+      changed := true
+    end
+  done;
+  !changed
+
+let remove_from_loc_index t (ev : Event.t) =
+  let s = match t.sizes with Some s -> s | None -> assert false in
+  let eid = ev.Event.eid in
+  Bitset.iter
+    (fun l ->
+      t.loc_writers.(l) <- List.filter (fun e -> e <> eid) t.loc_writers.(l);
+      t.loc_touchers.(l) <- List.filter (fun e -> e <> eid) t.loc_touchers.(l))
+    (Event.writes ev ~n_locs:s.n_locs);
+  Bitset.iter
+    (fun l -> t.loc_touchers.(l) <- List.filter (fun e -> e <> eid) t.loc_touchers.(l))
+    (Event.reads ev ~n_locs:s.n_locs)
+
+(* §5 event GC: once every processor's frontier clock dominates an
+   event's clock, every future event is hb1-after it — it can neither
+   race with anything to come nor contribute to a future so1 join, so
+   both its payload and its clock are dropped. *)
+let retire_dominated t =
+  let doomed = ref [] in
+  Hashtbl.iter
+    (fun eid c -> if clock_dominated c t.minclock then doomed := eid :: !doomed)
+    t.clocks;
+  List.iter
+    (fun eid ->
+      Hashtbl.remove t.clocks eid;
+      match Hashtbl.find_opt t.cands eid with
+      | Some cand ->
+        Hashtbl.remove t.cands eid;
+        remove_from_loc_index t cand.ev;
+        t.retired <- t.retired + 1;
+        t.live <- t.live - 1
+      | None -> () (* already force-retired; only the clock remained *))
+    !doomed
+
+(* --max-live degradation: evict the oldest candidates beyond the cap.
+   Their payload and candidacy are dropped — a race against a later
+   event in the stream is silently missed, which is the documented
+   closure-on-window degradation — but their clocks are kept so hb1
+   ordering stays exact. *)
+let enforce_max_live t =
+  match t.max_live with
+  | None -> ()
+  | Some k ->
+    let continue = ref true in
+    while !continue && Hashtbl.length t.cands > k do
+      match Queue.take_opt t.fifo with
+      | None -> continue := false
+      | Some eid -> (
+        match Hashtbl.find_opt t.cands eid with
+        | None -> () (* retired since it was queued *)
+        | Some cand ->
+          Hashtbl.remove t.cands eid;
+          remove_from_loc_index t cand.ev;
+          t.forced <- t.forced + 1;
+          t.live <- t.live - 1)
+    done
+
+let pin t (ev : Event.t) =
+  if not (Hashtbl.mem t.pinned ev.Event.eid) then Hashtbl.add t.pinned ev.Event.eid ev
+
+let process t (s : Codec.sizes) (ev : Event.t) =
+  let eid = ev.Event.eid and p = ev.Event.proc in
+  (* the event's hb1 clock: join of its po predecessor (the frontier)
+     and its incoming releases, plus its own tick.  A release whose
+     clock was retired is already dominated by the frontier, so the
+     missing join is a no-op. *)
+  let c = Vclock.copy t.frontier.(p) in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt t.clocks r with
+      | Some rc -> Vclock.join_into c rc
+      | None -> ())
+    (rels_of t eid);
+  Vclock.tick_into c p;
+  t.frontier.(p) <- c;
+  let tick = Vclock.get c p in
+  (* race scan against the live candidates sharing a location *)
+  let n_locs = s.n_locs in
+  let considered = Hashtbl.create 8 in
+  let check o_eid =
+    if not (Hashtbl.mem considered o_eid) then begin
+      Hashtbl.add considered o_eid ();
+      match Hashtbl.find_opt t.cands o_eid with
+      | None -> ()
+      | Some cand ->
+        if
+          cand.ev.Event.proc <> p
+          && Event.conflict cand.ev ev
+          && Vclock.get c cand.ev.Event.proc < cand.tick
+        then begin
+          let a = min o_eid eid and b = max o_eid eid in
+          let ea, eb = if a = o_eid then (cand.ev, ev) else (ev, cand.ev) in
+          t.races <-
+            {
+              Race.a;
+              b;
+              locs = Event.conflict_locs ea eb ~n_locs;
+              is_data = Event.involves_data ea || Event.involves_data eb;
+            }
+            :: t.races;
+          pin t cand.ev;
+          pin t ev
+        end
+    end
+  in
+  let w = Event.writes ev ~n_locs and r = Event.reads ev ~n_locs in
+  Bitset.iter (fun l -> List.iter check t.loc_touchers.(l)) w;
+  Bitset.iter (fun l -> List.iter check t.loc_writers.(l)) r;
+  (* publish as a live candidate *)
+  Bitset.iter
+    (fun l ->
+      t.loc_writers.(l) <- eid :: t.loc_writers.(l);
+      t.loc_touchers.(l) <- eid :: t.loc_touchers.(l))
+    w;
+  Bitset.iter (fun l -> t.loc_touchers.(l) <- eid :: t.loc_touchers.(l)) r;
+  Hashtbl.replace t.cands eid { ev; tick };
+  Hashtbl.replace t.clocks eid c;
+  Queue.add eid t.fifo;
+  Bytes.set t.processed eid '\001';
+  t.proc_eids.(p) <- eid :: t.proc_eids.(p);
+  if update_minclock t s then retire_dominated t;
+  enforce_max_live t
+
+let drain t =
+  match t.sizes with
+  | None -> ()
+  | Some s ->
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      for p = 0 to s.n_procs - 1 do
+        let q = t.pending.(p) in
+        let go = ref true in
+        while !go do
+          match Queue.peek_opt q with
+          | Some ev when ready t ev ->
+            ignore (Queue.pop q);
+            t.pending_count <- t.pending_count - 1;
+            process t s ev;
+            progress := true
+          | _ -> go := false
+        done
+      done
+    done
+
+let bump_live t =
+  t.live <- t.live + 1;
+  if t.live > t.peak_live then t.peak_live <- t.live
+
+let on_sizes t (s : Codec.sizes) =
+  (match t.sizes with
+   | Some _ -> failf "duplicate procs/locs/events header"
+   | None -> ());
+  t.sizes <- Some s;
+  t.pending <- Array.init s.n_procs (fun _ -> Queue.create ());
+  t.frontier <- Array.init s.n_procs (fun _ -> Vclock.make s.n_procs);
+  t.minclock <- Array.make s.n_procs 0;
+  t.arrival_seq <- Array.make s.n_procs min_int;
+  t.ev_proc <- Array.make s.n_events (-1);
+  t.ev_seq <- Array.make s.n_events 0;
+  t.processed <- Bytes.make s.n_events '\000';
+  t.proc_eids <- Array.make s.n_procs [];
+  t.loc_writers <- Array.make s.n_locs [];
+  t.loc_touchers <- Array.make s.n_locs []
+
+let on_event t (ev : Event.t) =
+  let s = sizes_exn t "event record" in
+  let eid = ev.Event.eid and p = ev.Event.proc in
+  if eid < 0 || eid >= s.n_events then failf "event id %d out of range" eid;
+  if t.ev_proc.(eid) >= 0 then failf "duplicate event %d" eid;
+  if ev.Event.seq <= t.arrival_seq.(p) then
+    failf "event %d of processor %d arrived out of program order" eid p;
+  t.arrival_seq.(p) <- ev.Event.seq;
+  t.ev_proc.(eid) <- p;
+  t.ev_seq.(eid) <- ev.Event.seq;
+  t.seen_events <- t.seen_events + 1;
+  Queue.add ev t.pending.(p);
+  t.pending_count <- t.pending_count + 1;
+  bump_live t;
+  drain t
+
+let on_so1 t release acquire =
+  let s = sizes_exn t "so1 record" in
+  if release < 0 || release >= s.n_events || acquire < 0 || acquire >= s.n_events then
+    failf "so1 pair out of range";
+  if is_processed t acquire then
+    failf "so1 record for event %d after it was already processed" acquire;
+  t.so1_list <- (release, acquire) :: t.so1_list;
+  Hashtbl.replace t.so1_in acquire (release :: rels_of t acquire);
+  Hashtbl.replace t.so1_known acquire ();
+  drain t
+
+let on_so1_unpaired t acquire =
+  let s = sizes_exn t "so1 record" in
+  if acquire < 0 || acquire >= s.n_events then failf "so1 acquire out of range";
+  Hashtbl.replace t.so1_known acquire ();
+  drain t
+
+let on_end t n =
+  let s = sizes_exn t "end record" in
+  if n <> s.n_events then
+    failf "end record announces %d events, header says %d" n s.n_events;
+  if t.seen_events <> s.n_events then
+    failf "end record after %d of %d events" t.seen_events s.n_events;
+  t.ended <- true
+
+let push t (r : Codec.record) =
+  try
+    if t.ended then failf "record after the end marker";
+    t.seen_any <- true;
+    (match r with
+     | Codec.Magic _ -> ()
+     | Codec.Model m -> t.model <- m
+     | Codec.Truncated b -> t.truncated <- b
+     | Codec.Sizes s -> on_sizes t s
+     | Codec.Event ev -> on_event t ev
+     | Codec.So1 { release; acquire } -> on_so1 t release acquire
+     | Codec.So1_unpaired a -> on_so1_unpaired t a
+     | Codec.Sync_order (l, es) -> t.sync_order <- (l, es) :: t.sync_order
+     | Codec.End n -> on_end t n);
+    Ok ()
+  with Fail msg -> Error msg
+
+let stats_of t =
+  {
+    total_events = t.seen_events;
+    peak_live = t.peak_live;
+    retired = t.retired;
+    forced_retired = t.forced;
+    surviving = Hashtbl.length t.pinned;
+    races = List.length t.races;
+  }
+
+(* Full-payload fallback for a cyclic hb1 (possible on weak executions,
+   §3.1): no topological processing order exists, but as long as nothing
+   has been retired every payload is still resident, so the exact batch
+   pipeline runs on the reassembled trace. *)
+let finish_cyclic t (s : Codec.sizes) =
+  let events = Array.make s.n_events None in
+  Hashtbl.iter (fun eid (cand : cand) -> events.(eid) <- Some cand.ev) t.cands;
+  Array.iter
+    (fun q -> Queue.iter (fun (ev : Event.t) -> events.(ev.Event.eid) <- Some ev) q)
+    t.pending;
+  let events =
+    Array.map (function Some e -> e | None -> assert false (* all seen *)) events
+  in
+  let by_proc = Array.make s.n_procs [] in
+  Array.iter (fun (e : Event.t) -> by_proc.(e.Event.proc) <- e :: by_proc.(e.Event.proc)) events;
+  let by_proc =
+    Array.map
+      (fun evs ->
+        let arr = Array.of_list (List.rev evs) in
+        Array.sort (fun (a : Event.t) b -> compare a.Event.seq b.Event.seq) arr;
+        arr)
+      by_proc
+  in
+  let trace =
+    {
+      Trace.n_procs = s.n_procs;
+      n_locs = s.n_locs;
+      model = t.model;
+      truncated = t.truncated;
+      events;
+      by_proc;
+      so1 = List.rev t.so1_list;
+      sync_order = List.rev t.sync_order;
+    }
+  in
+  (Postmortem.analyze ~so1:`Recorded ~index:`Auto trace, stats_of t)
+
+let finish t =
+  try
+    let s =
+      match t.sizes with
+      | Some s -> s
+      | None ->
+        (* the batch decoder accepts a sizes-less header as an empty
+           trace; mirror it so both modes agree on degenerate input *)
+        if t.seen_any then { Codec.n_procs = 0; n_locs = 0; n_events = 0 }
+        else failf "empty trace"
+    in
+    t.so1_complete <- true;
+    drain t;
+    if t.seen_events < s.n_events then begin
+      let missing = ref 0 in
+      (try
+         for eid = 0 to s.n_events - 1 do
+           if t.ev_proc.(eid) < 0 then begin missing := eid; raise Exit end
+         done
+       with Exit -> ());
+      failf "missing event %d (saw %d of %d)" !missing t.seen_events s.n_events
+    end;
+    if t.pending_count > 0 then begin
+      if t.retired = 0 && t.forced = 0 then Ok (finish_cyclic t s)
+      else
+        failf
+          "hb1 cycle encountered after %d events were retired; re-run without --stream"
+          (t.retired + t.forced)
+    end
+    else begin
+      (* Rebuild the hb1 graph over the full event-id skeleton so SCC
+         component numbering — and with it the partition report — is
+         identical to the batch pipeline's, while only the surviving
+         racy events keep their payloads.  The report reads payloads at
+         race endpoints only, so the dummies are never printed. *)
+      let empty = Bitset.create s.n_locs in
+      let dummy = Event.Computation { reads = empty; writes = empty; ops = [] } in
+      let events =
+        Array.init s.n_events (fun eid ->
+            match Hashtbl.find_opt t.pinned eid with
+            | Some ev -> ev
+            | None ->
+              { Event.eid; proc = t.ev_proc.(eid); seq = t.ev_seq.(eid); body = dummy })
+      in
+      let by_proc =
+        Array.map
+          (fun eids -> Array.of_list (List.rev_map (fun eid -> events.(eid)) eids))
+          t.proc_eids
+      in
+      let trace =
+        {
+          Trace.n_procs = s.n_procs;
+          n_locs = s.n_locs;
+          model = t.model;
+          truncated = t.truncated;
+          events;
+          by_proc;
+          so1 = List.rev t.so1_list;
+          sync_order = List.rev t.sync_order;
+        }
+      in
+      let hb = Hb.build ~so1:`Recorded ~index:`Auto trace in
+      let races =
+        List.sort
+          (fun (r1 : Race.t) (r2 : Race.t) -> compare (r1.Race.a, r1.Race.b) (r2.Race.a, r2.Race.b))
+          t.races
+      in
+      let augmented = Augment.build hb races in
+      let partitions = Partition.compute augmented in
+      Ok ({ Postmortem.trace; hb; races; augmented; partitions }, stats_of t)
+    end
+  with Fail msg -> Error msg
+
+let analyze_fold fold ?max_live () =
+  let t = create ?max_live () in
+  match fold ~init:() ~f:(fun () r -> push t r) with
+  | Error _ as e -> e
+  | Ok () -> finish t
+
+let analyze_file ?chunk_size ?max_live path =
+  analyze_fold (fun ~init ~f -> Codec.fold_file ?chunk_size path ~init ~f) ?max_live ()
+
+let analyze_string ?chunk_size ?max_live text =
+  analyze_fold (fun ~init ~f -> Codec.fold_string ?chunk_size text ~init ~f) ?max_live ()

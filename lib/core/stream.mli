@@ -1,0 +1,80 @@
+(** Streaming bounded-memory race analysis.
+
+    The batch pipeline ({!Postmortem.analyze}) holds every event of the
+    trace in memory.  This engine consumes {!Tracing.Codec.record}s one
+    at a time — from a chunked file read, a growing file, or a pipe —
+    and keeps an event's payload resident only while the event can still
+    matter:
+
+    - Each processed event gets an hb1 vector clock (join of its program
+      order predecessor and its incoming so1 releases, plus its own
+      tick), so "unordered conflicting access" is an O(1) comparison
+      against the live candidates indexed per location.
+    - §5 event GC: once every processor's frontier clock dominates an
+      event's clock, every future event is hb1-ordered after it; it can
+      neither race with anything still to come nor contribute to a
+      future so1 join, so its payload and clock are dropped.  The peak
+      live-set size is reported in {!stats}.
+    - Events that race are pinned; at {!finish} the hb1 graph is rebuilt
+      over the full event-id {e skeleton} (integers, not payloads) and
+      handed to the unchanged {!Augment}/{!Partition}/{!Report} stages.
+      Because the rebuilt graph has exactly the batch pipeline's nodes
+      and edge order, SCC numbering — and therefore the first-partition
+      report — is byte-identical to batch analysis of the same file.
+
+    Retirement only progresses when so1 records arrive before their
+    acquires, i.e. on stream-ordered files ({!Tracing.Codec.encode_stream}).
+    Batch-layout files (so1 trailing) are analyzed correctly but stall
+    every acquire until end of input, so their peak live set approaches
+    the trace size.
+
+    On a weak execution hb1 may be cyclic (§3.1): no topological
+    processing order exists.  If nothing has been retired yet the engine
+    falls back to the exact batch pipeline on the fully-resident events;
+    if retirement already happened it reports an error rather than guess. *)
+
+type t
+
+type stats = {
+  total_events : int;
+  peak_live : int;      (** max simultaneously resident event payloads *)
+  retired : int;        (** §5 GC retirements *)
+  forced_retired : int; (** [max_live] evictions (may hide races) *)
+  surviving : int;      (** racy events pinned for the report *)
+  races : int;
+}
+
+val create : ?max_live:int -> unit -> t
+(** [max_live] caps the number of live race candidates; beyond it the
+    oldest candidates are evicted (payload dropped, hb1 clock kept, so
+    ordering stays exact but races spanning more than the window may be
+    missed — see [forced_retired]). *)
+
+val push : t -> Tracing.Codec.record -> (unit, string) result
+(** Feed one record.  Errors (duplicate or out-of-order events, so1
+    after its target was processed, records after the end marker) leave
+    the engine unusable. *)
+
+val saw_end : t -> bool
+(** An ["end N"] record was consumed: the trace is complete.  Used by
+    [--follow] to stop tailing. *)
+
+val seen_events : t -> int
+
+val finish : t -> (Postmortem.analysis * stats, string) result
+(** End of input: resolve acquires still waiting for so1 (batch-layout
+    files), verify completeness, and run the partition/report stage.
+    The [analysis] prints byte-identically to the batch analysis of the
+    same file, but non-racy events carry placeholder payloads — use it
+    for reporting, not for payload inspection. *)
+
+val analyze_file :
+  ?chunk_size:int -> ?max_live:int -> string ->
+  (Postmortem.analysis * stats, string) result
+(** {!Tracing.Codec.fold_file} → {!push} → {!finish}. *)
+
+val analyze_string :
+  ?chunk_size:int -> ?max_live:int -> string ->
+  (Postmortem.analysis * stats, string) result
+
+val pp_stats : Format.formatter -> stats -> unit

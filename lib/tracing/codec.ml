@@ -1,6 +1,12 @@
 let magic = "weakrace-trace"
 let version = 1
 
+(* Dimension cap applied to the procs/locs/events header.  A corrupted
+   header must not drive [Array.make] into [Invalid_argument] or an
+   out-of-memory abort; anything past this bound is rejected as a parse
+   error instead.  4M events is far beyond any trace this repo emits. *)
+let max_dim = 1 lsl 22
+
 let encode_class = function
   | Memsim.Op.Data -> "data"
   | Memsim.Op.Acquire -> "acquire"
@@ -19,41 +25,119 @@ let encode_set s =
   | [] -> "-"
   | xs -> String.concat "," (List.map string_of_int xs)
 
-let encode (t : Trace.t) =
-  let buf = Buffer.create 4096 in
+let event_line (ev : Event.t) =
+  match ev.Event.body with
+  | Event.Computation { reads; writes; _ } ->
+    Printf.sprintf "event %d proc %d seq %d comp reads %s writes %s" ev.Event.eid
+      ev.Event.proc ev.Event.seq (encode_set reads) (encode_set writes)
+  | Event.Sync { op; slot } ->
+    Printf.sprintf "event %d proc %d seq %d sync loc %d kind %s cls %s value %d slot %d label %s"
+      ev.Event.eid ev.Event.proc ev.Event.seq op.Memsim.Op.loc
+      (match op.Memsim.Op.kind with Memsim.Op.Read -> "R" | Memsim.Op.Write -> "W")
+      (encode_class op.Memsim.Op.cls)
+      op.Memsim.Op.value slot
+      (match op.Memsim.Op.label with None -> "-" | Some l -> l)
+
+let add_header buf (t : Trace.t) =
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   line "%s %d" magic version;
   line "model %s" t.Trace.model;
   line "truncated %d" (if t.Trace.truncated then 1 else 0);
   line "procs %d locs %d events %d" t.Trace.n_procs t.Trace.n_locs
-    (Array.length t.Trace.events);
-  Array.iter
-    (fun (ev : Event.t) ->
-      match ev.Event.body with
-      | Event.Computation { reads; writes; _ } ->
-        line "event %d proc %d seq %d comp reads %s writes %s" ev.Event.eid ev.Event.proc
-          ev.Event.seq (encode_set reads) (encode_set writes)
-      | Event.Sync { op; slot } ->
-        line "event %d proc %d seq %d sync loc %d kind %s cls %s value %d slot %d label %s"
-          ev.Event.eid ev.Event.proc ev.Event.seq op.Memsim.Op.loc
-          (match op.Memsim.Op.kind with Memsim.Op.Read -> "R" | Memsim.Op.Write -> "W")
-          (encode_class op.Memsim.Op.cls)
-          op.Memsim.Op.value slot
-          (match op.Memsim.Op.label with None -> "-" | Some l -> l))
-    t.Trace.events;
-  List.iter (fun (r, a) -> line "so1 %d %d" r a) t.Trace.so1;
+    (Array.length t.Trace.events)
+
+let add_sync_order buf (t : Trace.t) =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
   List.iter
     (fun (loc, eids) ->
       line "syncorder %d %s" loc
         (match eids with
          | [] -> "-"
          | _ -> String.concat "," (List.map string_of_int eids)))
-    t.Trace.sync_order;
+    t.Trace.sync_order
+
+let encode (t : Trace.t) =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  add_header buf t;
+  Array.iter (fun ev -> line "%s" (event_line ev)) t.Trace.events;
+  List.iter (fun (r, a) -> line "so1 %d %d" r a) t.Trace.so1;
+  add_sync_order buf t;
   Buffer.contents buf
 
 let write_file path t =
   let oc = open_out path in
   (try output_string oc (encode t)
+   with exn -> close_out_noerr oc; raise exn);
+  close_out oc
+
+(* -- stream-ordered encoding ----------------------------------------- *)
+
+exception Stuck
+
+let is_acquire (ev : Event.t) =
+  match ev.Event.body with
+  | Event.Sync { op; _ } -> op.Memsim.Op.cls = Memsim.Op.Acquire
+  | _ -> false
+
+(* Emit events in an hb1-topological interleaving (Kahn's algorithm over
+   po + so1, breaking ties toward the smallest (seq, proc)), with each
+   acquire's so1 record immediately before it and unpaired acquires
+   marked "so1 -" so a streaming consumer never stalls an event whose
+   predecessors it has already seen.  Raises [Stuck] on a cyclic hb1. *)
+let add_stream_body buf (t : Trace.t) =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let n = Array.length t.Trace.events in
+  let rels = Array.make n [] in
+  List.iter (fun (r, a) -> rels.(a) <- r :: rels.(a)) t.Trace.so1;
+  Array.iteri (fun i l -> rels.(i) <- List.rev l) rels;
+  let emitted = Array.make n false in
+  let idx = Array.make t.Trace.n_procs 0 in
+  let remaining = ref n in
+  while !remaining > 0 do
+    let best = ref None in
+    for p = 0 to t.Trace.n_procs - 1 do
+      if idx.(p) < Array.length t.Trace.by_proc.(p) then begin
+        let ev = t.Trace.by_proc.(p).(idx.(p)) in
+        if List.for_all (fun r -> emitted.(r)) rels.(ev.Event.eid) then begin
+          let key = (ev.Event.seq, p) in
+          match !best with
+          | Some (k, _, _) when compare k key <= 0 -> ()
+          | _ -> best := Some (key, p, ev)
+        end
+      end
+    done;
+    match !best with
+    | None -> raise Stuck
+    | Some (_, p, ev) ->
+      let eid = ev.Event.eid in
+      (match rels.(eid) with
+       | [] -> if is_acquire ev then line "so1 - %d" eid
+       | rs -> List.iter (fun r -> line "so1 %d %d" r eid) rs);
+      line "%s" (event_line ev);
+      emitted.(eid) <- true;
+      idx.(p) <- idx.(p) + 1;
+      decr remaining
+  done
+
+let encode_stream (t : Trace.t) =
+  let n = Array.length t.Trace.events in
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  add_header buf t;
+  match add_stream_body buf t with
+  | () ->
+    add_sync_order buf t;
+    line "end %d" n;
+    Buffer.contents buf
+  | exception Stuck ->
+    (* hb1 has a cycle, so no topological interleaving exists; fall back
+       to the batch layout (so1 records trailing), still terminated. *)
+    encode t ^ Printf.sprintf "end %d\n" n
+
+let write_stream_file path t =
+  let oc = open_out path in
+  (try output_string oc (encode_stream t)
    with exn -> close_out_noerr oc; raise exn);
   close_out oc
 
@@ -79,121 +163,281 @@ let parse_set lineno n_locs s =
            Graphlib.Bitset.add set v);
   set
 
-let decode text =
-  try
-    let lines =
-      String.split_on_char '\n' text
-      |> List.mapi (fun i l -> (i + 1, String.trim l))
-      |> List.filter (fun (_, l) -> l <> "")
-    in
-    let header, rest =
-      match lines with
-      | (n, h) :: rest -> ((n, h), rest)
-      | [] -> raise (Parse "empty trace")
-    in
-    (match String.split_on_char ' ' (snd header) with
+type sizes = { n_procs : int; n_locs : int; n_events : int }
+
+type record =
+  | Magic of int
+  | Model of string
+  | Truncated of bool
+  | Sizes of sizes
+  | Event of Event.t
+  | So1 of { release : int; acquire : int }
+  | So1_unpaired of int
+  | Sync_order of int * int list
+  | End of int
+
+type decoder = {
+  mutable seen_magic : bool;
+  mutable dsizes : sizes option;
+  partial : Buffer.t;
+  mutable lineno : int;
+  mutable offset : int; (* byte offset of the start of the current line *)
+  mutable failed : string option;
+}
+
+let decoder () =
+  { seen_magic = false; dsizes = None; partial = Buffer.create 256;
+    lineno = 0; offset = 0; failed = None }
+
+let decoder_sizes d = d.dsizes
+
+(* Parse one (possibly padded) line into a record; [None] for blanks.
+   Raises [Parse] — without positional prefix beyond the line number —
+   so callers can add their own byte-offset context. *)
+let decode_record d ~lineno raw =
+  let l = String.trim raw in
+  if l = "" then None
+  else if not d.seen_magic then begin
+    (match String.split_on_char ' ' l with
      | [ m; v ] when m = magic ->
-       if parse_int (fst header) v <> version then
-         fail (fst header) "unsupported version %s" v
-     | _ -> fail (fst header) "bad magic");
+       if parse_int lineno v <> version then
+         fail lineno "unsupported version %s" v
+     | _ -> fail lineno "bad magic");
+    d.seen_magic <- true;
+    Some (Magic version)
+  end
+  else begin
+    let ns =
+      match d.dsizes with
+      | Some s -> s
+      | None -> { n_procs = 0; n_locs = 0; n_events = 0 }
+    in
+    let check_eid what e =
+      if e < 0 || e >= ns.n_events then fail lineno "%s %d out of range" what e
+    in
+    match String.split_on_char ' ' l with
+    | [ "model"; m ] -> Some (Model m)
+    | [ "truncated"; v ] -> Some (Truncated (parse_int lineno v <> 0))
+    | [ "procs"; p; "locs"; lo; "events"; ev ] ->
+      let p = parse_int lineno p
+      and lo = parse_int lineno lo
+      and ev = parse_int lineno ev in
+      if p < 0 || lo < 0 || ev < 0 then fail lineno "negative size";
+      if p > max_dim || lo > max_dim || ev > max_dim then
+        fail lineno "size exceeds limit %d (corrupt header?)" max_dim;
+      let s = { n_procs = p; n_locs = lo; n_events = ev } in
+      d.dsizes <- Some s;
+      Some (Sizes s)
+    | "event" :: eid :: "proc" :: proc :: "seq" :: seq :: "comp" :: "reads" :: r
+      :: "writes" :: w :: [] ->
+      let eid = parse_int lineno eid in
+      check_eid "event id" eid;
+      let proc = parse_int lineno proc in
+      if proc < 0 || proc >= ns.n_procs then
+        fail lineno "processor %d out of range" proc;
+      Some
+        (Event
+           {
+             Event.eid;
+             proc;
+             seq = parse_int lineno seq;
+             body =
+               Event.Computation
+                 {
+                   reads = parse_set lineno ns.n_locs r;
+                   writes = parse_set lineno ns.n_locs w;
+                   ops = [];
+                 };
+           })
+    | "event" :: eid :: "proc" :: proc :: "seq" :: seq :: "sync" :: "loc" :: loc
+      :: "kind" :: kind :: "cls" :: cls :: "value" :: value :: "slot" :: slot
+      :: "label" :: label ->
+      let eid = parse_int lineno eid in
+      check_eid "event id" eid;
+      let kind =
+        match kind with
+        | "R" -> Memsim.Op.Read
+        | "W" -> Memsim.Op.Write
+        | k -> fail lineno "bad kind %S" k
+      in
+      let cls =
+        match decode_class cls with
+        | Some c -> c
+        | None -> fail lineno "bad class %S" cls
+      in
+      let label =
+        match String.concat " " label with "-" -> None | l -> Some l
+      in
+      let proc = parse_int lineno proc in
+      if proc < 0 || proc >= ns.n_procs then
+        fail lineno "processor %d out of range" proc;
+      let loc = parse_int lineno loc in
+      if loc < 0 || loc >= ns.n_locs then fail lineno "location %d out of range" loc;
+      Some
+        (Event
+           {
+             Event.eid;
+             proc;
+             seq = parse_int lineno seq;
+             body =
+               Event.Sync
+                 {
+                   op =
+                     {
+                       Memsim.Op.id = -1;
+                       proc;
+                       pindex = -1;
+                       loc;
+                       kind;
+                       cls;
+                       value = parse_int lineno value;
+                       label;
+                     };
+                   slot = parse_int lineno slot;
+                 };
+           })
+    | [ "so1"; "-"; a ] ->
+      let a = parse_int lineno a in
+      check_eid "so1 acquire" a;
+      Some (So1_unpaired a)
+    | [ "so1"; r; a ] ->
+      let r = parse_int lineno r and a = parse_int lineno a in
+      if r < 0 || r >= ns.n_events || a < 0 || a >= ns.n_events then
+        fail lineno "so1 pair out of range";
+      Some (So1 { release = r; acquire = a })
+    | [ "syncorder"; loc; eids ] ->
+      let loc = parse_int lineno loc in
+      let eids =
+        if eids = "-" || eids = "" then []
+        else String.split_on_char ',' eids |> List.map (parse_int lineno)
+      in
+      List.iter (fun e -> check_eid "sync order id" e) eids;
+      Some (Sync_order (loc, eids))
+    | [ "end"; n ] ->
+      let n = parse_int lineno n in
+      (match d.dsizes with
+       | Some s when n <> s.n_events ->
+         fail lineno "end record announces %d events, header says %d" n s.n_events
+       | _ -> ());
+      Some (End n)
+    | _ -> fail lineno "unrecognized record %S" l
+  end
+
+(* -- incremental (chunked) decoding ---------------------------------- *)
+
+let run_line d line ~f acc =
+  d.lineno <- d.lineno + 1;
+  let start = d.offset in
+  d.offset <- d.offset + String.length line + 1;
+  match decode_record d ~lineno:d.lineno line with
+  | None -> Ok acc
+  | Some r ->
+    (match f acc r with
+     | Ok _ as ok -> ok
+     | Error e -> Error (Printf.sprintf "line %d (byte %d): %s" d.lineno start e))
+  | exception Parse msg -> Error (Printf.sprintf "byte %d: %s" start msg)
+
+let feed d chunk ~f acc =
+  match d.failed with
+  | Some e -> Error e
+  | None ->
+    let n = String.length chunk in
+    let rec go pos acc =
+      if pos >= n then Ok acc
+      else
+        match String.index_from_opt chunk pos '\n' with
+        | None ->
+          Buffer.add_substring d.partial chunk pos (n - pos);
+          Ok acc
+        | Some j ->
+          Buffer.add_substring d.partial chunk pos (j - pos);
+          let line = Buffer.contents d.partial in
+          Buffer.clear d.partial;
+          (match run_line d line ~f acc with
+           | Ok acc -> go (j + 1) acc
+           | Error e -> d.failed <- Some e; Error e)
+    in
+    go 0 acc
+
+let finish_feed d ~f acc =
+  match d.failed with
+  | Some e -> Error e
+  | None ->
+    if Buffer.length d.partial = 0 then Ok acc
+    else begin
+      let line = Buffer.contents d.partial in
+      Buffer.clear d.partial;
+      match run_line d line ~f acc with
+      | Ok _ as ok -> ok
+      | Error e -> d.failed <- Some e; Error e
+    end
+
+let default_chunk = 65536
+
+let fold_string ?(chunk_size = default_chunk) text ~init ~f =
+  if chunk_size <= 0 then invalid_arg "Codec.fold_string: chunk_size";
+  let d = decoder () in
+  let n = String.length text in
+  let rec go pos acc =
+    if pos >= n then finish_feed d ~f acc
+    else
+      let len = min chunk_size (n - pos) in
+      match feed d (String.sub text pos len) ~f acc with
+      | Ok acc -> go (pos + len) acc
+      | Error _ as e -> e
+  in
+  go 0 init
+
+let fold_file ?(chunk_size = default_chunk) path ~init ~f =
+  if chunk_size <= 0 then invalid_arg "Codec.fold_file: chunk_size";
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let d = decoder () in
+    let buf = Bytes.create chunk_size in
+    let rec go acc =
+      match input ic buf 0 chunk_size with
+      | 0 -> finish_feed d ~f acc
+      | n ->
+        (match feed d (Bytes.sub_string buf 0 n) ~f acc with
+         | Ok acc -> go acc
+         | Error _ as e -> e)
+      | exception Sys_error msg -> Error msg
+    in
+    let r = go init in
+    close_in_noerr ic;
+    r
+
+(* -- batch decoding -------------------------------------------------- *)
+
+let decode text =
+  let d = decoder () in
+  try
     let model = ref "" in
     let truncated = ref false in
-    let n_procs = ref 0 and n_locs = ref 0 and n_events = ref 0 in
+    let sizes = ref { n_procs = 0; n_locs = 0; n_events = 0 } in
     let events : Event.t option array ref = ref [||] in
     let so1 = ref [] in
     let sync_order = ref [] in
-    let handle lineno l =
-      match String.split_on_char ' ' l with
-      | [ "model"; m ] -> model := m
-      | [ "truncated"; v ] -> truncated := parse_int lineno v <> 0
-      | [ "procs"; p; "locs"; lo; "events"; ev ] ->
-        n_procs := parse_int lineno p;
-        n_locs := parse_int lineno lo;
-        n_events := parse_int lineno ev;
-        if !n_procs < 0 || !n_locs < 0 || !n_events < 0 then
-          fail lineno "negative size";
-        events := Array.make !n_events None
-      | "event" :: eid :: "proc" :: proc :: "seq" :: seq :: "comp" :: "reads" :: r
-        :: "writes" :: w :: [] ->
-        let eid = parse_int lineno eid in
-        if eid < 0 || eid >= !n_events then fail lineno "event id %d out of range" eid;
-        !events.(eid) <-
-          Some
-            {
-              Event.eid;
-              proc = parse_int lineno proc;
-              seq = parse_int lineno seq;
-              body =
-                Event.Computation
-                  {
-                    reads = parse_set lineno !n_locs r;
-                    writes = parse_set lineno !n_locs w;
-                    ops = [];
-                  };
-            }
-      | "event" :: eid :: "proc" :: proc :: "seq" :: seq :: "sync" :: "loc" :: loc
-        :: "kind" :: kind :: "cls" :: cls :: "value" :: value :: "slot" :: slot
-        :: "label" :: label ->
-        let eid = parse_int lineno eid in
-        if eid < 0 || eid >= !n_events then fail lineno "event id %d out of range" eid;
-        let kind =
-          match kind with
-          | "R" -> Memsim.Op.Read
-          | "W" -> Memsim.Op.Write
-          | k -> fail lineno "bad kind %S" k
-        in
-        let cls =
-          match decode_class cls with
-          | Some c -> c
-          | None -> fail lineno "bad class %S" cls
-        in
-        let label =
-          match String.concat " " label with "-" -> None | l -> Some l
-        in
-        let proc = parse_int lineno proc in
-        let loc = parse_int lineno loc in
-        if loc < 0 || loc >= !n_locs then fail lineno "location %d out of range" loc;
-        !events.(eid) <-
-          Some
-            {
-              Event.eid;
-              proc;
-              seq = parse_int lineno seq;
-              body =
-                Event.Sync
-                  {
-                    op =
-                      {
-                        Memsim.Op.id = -1;
-                        proc;
-                        pindex = -1;
-                        loc;
-                        kind;
-                        cls;
-                        value = parse_int lineno value;
-                        label;
-                      };
-                    slot = parse_int lineno slot;
-                  };
-            }
-      | [ "so1"; r; a ] ->
-        let r = parse_int lineno r and a = parse_int lineno a in
-        if r < 0 || r >= !n_events || a < 0 || a >= !n_events then
-          fail lineno "so1 pair out of range";
-        so1 := (r, a) :: !so1
-      | [ "syncorder"; loc; eids ] ->
-        let loc = parse_int lineno loc in
-        let eids =
-          if eids = "-" || eids = "" then []
-          else String.split_on_char ',' eids |> List.map (parse_int lineno)
-        in
-        List.iter
-          (fun e -> if e < 0 || e >= !n_events then fail lineno "sync order id out of range")
-          eids;
-        sync_order := (loc, eids) :: !sync_order
-      | _ -> fail lineno "unrecognized record %S" l
-    in
-    List.iter (fun (n, l) -> handle n l) rest;
+    let saw = ref false in
+    List.iteri
+      (fun i line ->
+        match decode_record d ~lineno:(i + 1) line with
+        | None -> ()
+        | Some r ->
+          saw := true;
+          (match r with
+           | Magic _ | So1_unpaired _ | End _ -> ()
+           | Model m -> model := m
+           | Truncated b -> truncated := b
+           | Sizes s ->
+             sizes := s;
+             events := Array.make s.n_events None
+           | Event e -> !events.(e.Event.eid) <- Some e
+           | So1 { release; acquire } -> so1 := (release, acquire) :: !so1
+           | Sync_order (loc, eids) -> sync_order := (loc, eids) :: !sync_order))
+      (String.split_on_char '\n' text);
+    if not !saw then raise (Parse "empty trace");
     let events =
       Array.mapi
         (fun i ev ->
@@ -202,9 +446,7 @@ let decode text =
           | None -> fail 0 "missing event %d" i)
         !events
     in
-    if Array.exists (fun (e : Event.t) -> e.Event.proc < 0 || e.Event.proc >= !n_procs) events
-    then raise (Parse "event with processor out of range");
-    let by_proc = Array.make !n_procs [] in
+    let by_proc = Array.make !sizes.n_procs [] in
     Array.iter (fun (e : Event.t) -> by_proc.(e.Event.proc) <- e :: by_proc.(e.Event.proc)) events;
     let by_proc =
       Array.map
@@ -216,8 +458,8 @@ let decode text =
     in
     Ok
       {
-        Trace.n_procs = !n_procs;
-        n_locs = !n_locs;
+        Trace.n_procs = !sizes.n_procs;
+        n_locs = !sizes.n_locs;
         model = !model;
         truncated = !truncated;
         events;

@@ -31,3 +31,79 @@ val write_dir : string -> Trace.t -> unit
 val read_dir : string -> (Trace.t, string) Result.t
 (** Merge a {!write_dir} directory back into a trace; the result is
     {!equivalent} to the original. *)
+
+(** {1 Streaming}
+
+    The same record grammar, consumed incrementally: a {!decoder} turns
+    arbitrarily-chunked byte input into a sequence of {!record}s without
+    ever materializing the whole file, so a multi-gigabyte or growing
+    trace costs O(longest line) decoder memory.  Two extra record forms
+    support stream-ordered files (written by {!encode_stream}): ["so1 -
+    A"] marks acquire [A] as having no incoming so1 edge, and ["end N"]
+    terminates a complete trace of [N] events — the batch {!decode}
+    accepts and ignores both. *)
+
+type sizes = { n_procs : int; n_locs : int; n_events : int }
+
+type record =
+  | Magic of int  (** header line; carries the format version *)
+  | Model of string
+  | Truncated of bool
+  | Sizes of sizes
+  | Event of Event.t
+  | So1 of { release : int; acquire : int }
+  | So1_unpaired of int
+      (** stream-ordered traces only: the named acquire has no incoming
+          so1 edge, so a streaming consumer need not wait for one *)
+  | Sync_order of int * int list
+  | End of int
+      (** terminator carrying the event count; lets a follower know the
+          trace is complete *)
+
+type decoder
+(** Incremental decoder state: format validation (magic line first,
+    header sanity bounds), record parsing, and position tracking for
+    error messages.  Input may be split at arbitrary byte boundaries. *)
+
+val decoder : unit -> decoder
+
+val decoder_sizes : decoder -> sizes option
+(** The procs/locs/events header, once it has been decoded. *)
+
+val feed :
+  decoder -> string -> f:('a -> record -> ('a, string) result) -> 'a ->
+  ('a, string) result
+(** Append a chunk of bytes and fold [f] over every record completed by
+    it.  Errors — from the parser or from [f] — name the line number and
+    byte offset of the offending record, and poison the decoder: every
+    later call returns the same error. *)
+
+val finish_feed :
+  decoder -> f:('a -> record -> ('a, string) result) -> 'a ->
+  ('a, string) result
+(** Flush a trailing line that has no final newline.  Call once at end
+    of input. *)
+
+val fold_string :
+  ?chunk_size:int -> string -> init:'a ->
+  f:('a -> record -> ('a, string) result) -> ('a, string) result
+(** [feed]/[finish_feed] over a string, split into [chunk_size] pieces
+    (any size >= 1; useful for exercising chunk-boundary handling). *)
+
+val fold_file :
+  ?chunk_size:int -> string -> init:'a ->
+  f:('a -> record -> ('a, string) result) -> ('a, string) result
+(** Stream a trace file through [f] one record at a time, reading
+    [chunk_size] bytes (default 64 KiB) per syscall; the file is never
+    fully resident.  I/O failures are returned as [Error]. *)
+
+val encode_stream : Trace.t -> string
+(** Stream-ordered layout: events interleaved in an hb1-topological
+    order (Kahn over po + so1, smallest [(seq, proc)] first) with each
+    acquire's so1 record immediately before it, unpaired acquires marked
+    ["so1 -"], and a trailing ["end N"].  A streaming analyzer reading
+    this layout retires events as it goes (bounded live set); {!decode}
+    reads it identically to the batch layout.  If hb1 is cyclic no such
+    order exists and the batch layout (plus terminator) is emitted. *)
+
+val write_stream_file : string -> Trace.t -> unit
