@@ -953,6 +953,18 @@ let perf () =
       Test.make ~name:"ophb-races/random-big"
         (Staged.stage (fun () ->
              ignore (Racedetect.Ophb.data_races (Racedetect.Ophb.build ebig))));
+      (* the static analyzer never executes anything: whole-program memory
+         fixpoint + per-proc abstract interpretation + candidate pairing *)
+      Test.make ~name:"lint/queue_bug"
+        (Staged.stage (fun () ->
+             ignore (Staticcheck.Lint.analyze (Minilang.Programs.queue_bug ()))));
+      Test.make ~name:"lint/peterson"
+        (Staged.stage (fun () ->
+             ignore (Staticcheck.Lint.analyze Minilang.Programs.peterson)));
+      Test.make ~name:"lint/barrier_phases"
+        (Staged.stage (fun () ->
+             ignore
+               (Staticcheck.Lint.analyze (Minilang.Programs.barrier_phases ()))));
     ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in

@@ -753,6 +753,44 @@ let cost_cmd =
           sequentially consistent debug mode).")
     Term.(const run $ program_arg $ seed_arg)
 
+(* -- lint -------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run program sync model =
+    let p = or_fail (load_program program) in
+    or_fail (Minilang.Ast.validate p);
+    let r = Staticcheck.Lint.analyze p in
+    Format.printf "%a@." (Staticcheck.Lint.pp ?model ~show_sync:sync) r;
+    if r.Staticcheck.Lint.data_candidates <> [] then exit 2
+  in
+  let sync_arg =
+    let doc = "Itemize the unordered sync-sync pairs instead of counting them." in
+    Arg.(value & flag & info [ "sync" ] ~doc)
+  in
+  let model_opt_arg =
+    let parse s =
+      match Memsim.Model.of_name s with
+      | Some m -> Ok m
+      | None ->
+        Error (`Msg (Printf.sprintf "unknown model %S (SC|WO|RCsc|DRF0|DRF1)" s))
+    in
+    let print ppf m = Format.pp_print_string ppf (Memsim.Model.name m) in
+    let doc =
+      "Keep only the discipline findings relevant to this model (default: all)."
+    in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically check synchronization discipline and list candidate race \
+          pairs (a sound over-approximation: exits 2 when data candidates \
+          exist, 0 when the program is statically race-free).")
+    Term.(const run $ program_arg $ sync_arg $ model_opt_arg)
+
 let () =
   let doc = "dynamic data-race detection on weak memory systems (ISCA 1991)" in
   let info = Cmd.info "racedet" ~version:"1.0.0" ~doc in
@@ -761,4 +799,4 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; detect_cmd; trace_cmd; analyze_cmd;
             enumerate_cmd; check_cmd; cost_cmd; replay_cmd; graph_cmd; gen_cmd;
-            sweep_cmd ]))
+            sweep_cmd; lint_cmd ]))

@@ -31,36 +31,122 @@ type program = {
   symbols : (string * int) list;
 }
 
+type step = Nth of int | Then | Else | Body
+type path = step list
+
+let pp_path ppf = function
+  | [] -> Format.pp_print_string ppf "-"
+  | path ->
+    let pp_step ppf = function
+      | Nth i -> Format.pp_print_int ppf i
+      | Then -> Format.pp_print_string ppf "then"
+      | Else -> Format.pp_print_string ppf "else"
+      | Body -> Format.pp_print_string ppf "body"
+    in
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_char ppf '.')
+      pp_step ppf path
+
+let path_to_string p = Format.asprintf "%a" pp_path p
+
 let loc_name p l =
   match List.find_opt (fun (_, l') -> l' = l) p.symbols with
   | Some (n, _) -> n
   | None -> string_of_int l
 
-let rec const_addrs_ok n_locs instrs =
-  let addr_ok = function
-    | Int a -> a >= 0 && a < n_locs
-    | _ -> true (* computed addresses are checked at run time *)
-  in
-  List.for_all
-    (function
-      | Set _ | Fence _ -> true
-      | Load { addr; _ } | Sync_load { addr; _ } | Test_and_set { addr; _ } ->
-        addr_ok addr
-      | Store { addr; _ } | Sync_store { addr; _ } | Unset { addr; _ }
-      | Fetch_and_add { addr; _ } ->
-        addr_ok addr
-      | If (_, t, f) -> const_addrs_ok n_locs t && const_addrs_ok n_locs f
-      | While (_, body) -> const_addrs_ok n_locs body)
-    instrs
+(* Validation walks every instruction carrying its path so errors can say
+   where the offence sits, not just that one exists. *)
+
+let rec check_expr ~proc ~path = function
+  | Int _ | Reg _ -> Ok ()
+  | Neg e | Not e -> check_expr ~proc ~path e
+  | Bin (op, a, b) -> (
+    match (op, b) with
+    | Div, Int 0 ->
+      Error
+        (Printf.sprintf "P%d at %s: division by constant zero" proc
+           (path_to_string path))
+    | Mod, Int 0 ->
+      Error
+        (Printf.sprintf "P%d at %s: modulo by constant zero" proc
+           (path_to_string path))
+    | _ -> (
+      match check_expr ~proc ~path a with
+      | Error _ as e -> e
+      | Ok () -> check_expr ~proc ~path b))
+
+let check_addr ~n_locs ~proc ~path = function
+  | Int a when a < 0 || a >= n_locs ->
+    Error
+      (Printf.sprintf
+         "P%d at %s: constant address %d outside the location space [0, %d)"
+         proc (path_to_string path) a n_locs)
+  | _ -> Ok () (* computed addresses are checked at run time *)
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let rec check_block ~n_locs ~proc ~prefix instrs =
+  List.fold_left
+    (fun (i, acc) instr ->
+      let acc =
+        match acc with
+        | Error _ -> acc
+        | Ok () -> check_instr ~n_locs ~proc ~path:(prefix @ [ Nth i ]) instr
+      in
+      (i + 1, acc))
+    (0, Ok ()) instrs
+  |> snd
+
+and check_instr ~n_locs ~proc ~path instr =
+  let expr = check_expr ~proc ~path in
+  let addr = check_addr ~n_locs ~proc ~path in
+  match instr with
+  | Set (_, e) -> expr e
+  | Fence _ -> Ok ()
+  | Load { addr = a; _ } | Sync_load { addr = a; _ }
+  | Test_and_set { addr = a; _ } ->
+    let* () = expr a in
+    addr a
+  | Unset { addr = a; _ } ->
+    let* () = expr a in
+    addr a
+  | Store { addr = a; value; _ } | Sync_store { addr = a; value; _ } ->
+    let* () = expr a in
+    let* () = expr value in
+    addr a
+  | Fetch_and_add { addr = a; amount; _ } ->
+    let* () = expr a in
+    let* () = expr amount in
+    addr a
+  | If (c, t, f) ->
+    let* () = expr c in
+    let* () = check_block ~n_locs ~proc ~prefix:(path @ [ Then ]) t in
+    check_block ~n_locs ~proc ~prefix:(path @ [ Else ]) f
+  | While (c, body) ->
+    let* () = expr c in
+    check_block ~n_locs ~proc ~prefix:(path @ [ Body ]) body
 
 let validate p =
   if Array.length p.procs = 0 then Error "program has no processors"
   else if p.n_locs <= 0 then Error "program has no memory locations"
-  else if List.exists (fun (l, _) -> l < 0 || l >= p.n_locs) p.init then
-    Error "initialization outside the location space"
-  else if not (Array.for_all (const_addrs_ok p.n_locs) p.procs) then
-    Error "constant address outside the location space"
-  else Ok ()
+  else
+    match List.find_opt (fun (l, _) -> l < 0 || l >= p.n_locs) p.init with
+    | Some (l, _) ->
+      Error
+        (Printf.sprintf
+           "initialization of mem[%d] outside the location space [0, %d)" l
+           p.n_locs)
+    | None ->
+      let rec procs i =
+        if i >= Array.length p.procs then Ok ()
+        else
+          match
+            check_block ~n_locs:p.n_locs ~proc:i ~prefix:[] p.procs.(i)
+          with
+          | Error _ as e -> e
+          | Ok () -> procs (i + 1)
+      in
+      procs 0
 
 let binop_symbol = function
   | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"

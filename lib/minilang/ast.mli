@@ -52,12 +52,26 @@ type program = {
   symbols : (string * int) list;  (** location names, for reports *)
 }
 
+type step = Nth of int | Then | Else | Body
+    (** One step into a processor body: [Nth i] selects the [i]-th
+        instruction of a block, [Then]/[Else]/[Body] descend into the
+        corresponding branch of the [If]/[While] just selected. *)
+
+type path = step list
+(** Position of an instruction inside a processor body, e.g.
+    [[Nth 1; Then; Nth 0]] is rendered ["1.then.0"]. *)
+
+val pp_path : Format.formatter -> path -> unit
+val path_to_string : path -> string
+
 val loc_name : program -> int -> string
 (** Symbolic name of a location, or its number when anonymous. *)
 
 val validate : program -> (unit, string) Result.t
 (** Static checks: at least one processor, positive location count,
-    initializations and constant addresses in range. *)
+    initializations and constant addresses in range, no division or
+    modulo by a constant zero.  Errors name the processor and the
+    {!path} of the offending instruction. *)
 
 val binop_symbol : binop -> string
 (** Concrete-syntax spelling, e.g. [Add] ↦ ["+"]. *)

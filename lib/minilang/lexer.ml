@@ -15,12 +15,15 @@ type token =
   | KW_ACQUIRE | KW_RELEASE | KW_UNSET | KW_TAS | KW_FAA | KW_FENCE | KW_MEM
   | EOF
 
-type located = { token : token; line : int }
+type located = { token : token; line : int; col : int }
 
 exception Error of string
 
-let fail line fmt =
-  Printf.ksprintf (fun msg -> raise (Error (Printf.sprintf "line %d: %s" line msg))) fmt
+let fail line col fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise (Error (Printf.sprintf "line %d, column %d: %s" line col msg)))
+    fmt
 
 let keyword = function
   | "program" -> Some KW_PROGRAM
@@ -46,14 +49,17 @@ let is_digit c = c >= '0' && c <= '9'
 let tokenize src =
   let n = String.length src in
   let line = ref 1 in
+  let bol = ref 0 in
+  (* column of the byte at offset [i], 1-based *)
+  let col i = i - !bol + 1 in
   let out = ref [] in
-  let emit token = out := { token; line = !line } :: !out in
   let rec go i =
+    let emit token = out := { token; line = !line; col = col i } :: !out in
     if i >= n then emit EOF
     else
       let c = src.[i] in
       match c with
-      | '\n' -> incr line; go (i + 1)
+      | '\n' -> incr line; bol := i + 1; go (i + 1)
       | ' ' | '\t' | '\r' -> go (i + 1)
       | '#' ->
         let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
@@ -87,7 +93,7 @@ let tokenize src =
         let j = num i in
         (match int_of_string_opt (String.sub src i (j - i)) with
          | Some v -> emit (INT v)
-         | None -> fail !line "malformed number");
+         | None -> fail !line (col i) "malformed number");
         go j
       | c when is_ident_start c ->
         let rec word j = if j < n && is_ident_char src.[j] then word (j + 1) else j in
@@ -95,7 +101,7 @@ let tokenize src =
         let w = String.sub src i (j - i) in
         (match keyword w with Some k -> emit k | None -> emit (IDENT w));
         go j
-      | c -> fail !line "unexpected character %C" c
+      | c -> fail !line (col i) "unexpected character %C" c
   in
   go 0;
   List.rev !out

@@ -18,10 +18,12 @@ type token =
   | KW_ACQUIRE | KW_RELEASE | KW_UNSET | KW_TAS | KW_FAA | KW_FENCE | KW_MEM
   | EOF
 
-type located = { token : token; line : int }
+type located = { token : token; line : int; col : int }
+(** [line] and [col] are 1-based and mark the first character of the
+    token. *)
 
 exception Error of string
-(** Message includes the line number. *)
+(** Message includes the line and column numbers. *)
 
 val tokenize : string -> located list
 (** @raise Error on an unrecognized character or malformed number. *)

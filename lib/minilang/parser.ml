@@ -6,13 +6,17 @@ type state = {
   mutable proc_name : string;          (* for generated labels *)
 }
 
-let fail line fmt =
-  Printf.ksprintf (fun msg -> raise (Error (Printf.sprintf "line %d: %s" line msg))) fmt
+let fail (t : Lexer.located) fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Error (Printf.sprintf "line %d, column %d: %s" t.Lexer.line t.Lexer.col msg)))
+    fmt
 
 let peek st =
   match st.toks with
   | t :: _ -> t
-  | [] -> { Lexer.token = Lexer.EOF; line = 0 }
+  | [] -> { Lexer.token = Lexer.EOF; line = 0; col = 0 }
 
 let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
 
@@ -24,14 +28,14 @@ let next st =
 let expect st token =
   let t = next st in
   if t.Lexer.token <> token then
-    fail t.Lexer.line "expected %s, found %s" (Lexer.describe token)
+    fail t "expected %s, found %s" (Lexer.describe token)
       (Lexer.describe t.Lexer.token)
 
 let expect_ident st =
   let t = next st in
   match t.Lexer.token with
-  | Lexer.IDENT s -> (s, t.Lexer.line)
-  | other -> fail t.Lexer.line "expected an identifier, found %s" (Lexer.describe other)
+  | Lexer.IDENT s -> (s, t)
+  | other -> fail t "expected an identifier, found %s" (Lexer.describe other)
 
 let expect_int st =
   let t = next st in
@@ -40,8 +44,8 @@ let expect_int st =
   | Lexer.MINUS -> (
     match (next st).Lexer.token with
     | Lexer.INT v -> -v
-    | other -> fail t.Lexer.line "expected a number, found %s" (Lexer.describe other))
-  | other -> fail t.Lexer.line "expected a number, found %s" (Lexer.describe other)
+    | other -> fail t "expected a number, found %s" (Lexer.describe other))
+  | other -> fail t "expected a number, found %s" (Lexer.describe other)
 
 let is_loc st name = List.mem_assoc name st.locs
 let loc_addr st name = List.assoc name st.locs
@@ -116,13 +120,13 @@ and parse_unary st =
     e
   | Lexer.IDENT name ->
     if is_loc st name then
-      fail t.Lexer.line
+      fail t
         "location %S used inside an expression; load it into a register first" name
     else begin
       advance st;
       Ast.Reg name
     end
-  | other -> fail t.Lexer.line "expected an expression, found %s" (Lexer.describe other)
+  | other -> fail t "expected an expression, found %s" (Lexer.describe other)
 
 (* -- lvalues: named location or mem[expr] ---------------------------- *)
 
@@ -137,7 +141,7 @@ let parse_lvalue st =
     e
   | Lexer.IDENT name when is_loc st name -> advance st; Ast.Int (loc_addr st name)
   | other ->
-    fail t.Lexer.line "expected a memory location, found %s" (Lexer.describe other)
+    fail t "expected a memory location, found %s" (Lexer.describe other)
 
 let looks_like_lvalue st =
   match (peek st).Lexer.token with
@@ -204,7 +208,7 @@ and parse_stmt st =
     advance st;
     expect st Lexer.ASSIGN;
     parse_register_rhs st reg line
-  | other -> fail line "expected a statement, found %s" (Lexer.describe other)
+  | other -> fail t "expected a statement, found %s" (Lexer.describe other)
 
 and parse_register_rhs st reg line =
   match (peek st).Lexer.token with
@@ -231,7 +235,7 @@ and parse_register_rhs st reg line =
      | Lexer.PLUS | Lexer.MINUS | Lexer.STAR | Lexer.SLASH | Lexer.PERCENT
      | Lexer.EQEQ | Lexer.NEQ | Lexer.LT | Lexer.LE | Lexer.GT | Lexer.GE
      | Lexer.ANDAND | Lexer.OROR ->
-       fail (peek st).Lexer.line
+       fail (peek st)
          "memory cannot appear inside an expression; load it into a register first"
      | _ -> load)
   | _ -> Ast.Set (reg, parse_expr st)
@@ -252,8 +256,8 @@ let parse_program st =
   let next_addr = ref extra_locs in
   while (peek st).Lexer.token = Lexer.KW_LOC do
     advance st;
-    let lname, lline = expect_ident st in
-    if is_loc st lname then fail lline "location %S declared twice" lname;
+    let lname, ltok = expect_ident st in
+    if is_loc st lname then fail ltok "location %S declared twice" lname;
     st.locs <- st.locs @ [ (lname, !next_addr) ];
     if (peek st).Lexer.token = Lexer.EQUALS then begin
       advance st;
@@ -276,7 +280,7 @@ let parse_program st =
   done;
   let t = peek st in
   if t.Lexer.token <> Lexer.EOF then
-    fail t.Lexer.line "unexpected %s after the last processor"
+    fail t "unexpected %s after the last processor"
       (Lexer.describe t.Lexer.token);
   let p =
     {

@@ -89,6 +89,24 @@ let mp_release_acquire =
       ];
     ]
 
+let handoff_update =
+  program ~name:"handoff_update" ~locs:[ "data"; "flag" ]
+    [
+      [
+        store "data" (i 7) ~label:"P1:write-data";
+        release_store "flag" (i 1) ~label:"P1:release-flag";
+      ];
+      [
+        acquire_load "f" "flag" ~label:"P2:acquire-flag";
+        if_ (r "f" =: i 1)
+          [
+            load "d" "data" ~label:"P2:read-data";
+            store "data" (r "d" +: i 1) ~label:"P2:update-data";
+          ]
+          [];
+      ];
+    ]
+
 let guarded_handoff =
   program ~name:"guarded_handoff" ~locs:[ "x"; "flag" ] ~init:[ ("flag", 1) ]
     [
@@ -227,6 +245,7 @@ let all =
     ("dekker", dekker);
     ("mp_data_flag", mp_data_flag);
     ("mp_release_acquire", mp_release_acquire);
+    ("handoff_update", handoff_update);
     ("guarded_handoff", guarded_handoff);
     ("unguarded_handoff", unguarded_handoff);
     ("counter_locked", counter_locked);

@@ -37,6 +37,12 @@ val mp_release_acquire : Ast.program
     (the flag race is sync–sync, which Definition 2.4 does not count as a
     data race). *)
 
+val handoff_update : Ast.program
+(** Release/acquire handoff where the consumer also {e writes} the
+    payload.  Data-race-free, but the Eraser-style lockset baseline
+    false-alarms on the consumer's write (no lock is ever held), while
+    the static sync-pairing analysis proves the ordering. *)
+
 val guarded_handoff : Ast.program
 (** P0 stores a value and Unsets a flag; P1 Test&Sets the flag and reads
     the value only if it acquired.  Data-race-free without any spinning,

@@ -1,0 +1,178 @@
+type t = Bot | Itv of int * int
+
+let bot = Bot
+let top = Itv (min_int, max_int)
+let of_int n = Itv (n, n)
+let interval lo hi = if lo > hi then Bot else Itv (lo, hi)
+let is_bot = function Bot -> true | Itv _ -> false
+let singleton = function Itv (a, b) when a = b -> Some a | _ -> None
+let contains t n = match t with Bot -> false | Itv (a, b) -> a <= n && n <= b
+let equal a b = a = b
+
+let leq a b =
+  match (a, b) with
+  | Bot, _ -> true
+  | _, Bot -> false
+  | Itv (a1, b1), Itv (a2, b2) -> a2 <= a1 && b1 <= b2
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Itv (a1, b1), Itv (a2, b2) -> Itv (min a1 a2, max b1 b2)
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, b1), Itv (a2, b2) -> interval (max a1 a2) (min b1 b2)
+
+let widen old next =
+  match (old, next) with
+  | Bot, x | x, Bot -> x
+  | Itv (a, b), Itv (c, d) ->
+    Itv ((if c < a then min_int else a), (if d > b then max_int else b))
+
+(* -- saturating bound arithmetic -------------------------------------- *)
+
+let is_fin x = x <> min_int && x <> max_int
+
+let badd a b =
+  if a = min_int || b = min_int then min_int
+  else if a = max_int || b = max_int then max_int
+  else
+    let s = a + b in
+    if a >= 0 && b >= 0 && s < 0 then max_int
+    else if a < 0 && b < 0 && s >= 0 then min_int
+    else s
+
+let bneg a = if a = min_int then max_int else if a = max_int then min_int else -a
+
+let bmul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let sign = (a > 0) = (b > 0) in
+    if not (is_fin a) || not (is_fin b) then if sign then max_int else min_int
+    else
+      let lim = 1 lsl 31 in
+      if abs a > lim || abs b > lim then if sign then max_int else min_int
+      else a * b
+
+let add a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, b1), Itv (a2, b2) -> Itv (badd a1 a2, badd b1 b2)
+
+let neg = function Bot -> Bot | Itv (a, b) -> Itv (bneg b, bneg a)
+let sub a b = add a (neg b)
+
+let mul a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, b1), Itv (a2, b2) ->
+    let c = [ bmul a1 a2; bmul a1 b2; bmul b1 a2; bmul b1 b2 ] in
+    Itv (List.fold_left min max_int c, List.fold_left max min_int c)
+
+let div a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, b1), Itv (a2, b2) ->
+    (* the interpreter evaluates x/0 to 0, so a divisor straddling 0 can
+       yield anything in between; go to top rather than model it finely *)
+    if a2 <= 0 && 0 <= b2 then top
+    else if not (is_fin a1 && is_fin b1 && is_fin a2 && is_fin b2) then top
+    else
+      let c = [ a1 / a2; a1 / b2; b1 / a2; b1 / b2 ] in
+      Itv (List.fold_left min max_int c, List.fold_left max min_int c)
+
+let md a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, _), Itv (a2, b2) ->
+    if a2 <= 0 && 0 <= b2 then top
+    else if not (is_fin a2 && is_fin b2) then top
+    else
+      let m = max (abs a2) (abs b2) - 1 in
+      if a1 >= 0 then Itv (0, m) else Itv (-m, m)
+
+let definitely_zero = function Itv (0, 0) -> true | _ -> false
+
+let definitely_nonzero = function
+  | Bot -> false
+  | t -> not (contains t 0)
+
+let lognot = function
+  | Bot -> Bot
+  | t ->
+    if definitely_zero t then of_int 1
+    else if definitely_nonzero t then of_int 0
+    else interval 0 1
+
+let bool_itv definite_true definite_false =
+  if definite_true then of_int 1
+  else if definite_false then of_int 0
+  else interval 0 1
+
+let cmp op a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Itv (a1, b1), Itv (a2, b2) -> (
+    let module A = Minilang.Ast in
+    match op with
+    | A.Eq ->
+      bool_itv
+        (a1 = b1 && a2 = b2 && a1 = a2)
+        (is_bot (meet a b))
+    | A.Ne ->
+      bool_itv (is_bot (meet a b)) (a1 = b1 && a2 = b2 && a1 = a2)
+    | A.Lt -> bool_itv (b1 < a2) (a1 >= b2)
+    | A.Le -> bool_itv (b1 <= a2) (a1 > b2)
+    | A.Gt -> bool_itv (a1 > b2) (b1 <= a2)
+    | A.Ge -> bool_itv (a1 >= b2) (b1 < a2)
+    | A.And ->
+      bool_itv
+        (definitely_nonzero a && definitely_nonzero b)
+        (definitely_zero a || definitely_zero b)
+    | A.Or ->
+      bool_itv
+        (definitely_nonzero a || definitely_nonzero b)
+        (definitely_zero a && definitely_zero b)
+    | A.Add | A.Sub | A.Mul | A.Div | A.Mod ->
+      invalid_arg "Absdom.cmp: arithmetic operator")
+
+let exclude t v =
+  match t with
+  | Bot -> Bot
+  | Itv (a, b) ->
+    if a = v && b = v then Bot
+    else if a = v then Itv (a + 1, b)
+    else if b = v then Itv (a, b - 1)
+    else t
+
+let below = function
+  | Bot -> Bot
+  | Itv (_, b) -> if b = min_int then Bot else Itv (min_int, badd b (-1))
+
+let above = function
+  | Bot -> Bot
+  | Itv (a, _) -> if a = max_int then Bot else Itv (badd a 1, max_int)
+
+let at_most = function Bot -> Bot | Itv (_, b) -> Itv (min_int, b)
+let at_least = function Bot -> Bot | Itv (a, _) -> Itv (a, max_int)
+
+let iter_ints t ~lo ~hi f =
+  match meet t (interval lo hi) with
+  | Bot -> ()
+  | Itv (a, b) ->
+    for v = a to b do
+      f v
+    done
+
+let pp ppf = function
+  | Bot -> Format.pp_print_string ppf "bot"
+  | Itv (a, b) when a = b -> Format.pp_print_int ppf a
+  | Itv (a, b) ->
+    let bound ppf x =
+      if x = min_int then Format.pp_print_string ppf "-inf"
+      else if x = max_int then Format.pp_print_string ppf "+inf"
+      else Format.pp_print_int ppf x
+    in
+    Format.fprintf ppf "[%a,%a]" bound a bound b

@@ -1,0 +1,60 @@
+(** Interval abstract domain for register and memory values.
+
+    Bounds saturate: [min_int]/[max_int] act as -∞/+∞.  The domain
+    over-approximates the interpreter's semantics of {!Minilang.Ast.expr}
+    — division and modulo by zero evaluate to 0, [Not] maps 0 to 1 and
+    everything else to 0 — so that the abstract value of an expression
+    always contains every value the interpreter can produce (assuming no
+    native-integer overflow; see DESIGN.md). *)
+
+type t = private Bot | Itv of int * int
+
+val bot : t
+val top : t
+val of_int : int -> t
+
+val interval : int -> int -> t
+(** [interval lo hi] is [Bot] when [lo > hi]. *)
+
+val is_bot : t -> bool
+val singleton : t -> int option
+val contains : t -> int -> bool
+val equal : t -> t -> bool
+val leq : t -> t -> bool
+val join : t -> t -> t
+val meet : t -> t -> t
+
+val widen : t -> t -> t
+(** [widen old next] jumps unstable bounds to infinity. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val md : t -> t -> t
+val lognot : t -> t
+
+val cmp : Minilang.Ast.binop -> t -> t -> t
+(** Abstract result of a comparison or logical binop: a sub-interval of
+    [0, 1]. *)
+
+val definitely_zero : t -> bool
+val definitely_nonzero : t -> bool
+
+val exclude : t -> int -> t
+(** Remove value [v] when it sits on a boundary (intervals cannot
+    represent interior holes). *)
+
+val below : t -> t
+(** Values strictly less than some element: upper bound [hi - 1],
+    unbounded below. *)
+
+val above : t -> t
+val at_most : t -> t
+val at_least : t -> t
+
+val iter_ints : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Iterate the members clipped to [lo, hi]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,394 @@
+module Ast = Minilang.Ast
+module Op = Memsim.Op
+module Smap = Map.Make (String)
+module Iset = Set.Make (Int)
+
+type sync_kind = Tas | Acq
+type src = Any | Sync of { sk : sync_kind; loc : int; other : Absdom.t }
+type aval = { v : Absdom.t; src : src }
+
+type state = { env : aval Smap.t; facts : Iset.t; held : Iset.t; wrote : bool }
+
+type tables = {
+  tas_guard_ok : int -> bool;
+  acq_guard_ok : int -> value:int -> bool;
+}
+
+let no_tables =
+  { tas_guard_ok = (fun _ -> false); acq_guard_ok = (fun _ ~value:_ -> false) }
+
+type access = {
+  proc : int;
+  node : int;
+  path : Ast.path;
+  label : string option;
+  op_name : string;
+  kind : Op.kind;
+  cls : Op.op_class;
+  addr : Absdom.t;
+  wval : Absdom.t;
+  facts : Iset.t;
+  held : Iset.t;
+}
+
+type fence = {
+  f_proc : int;
+  f_node : int;
+  f_path : Ast.path;
+  f_label : string option;
+  f_may_drain : bool;
+}
+
+type proc_result = {
+  cfg : Cfg.t;
+  reachable : bool array;
+  accesses : access list;
+  fences : fence list;
+}
+
+(* -- environments ----------------------------------------------------- *)
+
+let zero = { v = Absdom.of_int 0; src = Any }
+let lookup env r = match Smap.find_opt r env with Some a -> a | None -> zero
+
+let join_aval ~widen a b =
+  let ( |+| ) = if widen then Absdom.widen else Absdom.join in
+  let src =
+    match (a.src, b.src) with
+    | Any, Any -> Any
+    | Sync s1, Sync s2 when s1.sk = s2.sk && s1.loc = s2.loc ->
+      Sync { s1 with other = s1.other |+| s2.other }
+    | Sync s, Any -> Sync { s with other = s.other |+| b.v }
+    | Any, Sync s -> Sync { s with other = s.other |+| a.v }
+    | Sync _, Sync _ -> Any
+  in
+  { v = a.v |+| b.v; src }
+
+let join_env ~widen a b =
+  Smap.merge
+    (fun _ x y ->
+      let x = Option.value x ~default:zero
+      and y = Option.value y ~default:zero in
+      Some (join_aval ~widen x y))
+    a b
+
+let join_state ~widen a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some a, Some b ->
+    Some
+      {
+        env = join_env ~widen a.env b.env;
+        facts = Iset.inter a.facts b.facts;
+        held = Iset.inter a.held b.held;
+        wrote = a.wrote || b.wrote;
+      }
+
+let equal_src a b =
+  match (a, b) with
+  | Any, Any -> true
+  | Sync s1, Sync s2 ->
+    s1.sk = s2.sk && s1.loc = s2.loc && Absdom.equal s1.other s2.other
+  | _ -> false
+
+let equal_state a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+    a.wrote = b.wrote && Iset.equal a.facts b.facts && Iset.equal a.held b.held
+    && Smap.equal
+         (fun x y -> Absdom.equal x.v y.v && equal_src x.src y.src)
+         (Smap.filter (fun _ x -> x <> zero) a.env)
+         (Smap.filter (fun _ x -> x <> zero) b.env)
+  | _ -> false
+
+(* -- expression evaluation -------------------------------------------- *)
+
+let rec eval env = function
+  | Ast.Int n -> Absdom.of_int n
+  | Ast.Reg r -> (lookup env r).v
+  | Ast.Neg e -> Absdom.neg (eval env e)
+  | Ast.Not e -> Absdom.lognot (eval env e)
+  | Ast.Bin (op, a, b) -> (
+    let va = eval env a and vb = eval env b in
+    match op with
+    | Ast.Add -> Absdom.add va vb
+    | Ast.Sub -> Absdom.sub va vb
+    | Ast.Mul -> Absdom.mul va vb
+    | Ast.Div -> Absdom.div va vb
+    | Ast.Mod -> Absdom.md va vb
+    | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.And | Ast.Or
+      ->
+      Absdom.cmp op va vb)
+
+(* -- branch refinement ------------------------------------------------ *)
+
+let set_reg st r v =
+  let old = lookup st.env r in
+  if Absdom.is_bot v then None
+  else Some { st with env = Smap.add r { old with v } st.env }
+
+(* refine the state under the assumption that [cond] evaluates to
+   [expected]; None when the assumption is abstractly impossible *)
+let rec refine st cond expected =
+  let cv = eval st.env cond in
+  if Absdom.is_bot cv then None
+  else if expected && Absdom.definitely_zero cv then None
+  else if (not expected) && Absdom.definitely_nonzero cv then None
+  else
+    match (cond, expected) with
+    | Ast.Not e, _ -> refine st e (not expected)
+    | Ast.Reg r, true -> set_reg st r (Absdom.exclude (lookup st.env r).v 0)
+    | Ast.Reg r, false ->
+      set_reg st r (Absdom.meet (lookup st.env r).v (Absdom.of_int 0))
+    | Ast.Bin (Ast.And, a, b), true ->
+      Option.bind (refine st a true) (fun st -> refine st b true)
+    | Ast.Bin (Ast.Or, a, b), false ->
+      Option.bind (refine st a false) (fun st -> refine st b false)
+    | Ast.Bin (op, a, b), _ -> (
+      let cmp =
+        match (op, expected) with
+        | Ast.Eq, true | Ast.Ne, false -> Some `Eq
+        | Ast.Ne, true | Ast.Eq, false -> Some `Ne
+        | Ast.Lt, true | Ast.Ge, false -> Some `Lt
+        | Ast.Le, true | Ast.Gt, false -> Some `Le
+        | Ast.Gt, true | Ast.Le, false -> Some `Gt
+        | Ast.Ge, true | Ast.Lt, false -> Some `Ge
+        | _ -> None
+      in
+      match cmp with
+      | None -> Some st
+      | Some cmp ->
+        let va = eval st.env a and vb = eval st.env b in
+        let bound_l, bound_r =
+          (* admissible values for the left / right operand *)
+          match cmp with
+          | `Eq -> (vb, va)
+          | `Ne ->
+            let ne self other =
+              match Absdom.singleton other with
+              | Some v -> Absdom.exclude self v
+              | None -> self
+            in
+            (ne va vb, ne vb va)
+          | `Lt -> (Absdom.below vb, Absdom.above va)
+          | `Le -> (Absdom.at_most vb, Absdom.at_least va)
+          | `Gt -> (Absdom.above vb, Absdom.below va)
+          | `Ge -> (Absdom.at_least vb, Absdom.at_most va)
+        in
+        let narrow st e bound =
+          match (st, e) with
+          | None, _ -> None
+          | Some st, Ast.Reg r ->
+            set_reg st r (Absdom.meet (lookup st.env r).v bound)
+          | Some st, _ -> Some st
+        in
+        narrow (narrow (Some st) a bound_l) b bound_r)
+    | _ -> Some st
+
+(* promote branch knowledge into facts and the static lockset: a sync-read
+   register pinned to a value its non-sync contributions cannot produce
+   proves which write the sync read observed *)
+let harvest tables (st : state) : state =
+  Smap.fold
+    (fun _ av (st : state) ->
+      match av.src with
+      | Any -> st
+      | Sync { sk; loc; other } -> (
+        match Absdom.singleton av.v with
+        | Some v when not (Absdom.contains other v) ->
+          let fact =
+            match sk with
+            | Tas -> v = 0 && tables.tas_guard_ok loc
+            | Acq -> tables.acq_guard_ok loc ~value:v
+          in
+          let st =
+            if fact then { st with facts = Iset.add loc st.facts } else st
+          in
+          if sk = Tas && v = 0 then { st with held = Iset.add loc st.held }
+          else st
+        | _ -> st))
+    st.env st
+
+(* -- transfer --------------------------------------------------------- *)
+
+let transfer ~n_locs ~mem_read st (stmt : Cfg.stmt) =
+  let clip a = Absdom.meet a (Absdom.interval 0 (n_locs - 1)) in
+  let release_kill st addr =
+    let a = clip (eval st.env addr) in
+    let killed l = Absdom.contains a l in
+    (* a Test&Set register proving "we hold l" stops proving it the
+       moment l is released: scrub the provenance, or harvesting would
+       put l right back into [held] at the next edge *)
+    let env =
+      Smap.map
+        (fun av ->
+          match av.src with
+          | Sync { sk = Tas; loc; _ } when killed loc -> { av with src = Any }
+          | _ -> av)
+        st.env
+    in
+    { st with env; held = Iset.filter (fun l -> not (killed l)) st.held }
+  in
+  match stmt with
+  | Cfg.Entry | Cfg.Exit | Cfg.Branch _ -> st
+  | Cfg.Atomic i -> (
+    match i with
+    | Ast.Set (r, e) ->
+      let av =
+        match e with
+        | Ast.Reg r' -> lookup st.env r'
+        | _ -> { v = eval st.env e; src = Any }
+      in
+      { st with env = Smap.add r av st.env }
+    | Ast.Load { reg; addr; _ } ->
+      let v = mem_read (clip (eval st.env addr)) in
+      { st with env = Smap.add reg { v; src = Any } st.env }
+    | Ast.Sync_load { reg; addr; _ } ->
+      let a = clip (eval st.env addr) in
+      let src =
+        match Absdom.singleton a with
+        | Some l -> Sync { sk = Acq; loc = l; other = Absdom.bot }
+        | None -> Any
+      in
+      { st with env = Smap.add reg { v = mem_read a; src } st.env }
+    | Ast.Test_and_set { reg; addr; _ } ->
+      let a = clip (eval st.env addr) in
+      let src =
+        match Absdom.singleton a with
+        | Some l -> Sync { sk = Tas; loc = l; other = Absdom.bot }
+        | None -> Any
+      in
+      { st with env = Smap.add reg { v = mem_read a; src } st.env }
+    | Ast.Fetch_and_add { reg; addr; _ } ->
+      let v = mem_read (clip (eval st.env addr)) in
+      { st with env = Smap.add reg { v; src = Any } st.env }
+    | Ast.Store _ -> { st with wrote = true }
+    | Ast.Sync_store { addr; _ } -> release_kill st addr
+    | Ast.Unset { addr; _ } -> release_kill st addr
+    | Ast.Fence _ -> st
+    | Ast.If _ | Ast.While _ -> st)
+
+(* -- fixpoint --------------------------------------------------------- *)
+
+let widen_threshold = 8
+
+let analyze ~proc ~n_locs ~mem_read ~tables instrs =
+  let cfg = Cfg.build instrs in
+  let n = Array.length cfg.Cfg.nodes in
+  let in_state : state option array = Array.make n None in
+  let joins = Array.make n 0 in
+  (* widening only at loop heads — the targets of back edges (node ids
+     are allocated in program order, so an edge to a not-later node loops
+     back to a While branch); widening everywhere would destroy the
+     refinement the loop-exit and loop-entry guards provide *)
+  let widen_point = Array.make n false in
+  Array.iteri
+    (fun src succs ->
+      List.iter (fun (_, dst) -> if dst <= src then widen_point.(dst) <- true)
+        succs)
+    cfg.Cfg.succ;
+  in_state.(cfg.Cfg.entry) <-
+    Some
+      { env = Smap.empty; facts = Iset.empty; held = Iset.empty; wrote = false };
+  let queue = Queue.create () in
+  let on_queue = Array.make n false in
+  let push id =
+    if not on_queue.(id) then begin
+      on_queue.(id) <- true;
+      Queue.push id queue
+    end
+  in
+  push cfg.Cfg.entry;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    on_queue.(id) <- false;
+    match in_state.(id) with
+    | None -> ()
+    | Some st ->
+      let out = transfer ~n_locs ~mem_read st cfg.Cfg.nodes.(id).Cfg.stmt in
+      List.iter
+        (fun (guard, dst) ->
+          let edge_st =
+            match guard with
+            | Cfg.Always -> Some out
+            | Cfg.Cond (c, expected) -> refine out c expected
+          in
+          let edge_st = Option.map (harvest tables) edge_st in
+          match edge_st with
+          | None -> ()
+          | Some _ ->
+            joins.(dst) <- joins.(dst) + 1;
+            let widen = widen_point.(dst) && joins.(dst) > widen_threshold in
+            let merged = join_state ~widen in_state.(dst) edge_st in
+            if not (equal_state merged in_state.(dst)) then begin
+              in_state.(dst) <- merged;
+              push dst
+            end)
+        cfg.Cfg.succ.(id)
+  done;
+  (* emit accesses from the fixpoint states, in program order *)
+  let reachable = Array.map (fun s -> s <> None) in_state in
+  let accesses = ref [] and fences = ref [] in
+  let emit node st (i : Ast.instr) =
+    let { Cfg.path; _ } = node in
+    let mk op_name kind cls ~label ~addr ~wval =
+      let a = Absdom.meet (eval st.env addr) (Absdom.interval 0 (n_locs - 1)) in
+      accesses :=
+        {
+          proc;
+          node = node.Cfg.id;
+          path;
+          label;
+          op_name;
+          kind;
+          cls;
+          addr = a;
+          wval;
+          facts = st.facts;
+          held = st.held;
+        }
+        :: !accesses
+    in
+    let top = Absdom.top in
+    match i with
+    | Ast.Set _ -> ()
+    | Ast.Load { addr; label; _ } ->
+      mk "load" Op.Read Op.Data ~label ~addr ~wval:top
+    | Ast.Store { addr; value; label } ->
+      mk "store" Op.Write Op.Data ~label ~addr ~wval:(eval st.env value)
+    | Ast.Sync_load { addr; label; _ } ->
+      mk "acquire" Op.Read Op.Acquire ~label ~addr ~wval:top
+    | Ast.Sync_store { addr; value; label } ->
+      mk "release" Op.Write Op.Release ~label ~addr ~wval:(eval st.env value)
+    | Ast.Test_and_set { addr; label; _ } ->
+      mk "test&set" Op.Read Op.Acquire ~label ~addr ~wval:top;
+      mk "test&set" Op.Write Op.Plain_sync ~label ~addr
+        ~wval:(Absdom.of_int 1)
+    | Ast.Unset { addr; label } ->
+      mk "unset" Op.Write Op.Release ~label ~addr ~wval:(Absdom.of_int 0)
+    | Ast.Fetch_and_add { addr; amount; label; _ } ->
+      mk "fetch&add" Op.Read Op.Acquire ~label ~addr ~wval:top;
+      let read = mem_read (Absdom.meet (eval st.env addr)
+                             (Absdom.interval 0 (n_locs - 1))) in
+      mk "fetch&add" Op.Write Op.Plain_sync ~label ~addr
+        ~wval:(Absdom.add read (eval st.env amount))
+    | Ast.Fence { label } ->
+      fences :=
+        {
+          f_proc = proc;
+          f_node = node.Cfg.id;
+          f_path = path;
+          f_label = label;
+          f_may_drain = st.wrote;
+        }
+        :: !fences
+    | Ast.If _ | Ast.While _ -> ()
+  in
+  Array.iter
+    (fun node ->
+      match (in_state.(node.Cfg.id), node.Cfg.stmt) with
+      | Some st, Cfg.Atomic i -> emit node st i
+      | _ -> ())
+    cfg.Cfg.nodes;
+  { cfg; reachable; accesses = List.rev !accesses; fences = List.rev !fences }

@@ -1,0 +1,83 @@
+(** Abstract interpretation of one processor body.
+
+    A worklist fixpoint over {!Cfg} computes, at every node, an interval
+    environment for the registers plus two kinds of synchronization
+    knowledge used by the race-candidate pruning:
+
+    - [facts]: locations [L] such that on {e every} path reaching the
+      node, an acquire that necessarily paired with some release of [L]
+      (under so1) has already executed — established when a branch
+      refines a register holding a Test&Set or acquire result to a value
+      that only release-class writes can produce (the {!tables} say
+      which guards are trustworthy);
+    - [held]: locations whose Test&Set returned 0 on every path, with no
+      intervening release by this processor — the static lockset.
+
+    Accesses are recorded with the fixpoint state of their node, giving
+    each a sound over-approximation of the addresses it can touch and
+    the values it can write. *)
+
+type sync_kind = Tas | Acq
+
+type src = Any | Sync of { sk : sync_kind; loc : int; other : Absdom.t }
+(** Provenance of a register value: [Sync] means the value may come from
+    the given synchronization read; [other] over-approximates every
+    contribution that does {e not} come from that read, so refining the
+    register to a value outside [other] proves the sync read produced
+    it. *)
+
+type aval = { v : Absdom.t; src : src }
+
+module Iset : Set.S with type elt = int
+
+type tables = {
+  tas_guard_ok : int -> bool;
+      (** [Test&Set] on this location returning 0 implies pairing with a
+          release: the location is never 0 initially and every write
+          that may store 0 is release-class. *)
+  acq_guard_ok : int -> value:int -> bool;
+      (** An acquire of this location reading [value] implies pairing:
+          the initial value differs and only release-class writes may
+          store [value]. *)
+}
+
+val no_tables : tables
+(** Both checks answer [false]; used for the first analysis phase, before
+    the discipline tables exist. *)
+
+type access = {
+  proc : int;
+  node : int;
+  path : Minilang.Ast.path;
+  label : string option;
+  op_name : string;  (** concrete-syntax name: "load", "test&set", ... *)
+  kind : Memsim.Op.kind;
+  cls : Memsim.Op.op_class;
+  addr : Absdom.t;   (** clipped to the location space *)
+  wval : Absdom.t;   (** written value; [Absdom.top] for reads *)
+  facts : Iset.t;
+  held : Iset.t;
+}
+
+type fence = {
+  f_proc : int;
+  f_node : int;
+  f_path : Minilang.Ast.path;
+  f_label : string option;
+  f_may_drain : bool;  (** a data store may precede it on some path *)
+}
+
+type proc_result = {
+  cfg : Cfg.t;
+  reachable : bool array;  (** indexed by node id; abstract reachability *)
+  accesses : access list;  (** reachable accesses, in program order *)
+  fences : fence list;
+}
+
+val analyze :
+  proc:int ->
+  n_locs:int ->
+  mem_read:(Absdom.t -> Absdom.t) ->
+  tables:tables ->
+  Minilang.Ast.instr list ->
+  proc_result

@@ -1,0 +1,81 @@
+module Op = Memsim.Op
+module Iset = Absint.Iset
+
+type pair = {
+  a : Absint.access;
+  b : Absint.access;
+  locs : Absdom.t;
+  data : bool;
+}
+
+(* every release site of [l] lies in [x]'s processor, after [x] *)
+let handoff_orders program dt (x : Absint.access) (y : Absint.access) =
+  Iset.exists
+    (fun l ->
+      match Disctab.releases dt l with
+      | [] -> false
+      | rels ->
+        List.for_all
+          (fun (u : Absint.access) ->
+            u.Absint.proc = x.Absint.proc
+            && Cfg.always_before
+                 program.Minilang.Ast.procs.(x.Absint.proc)
+                 x.Absint.path u.Absint.path)
+          rels)
+    y.Absint.facts
+
+let mutex_orders dt (a : Absint.access) (b : Absint.access) =
+  Iset.exists (fun l -> Disctab.mutex_ok dt l)
+    (Iset.inter a.Absint.held b.Absint.held)
+
+let ordered program dt a b =
+  mutex_orders dt a b
+  || handoff_orders program dt a b
+  || handoff_orders program dt b a
+
+let find program dt accesses =
+  let arr = Array.of_list accesses in
+  let pairs = ref [] in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if a.Absint.proc <> b.Absint.proc then begin
+        let a, b = if a.Absint.proc < b.Absint.proc then (a, b) else (b, a) in
+        let locs = Absdom.meet a.Absint.addr b.Absint.addr in
+        let conflict =
+          (not (Absdom.is_bot locs))
+          && (a.Absint.kind = Op.Write || b.Absint.kind = Op.Write)
+        in
+        if conflict && not (ordered program dt a b) then
+          pairs :=
+            {
+              a;
+              b;
+              locs;
+              data = a.Absint.cls = Op.Data || b.Absint.cls = Op.Data;
+            }
+            :: !pairs
+      end
+    done
+  done;
+  let key p =
+    ( (not p.data),
+      p.a.Absint.proc,
+      p.a.Absint.node,
+      p.b.Absint.proc,
+      p.b.Absint.node,
+      p.a.Absint.kind,
+      p.b.Absint.kind )
+  in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt tbl (key p) with
+      | Some q ->
+        Hashtbl.replace tbl (key p)
+          { p with locs = Absdom.join p.locs q.locs }
+      | None -> Hashtbl.add tbl (key p) p)
+    !pairs;
+  Hashtbl.fold (fun _ p acc -> p :: acc) tbl []
+  |> List.sort (fun p q -> compare (key p) (key q))

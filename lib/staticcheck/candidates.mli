@@ -1,0 +1,32 @@
+(** Static may-happen-in-parallel race candidates.
+
+    Two reachable accesses from different processors form a candidate
+    when their address abstractions intersect, at least one writes, and
+    no static synchronization argument orders them.  Three ordering
+    arguments are tried — all justified by so1 pairing, i.e. by an
+    acquire that can only have read a release-written value:
+
+    - {e mutex}: both accesses hold a common Test&Set lock whose
+      discipline is clean ({!Disctab.mutex_ok});
+    - {e handoff} in either direction: one side's [facts] prove a
+      release of [L] happens-before it, and every release site of [L]
+      sits in the other side's processor, always after the other
+      access.
+
+    Everything else is emitted: the set over-approximates, never
+    misses (the qcheck differential suite in [test/staticcheck]
+    enforces this against the dynamic detector). *)
+
+type pair = {
+  a : Absint.access;
+  b : Absint.access;  (** [a.proc < b.proc] *)
+  locs : Absdom.t;    (** intersection of the two address abstractions *)
+  data : bool;        (** at least one endpoint is a data access *)
+}
+
+val find : Minilang.Ast.program -> Disctab.t -> Absint.access list -> pair list
+(** All candidate pairs, deduplicated by site, data pairs first, in
+    program order.  Callers split on [data]: data pairs are the analogue
+    of the paper's data races; sync-sync pairs are reported separately
+    (unordered synchronization is often benign contention, e.g. two
+    Test&Sets on one lock). *)

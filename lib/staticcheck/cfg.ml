@@ -1,0 +1,88 @@
+module Ast = Minilang.Ast
+
+type stmt = Entry | Exit | Branch of Ast.expr | Atomic of Ast.instr
+type guard = Always | Cond of Ast.expr * bool
+type node = { id : int; path : Ast.path; stmt : stmt }
+
+type t = {
+  nodes : node array;
+  succ : (guard * int) list array;
+  entry : int;
+  exit_ : int;
+}
+
+let build instrs =
+  let nodes = ref [] in
+  let n = ref 0 in
+  let edges = ref [] in
+  let add_node path stmt =
+    let id = !n in
+    incr n;
+    nodes := { id; path; stmt } :: !nodes;
+    id
+  in
+  (* a frontier is the set of dangling (source, guard) edges waiting for
+     the next node in program order *)
+  let wire frontier dst =
+    List.iter (fun (src, g) -> edges := (src, g, dst) :: !edges) frontier
+  in
+  let rec block prefix frontier instrs =
+    List.fold_left
+      (fun (i, frontier) instr ->
+        let path = prefix @ [ Ast.Nth i ] in
+        let frontier =
+          match instr with
+          | Ast.If (c, t, f) ->
+            let b = add_node path (Branch c) in
+            wire frontier b;
+            let ft = block (path @ [ Ast.Then ]) [ (b, Cond (c, true)) ] t in
+            let ff = block (path @ [ Ast.Else ]) [ (b, Cond (c, false)) ] f in
+            ft @ ff
+          | Ast.While (c, body) ->
+            let b = add_node path (Branch c) in
+            wire frontier b;
+            let fb = block (path @ [ Ast.Body ]) [ (b, Cond (c, true)) ] body in
+            wire fb b;
+            [ (b, Cond (c, false)) ]
+          | _ ->
+            let a = add_node path (Atomic instr) in
+            wire frontier a;
+            [ (a, Always) ]
+        in
+        (i + 1, frontier))
+      (0, frontier) instrs
+    |> snd
+  in
+  let entry = add_node [] Entry in
+  let frontier = block [] [ (entry, Always) ] instrs in
+  let exit_ = add_node [] Exit in
+  wire frontier exit_;
+  let nodes =
+    List.rev !nodes |> Array.of_list
+  in
+  let succ = Array.make (Array.length nodes) [] in
+  List.iter (fun (src, g, dst) -> succ.(src) <- (g, dst) :: succ.(src)) !edges;
+  { nodes; succ; entry; exit_ }
+
+let rec always_before instrs p1 p2 =
+  walk instrs false p1 p2
+
+and walk instrs in_loop p1 p2 =
+  match (p1, p2) with
+  | Ast.Nth i :: r1, Ast.Nth j :: r2 ->
+    if i <> j then (not in_loop) && i < j
+    else (
+      match (List.nth_opt instrs i, r1, r2) with
+      | Some (Ast.If (_, t, f)), tag1 :: q1, tag2 :: q2 -> (
+        match (tag1, tag2) with
+        | Ast.Then, Ast.Then -> walk t in_loop q1 q2
+        | Ast.Else, Ast.Else -> walk f in_loop q1 q2
+        | Ast.Then, Ast.Else | Ast.Else, Ast.Then ->
+          (* exclusive arms: both sites can never execute in one run, so
+             the ordering claim is vacuous — unless a loop re-enters *)
+          not in_loop
+        | _ -> false)
+      | Some (Ast.While (_, body)), Ast.Body :: q1, Ast.Body :: q2 ->
+        walk body true q1 q2
+      | _ -> false)
+  | _ -> false

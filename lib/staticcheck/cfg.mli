@@ -1,0 +1,37 @@
+(** Per-processor control-flow graph over {!Minilang.Ast.instr}.
+
+    Straight-line instructions become [Atomic] nodes; [If]/[While]
+    conditions become [Branch] nodes whose outgoing edges carry the
+    condition and its expected truth value, which is what lets the
+    abstract interpreter refine register intervals on each arm.  Every
+    node remembers its {!Minilang.Ast.path} so diagnostics can say where
+    it sits in the source. *)
+
+type stmt =
+  | Entry
+  | Exit
+  | Branch of Minilang.Ast.expr
+  | Atomic of Minilang.Ast.instr
+
+type guard =
+  | Always
+  | Cond of Minilang.Ast.expr * bool  (** condition, expected truth *)
+
+type node = { id : int; path : Minilang.Ast.path; stmt : stmt }
+
+type t = {
+  nodes : node array;
+  succ : (guard * int) list array;  (** edges [node.id -> (guard, dest)] *)
+  entry : int;
+  exit_ : int;
+}
+
+val build : Minilang.Ast.instr list -> t
+
+val always_before :
+  Minilang.Ast.instr list -> Minilang.Ast.path -> Minilang.Ast.path -> bool
+(** [always_before body p1 p2] holds when, within one processor, every
+    execution that reaches the instruction at [p2] has already executed
+    the instruction at [p1] — or the two can never both execute
+    (exclusive [If] arms).  Divergence under a [While] is never ordered,
+    because iterations interleave the two sites both ways. *)

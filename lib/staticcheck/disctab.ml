@@ -1,0 +1,91 @@
+module Op = Memsim.Op
+
+type t = {
+  program : Minilang.Ast.program;
+  accesses : Absint.access list;
+}
+
+let build program accesses = { program; accesses }
+
+let init_value t l =
+  match List.assoc_opt l t.program.Minilang.Ast.init with
+  | Some v -> v
+  | None -> 0
+
+let touches (a : Absint.access) l = Absdom.contains a.Absint.addr l
+
+let writes t l =
+  List.filter (fun a -> a.Absint.kind = Op.Write && touches a l) t.accesses
+
+let releases t l =
+  List.filter
+    (fun a ->
+      a.Absint.kind = Op.Write && a.Absint.cls = Op.Release && touches a l)
+    t.accesses
+
+let acquires t l =
+  List.filter
+    (fun a ->
+      a.Absint.kind = Op.Read && a.Absint.cls = Op.Acquire && touches a l)
+    t.accesses
+
+let plain_sync_writes t l =
+  List.filter
+    (fun a ->
+      a.Absint.kind = Op.Write && a.Absint.cls = Op.Plain_sync && touches a l)
+    t.accesses
+
+let data_accesses t l =
+  List.filter (fun a -> a.Absint.cls = Op.Data && touches a l) t.accesses
+
+let sync_locs t =
+  let locs = Hashtbl.create 16 in
+  List.iter
+    (fun (a : Absint.access) ->
+      if a.Absint.cls <> Op.Data then
+        Absdom.iter_ints a.Absint.addr ~lo:0
+          ~hi:(t.program.Minilang.Ast.n_locs - 1) (fun l ->
+            Hashtbl.replace locs l ()))
+    t.accesses;
+  Hashtbl.fold (fun l () acc -> l :: acc) locs []
+  |> List.sort compare
+
+(* only release-class writes can ever store [v] into [l] *)
+let value_needs_release t l v =
+  List.for_all
+    (fun (a : Absint.access) ->
+      (not (Absdom.contains a.Absint.wval v)) || a.Absint.cls = Op.Release)
+    (writes t l)
+
+let tas_guard_ok t l = init_value t l <> 0 && value_needs_release t l 0
+
+let acq_guard_ok t l ~value =
+  init_value t l <> value && value_needs_release t l value
+
+let tables t =
+  (* memoized: the fixpoint consults these on every edge visit *)
+  let memo tbl key compute =
+    match Hashtbl.find_opt tbl key with
+    | Some b -> b
+    | None ->
+      let b = compute () in
+      Hashtbl.add tbl key b;
+      b
+  in
+  let tas_memo = Hashtbl.create 8 and acq_memo = Hashtbl.create 8 in
+  {
+    Absint.tas_guard_ok =
+      (fun l -> memo tas_memo l (fun () -> tas_guard_ok t l));
+    acq_guard_ok =
+      (fun l ~value ->
+        memo acq_memo (l, value) (fun () -> acq_guard_ok t l ~value));
+  }
+
+let mutex_ok t l =
+  value_needs_release t l 0
+  &&
+  match releases t l with
+  | [] -> false
+  | rels ->
+    List.for_all (fun (r : Absint.access) -> Absint.Iset.mem l r.Absint.held)
+      rels

@@ -1,0 +1,35 @@
+(** Per-location synchronization-discipline tables, derived from the
+    reachable accesses of a whole-program abstract interpretation.
+
+    These answer the questions the ordering patterns in {!Candidates} and
+    the guard harvesting in {!Absint} depend on: which writes can put a
+    given value into a location, whether those writes are release-class,
+    and where the release sites live. *)
+
+type t
+
+val build : Minilang.Ast.program -> Absint.access list -> t
+
+val init_value : t -> int -> int
+
+val tables : t -> Absint.tables
+(** The guard-trust tables for the final {!Absint} pass. *)
+
+val mutex_ok : t -> int -> bool
+(** Location behaves as a Test&Set mutex: every write that may store 0
+    is release-class, at least one release exists, and every release
+    site is reached holding the lock (so releases close critical
+    sections). *)
+
+val releases : t -> int -> Absint.access list
+(** Reachable release-class write sites that may touch the location. *)
+
+val acquires : t -> int -> Absint.access list
+(** Reachable acquire-class read sites that may touch the location. *)
+
+val plain_sync_writes : t -> int -> Absint.access list
+
+val data_accesses : t -> int -> Absint.access list
+
+val sync_locs : t -> int list
+(** Locations touched by at least one sync access, ascending. *)

@@ -1,0 +1,151 @@
+module Ast = Minilang.Ast
+module Op = Memsim.Op
+module Model = Memsim.Model
+
+type report = {
+  program : Ast.program;
+  results : Absint.proc_result array;
+  disctab : Disctab.t;
+  findings : Syncdisc.finding list;
+  data_candidates : Candidates.pair list;
+  sync_candidates : Candidates.pair list;
+}
+
+(* -- the three phases ------------------------------------------------- *)
+
+let init_mem (p : Ast.program) =
+  Array.init p.n_locs (fun l ->
+      Absdom.of_int
+        (match List.assoc_opt l p.init with Some v -> v | None -> 0))
+
+let mem_reader mem n_locs a =
+  let acc = ref Absdom.bot in
+  Absdom.iter_ints a ~lo:0 ~hi:(n_locs - 1) (fun l ->
+      acc := Absdom.join !acc mem.(l));
+  !acc
+
+let run_pass (p : Ast.program) mem tables =
+  Array.mapi
+    (fun proc instrs ->
+      Absint.analyze ~proc ~n_locs:p.n_locs
+        ~mem_read:(mem_reader mem p.n_locs)
+        ~tables instrs)
+    p.procs
+
+let all_accesses results =
+  Array.to_list results |> List.concat_map (fun r -> r.Absint.accesses)
+
+(* the flow-insensitive memory abstraction: init joined with every value
+   any reachable write may store; iterated with the per-processor pass
+   until mutually stable, widening once the chains get long *)
+let fix_memory (p : Ast.program) =
+  let collect results =
+    let nm = init_mem p in
+    List.iter
+      (fun (a : Absint.access) ->
+        if a.Absint.kind = Op.Write then
+          Absdom.iter_ints a.Absint.addr ~lo:0 ~hi:(p.n_locs - 1) (fun l ->
+              nm.(l) <- Absdom.join nm.(l) a.Absint.wval))
+      (all_accesses results);
+    nm
+  in
+  let rec iterate mem results round =
+    let nm = collect results in
+    let nm =
+      if round >= 4 then Array.mapi (fun l v -> Absdom.widen mem.(l) v) nm
+      else Array.mapi (fun l v -> Absdom.join mem.(l) v) nm
+    in
+    if Array.for_all2 Absdom.equal nm mem || round > 50 then (mem, results)
+    else iterate nm (run_pass p nm Absint.no_tables) (round + 1)
+  in
+  let mem0 = init_mem p in
+  iterate mem0 (run_pass p mem0 Absint.no_tables) 1
+
+let analyze (p : Ast.program) =
+  let mem, phase1 = fix_memory p in
+  let tables = Disctab.tables (Disctab.build p (all_accesses phase1)) in
+  let results = run_pass p mem tables in
+  let disctab = Disctab.build p (all_accesses results) in
+  let findings = Syncdisc.check p disctab results in
+  let candidates = Candidates.find p disctab (all_accesses results) in
+  let data_candidates, sync_candidates =
+    List.partition (fun c -> c.Candidates.data) candidates
+  in
+  { program = p; results; disctab; findings; data_candidates; sync_candidates }
+
+(* -- rendering -------------------------------------------------------- *)
+
+let pp_locs p ppf (a : Absdom.t) =
+  match Absdom.singleton a with
+  | Some l -> Format.pp_print_string ppf (Ast.loc_name p l)
+  | None -> (
+    match (a : Absdom.t) with
+    | Absdom.Bot -> Format.pp_print_string ppf "mem[]"
+    | Absdom.Itv (lo, hi) when lo <> min_int && hi <> max_int ->
+      Format.fprintf ppf "mem[%d..%d]" lo hi
+    | Absdom.Itv _ -> Format.pp_print_string ppf "mem[*]")
+
+let verb (a : Absint.access) =
+  match (a.Absint.op_name, a.Absint.kind) with
+  | (("test&set" | "fetch&add") as n), Op.Read -> n ^ " (read)"
+  | (("test&set" | "fetch&add") as n), Op.Write -> n ^ " (write)"
+  | n, _ -> n
+
+let pp_side p ppf (a : Absint.access) =
+  Format.fprintf ppf "P%d at %s%s: %s %a" a.Absint.proc
+    (Ast.path_to_string a.Absint.path)
+    (match a.Absint.label with Some l -> " (" ^ l ^ ")" | None -> "")
+    (verb a) (pp_locs p) a.Absint.addr
+
+let pp_pair p ppf (c : Candidates.pair) =
+  Format.fprintf ppf "%a  <->  %a  on %a" (pp_side p) c.Candidates.a
+    (pp_side p) c.Candidates.b (pp_locs p) c.Candidates.locs
+
+let pp_finding ppf (f : Syncdisc.finding) =
+  (match (f.Syncdisc.w_proc, f.Syncdisc.w_path) with
+  | Some proc, Some path ->
+    Format.fprintf ppf "P%d at %s%s: " proc (Ast.path_to_string path)
+      (match f.Syncdisc.w_label with Some l -> " (" ^ l ^ ")" | None -> "")
+  | _ -> Format.fprintf ppf "program: ");
+  Format.pp_print_string ppf f.Syncdisc.w_msg;
+  match f.Syncdisc.w_models with
+  | [] -> ()
+  | ms ->
+    Format.fprintf ppf " [%s]" (String.concat ", " (List.map Model.name ms))
+
+let pp ?model ?(show_sync = false) ppf r =
+  let p = r.program in
+  let lines = ref [] in
+  let add fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
+  add "program %s: %d processors, %d locations" p.Ast.name
+    (Array.length p.Ast.procs) p.Ast.n_locs;
+  let findings =
+    match model with
+    | None -> r.findings
+    | Some m ->
+      List.filter
+        (fun (f : Syncdisc.finding) ->
+          f.Syncdisc.w_models = [] || List.mem m f.Syncdisc.w_models)
+        r.findings
+  in
+  add "";
+  add "sync discipline:";
+  if findings = [] then add "  no findings"
+  else List.iter (fun f -> add "  %a" pp_finding f) findings;
+  add "";
+  add "data race candidates:";
+  (match r.data_candidates with
+  | [] -> add "  none: the program is statically data-race-free under every model"
+  | cands ->
+    List.iter (fun c -> add "  %a" (pp_pair p) c) cands;
+    add
+      "  %d candidate pair(s): any data race an execution exhibits is among \
+       these"
+      (List.length cands));
+  (match r.sync_candidates with
+  | [] -> ()
+  | sync ->
+    add "";
+    add "unordered sync-sync pairs (informational): %d" (List.length sync);
+    if show_sync then List.iter (fun c -> add "  %a" (pp_pair p) c) sync);
+  Format.pp_print_string ppf (String.concat "\n" (List.rev !lines))

@@ -1,0 +1,30 @@
+(** Driver for the static analysis: runs the whole-program abstract
+    interpretation to a fixpoint, derives the discipline tables, and
+    produces the sync-discipline findings plus the candidate race
+    pairs. *)
+
+type report = {
+  program : Minilang.Ast.program;
+  results : Absint.proc_result array;
+  disctab : Disctab.t;
+  findings : Syncdisc.finding list;
+  data_candidates : Candidates.pair list;
+      (** at least one endpoint is a data access: the static analogue of
+          the paper's data races.  Empty means the analysis {e proves}
+          the program free of data races under every model. *)
+  sync_candidates : Candidates.pair list;
+      (** unordered sync-sync pairs; informational (lock contention is
+          one of these) *)
+}
+
+val analyze : Minilang.Ast.program -> report
+
+val pp :
+  ?model:Memsim.Model.t ->
+  ?show_sync:bool ->
+  Format.formatter ->
+  report ->
+  unit
+(** [?model] keeps only the findings relevant to that model;
+    [?show_sync] (default false) itemizes the sync-sync pairs instead of
+    just counting them. *)

@@ -1,0 +1,160 @@
+module Ast = Minilang.Ast
+module Op = Memsim.Op
+module Model = Memsim.Model
+
+type finding = {
+  w_proc : int option;
+  w_path : Ast.path option;
+  w_label : string option;
+  w_loc : int option;
+  w_models : Model.t list;
+  w_msg : string;
+}
+
+let of_access ?(models = []) (a : Absint.access) msg =
+  {
+    w_proc = Some a.Absint.proc;
+    w_path = Some a.Absint.path;
+    w_label = a.Absint.label;
+    w_loc = None;
+    w_models = models;
+    w_msg = msg;
+  }
+
+let is_sync_instr = function
+  | Ast.Sync_load _ | Ast.Sync_store _ | Ast.Test_and_set _ | Ast.Unset _
+  | Ast.Fetch_and_add _ | Ast.Fence _ ->
+    true
+  | _ -> false
+
+let check program dt (results : Absint.proc_result array) =
+  let out = ref [] in
+  let emit f = out := f :: !out in
+  (* per-processor structural findings, in program order *)
+  Array.iteri
+    (fun proc (r : Absint.proc_result) ->
+      Array.iter
+        (fun (node : Cfg.node) ->
+          match node.Cfg.stmt with
+          | Cfg.Atomic i
+            when is_sync_instr i && not r.Absint.reachable.(node.Cfg.id) ->
+            let label =
+              match i with
+              | Ast.Sync_load { label; _ }
+              | Ast.Sync_store { label; _ }
+              | Ast.Test_and_set { label; _ }
+              | Ast.Unset { label; _ }
+              | Ast.Fetch_and_add { label; _ }
+              | Ast.Fence { label } ->
+                label
+              | _ -> None
+            in
+            emit
+              {
+                w_proc = Some proc;
+                w_path = Some node.Cfg.path;
+                w_label = label;
+                w_loc = None;
+                w_models = [];
+                w_msg = "unreachable synchronization: this point never executes";
+              }
+          | _ -> ())
+        r.Absint.cfg.Cfg.nodes;
+      List.iter
+        (fun (f : Absint.fence) ->
+          if r.Absint.reachable.(f.Absint.f_node) && not f.Absint.f_may_drain
+          then
+            emit
+              {
+                w_proc = Some proc;
+                w_path = Some f.Absint.f_path;
+                w_label = f.Absint.f_label;
+                w_loc = None;
+                w_models = [];
+                w_msg =
+                  "fence drains nothing: no data store can be buffered here";
+              })
+        r.Absint.fences)
+    results;
+  (* per-location pairing findings *)
+  let all_accesses =
+    Array.to_list results |> List.concat_map (fun r -> r.Absint.accesses)
+  in
+  List.iter
+    (fun l ->
+      let name = Ast.loc_name program l in
+      let acquires = Disctab.acquires dt l in
+      let releases = Disctab.releases dt l in
+      let plain = Disctab.plain_sync_writes dt l in
+      (match (acquires, releases, plain) with
+      | a :: _, [], _ :: _ ->
+        emit
+          (of_access ~models:[ Model.DRF1 ] a
+             (Printf.sprintf
+                "acquires of %s can only observe Test&Set/Fetch&Add writes, \
+                 which are not releases: no so1 pairing under DRF1 (DRF0's \
+                 symmetric synchronization still orders them)"
+                name))
+      | a :: _, [], [] ->
+        emit
+          (of_access a
+             (Printf.sprintf
+                "acquires of %s can never pair: no synchronization write to \
+                 %s exists"
+                name name))
+      | _ -> ());
+      List.iter
+        (fun (u : Absint.access) ->
+          let foreign_acquire =
+            List.exists
+              (fun (a : Absint.access) -> a.Absint.proc <> u.Absint.proc)
+              acquires
+          in
+          if not foreign_acquire then
+            emit
+              (of_access u
+                 (Printf.sprintf
+                    "release of %s orders nothing: no acquire of %s in any \
+                     other processor"
+                    name name)))
+        releases;
+      (* a Test&Set whose result never pins a guard acquires for nothing *)
+      let tas_sites =
+        List.filter
+          (fun (a : Absint.access) -> a.Absint.op_name = "test&set")
+          acquires
+      in
+      (match tas_sites with
+      | t :: _ ->
+        let used =
+          List.exists
+            (fun (a : Absint.access) ->
+              Absint.Iset.mem l a.Absint.held
+              || Absint.Iset.mem l a.Absint.facts)
+            all_accesses
+        in
+        if not used then
+          emit
+            (of_access t
+               (Printf.sprintf
+                  "the result of test&set(%s) never guards anything: no \
+                   later instruction is conditional on it having read 0"
+                  name))
+      | [] -> ());
+      if Disctab.data_accesses dt l <> [] then
+        emit
+          {
+            w_proc = None;
+            w_path = None;
+            w_label = None;
+            w_loc = Some l;
+            w_models = [ Model.DRF0; Model.DRF1 ];
+            w_msg =
+              Printf.sprintf
+                "%s is used both as data and for synchronization: the \
+                 program is not well-labeled, so the DRF0/DRF1 guarantees \
+                 do not apply to it"
+                name;
+          })
+    (Disctab.sync_locs dt);
+  List.rev !out

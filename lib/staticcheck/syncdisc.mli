@@ -1,0 +1,23 @@
+(** Synchronization-discipline diagnostics (warnings, not races).
+
+    These check the labeling assumptions behind Condition 3.4 and the
+    DRF0/DRF1 models: releases that no acquire can observe, acquires
+    with no release to pair with, Test&Set results that are never
+    examined, unreachable synchronization, fences with nothing to
+    drain, and locations serving both as data and as synchronization.
+    A finding may be specific to some models (e.g. a location whose
+    only sync writes are Test&Set writes orders accesses under DRF0's
+    symmetric synchronization but not under DRF1, where a Test&Set
+    write is not a release). *)
+
+type finding = {
+  w_proc : int option;            (** None for whole-program findings *)
+  w_path : Minilang.Ast.path option;
+  w_label : string option;
+  w_loc : int option;             (** location concerned, if any *)
+  w_models : Memsim.Model.t list; (** empty = applies to every model *)
+  w_msg : string;
+}
+
+val check :
+  Minilang.Ast.program -> Disctab.t -> Absint.proc_result array -> finding list

@@ -7,6 +7,7 @@ The stock program list:
   dekker               2 procs, 2 locations
   mp_data_flag         2 procs, 2 locations
   mp_release_acquire   2 procs, 2 locations
+  handoff_update       2 procs, 2 locations
   guarded_handoff      2 procs, 2 locations
   unguarded_handoff    2 procs, 2 locations
   counter_locked       2 procs, 2 locations

@@ -26,7 +26,7 @@ Program files in the concrete syntax work everywhere a stock name does:
   0 exhibit data races
   the program is data-race-free: every weak execution is SC
 
-Parse errors carry line numbers:
+Parse errors carry line and column numbers:
 
   $ cat > broken.race <<'EOF'
   > program broken
@@ -36,5 +36,5 @@ Parse errors carry line numbers:
   > }
   > EOF
   $ racedet detect broken.race
-  racedet: line 4: memory cannot appear inside an expression; load it into a register first
+  racedet: line 4, column 10: memory cannot appear inside an expression; load it into a register first
   [1]

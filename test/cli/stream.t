@@ -18,6 +18,7 @@ every stock program, in both trace layouts:
   dekker: identical (exit 2)
   mp_data_flag: identical (exit 2)
   mp_release_acquire: identical (exit 0)
+  handoff_update: identical (exit 0)
   guarded_handoff: identical (exit 0)
   unguarded_handoff: identical (exit 2)
   counter_locked: identical (exit 0)

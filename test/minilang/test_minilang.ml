@@ -19,6 +19,14 @@ let test_validate_rejects () =
         { base with
           Ast.procs = [| [ Ast.Load { reg = "r"; addr = Ast.Int 99; label = None } ] |]
         } );
+      ( "constant division by zero",
+        { base with
+          Ast.procs = [| [ Ast.Set ("r", Ast.Bin (Ast.Div, Ast.Int 1, Ast.Int 0)) ] |]
+        } );
+      ( "constant modulo by zero",
+        { base with
+          Ast.procs = [| [ Ast.Set ("r", Ast.Bin (Ast.Mod, Ast.Int 1, Ast.Int 0)) ] |]
+        } );
     ]
   in
   List.iter
@@ -27,6 +35,27 @@ let test_validate_rejects () =
       | Error _ -> ()
       | Ok () -> Alcotest.failf "%s: expected a validation error" name)
     cases;
+  (* errors name the processor and the instruction path *)
+  let contains msg needle =
+    let nl = String.length needle and ml = String.length msg in
+    let rec go i = i + nl <= ml && (String.sub msg i nl = needle || go (i + 1)) in
+    go 0
+  in
+  (match
+     Ast.validate
+       { base with
+         Ast.procs =
+           [| [];
+              [ Ast.If
+                  ( Ast.Int 1,
+                    [ Ast.Store { addr = Ast.Int 99; value = Ast.Int 0; label = None } ],
+                    [] ) ] |]
+       }
+   with
+  | Error msg ->
+    if not (contains msg "P1 at 0.then.0") then
+      Alcotest.failf "error does not name the path: %s" msg
+  | Ok () -> Alcotest.fail "expected a path error");
   List.iter
     (fun (_, p) ->
       match Ast.validate p with
@@ -99,10 +128,14 @@ let test_for_loop () =
 
 let test_division_by_zero_is_zero () =
   let open Build in
+  (* a constant zero divisor is now a validation error (see
+     test_validate_rejects); the runtime rule applies when the divisor
+     only happens to be zero *)
   let p =
     program ~name:"div0" ~locs:[ "out" ]
-      [ [ set "a" (Ast.Bin (Ast.Div, i 7, i 0));
-          set "b" (Ast.Bin (Ast.Mod, i 7, i 0));
+      [ [ set "z" (i 0);
+          set "a" (Ast.Bin (Ast.Div, i 7, r "z"));
+          set "b" (Ast.Bin (Ast.Mod, i 7, r "z"));
           store "out" (r "a" +: r "b") ] ]
   in
   let e = Interp.run ~model:Memsim.Model.SC ~sched:(Memsim.Sched.round_robin ()) p in
