@@ -895,6 +895,9 @@ let perf () =
   let t100 = Tracing.Trace.of_execution e100 in
   let t400 = Tracing.Trace.of_execution e400 in
   let text400 = Tracing.Codec.encode t400 in
+  let text400v2 =
+    Tracing.Codec.encode ~version:Tracing.Codec.version_checksummed t400
+  in
   let ebig = exec_of_config big_cfg 5 in
   let ehuge = exec_of_config huge_cfg 7 in
   let thuge = Tracing.Trace.of_execution ehuge in
@@ -950,6 +953,15 @@ let perf () =
         (Staged.stage (fun () -> ignore (Tracing.Codec.encode t400)));
       Test.make ~name:"codec-decode/queue400"
         (Staged.stage (fun () -> ignore (Tracing.Codec.decode text400)));
+      (* v2 framing: CRC per line + epoch marks, strict vs salvage decode
+         (both on undamaged input, so the costs are the framing itself) *)
+      Test.make ~name:"codec-decode-v2/queue400"
+        (Staged.stage (fun () -> ignore (Tracing.Codec.decode text400v2)));
+      Test.make ~name:"salvage-decode/queue400"
+        (Staged.stage (fun () ->
+             ignore
+               (Tracing.Codec.fold_salvage_string text400v2 ~init:()
+                  ~f:(fun () _ -> Ok ()))));
       Test.make ~name:"ophb-races/random-big"
         (Staged.stage (fun () ->
              ignore (Racedetect.Ophb.data_races (Racedetect.Ophb.build ebig))));
@@ -1085,6 +1097,55 @@ let perf () =
   (match hwm with
    | Some kb -> Format.printf "@.process peak RSS (VmHWM): %d kB@." kb
    | None -> ());
+  (* checkpoint overhead: the same streaming drive, persisting the whole
+     engine (Marshal + CRC + atomic rename) every N events vs never *)
+  let ckpt_text = token_ring_stream ~procs:8 ~rounds:2000 in
+  let ckpt_drive every =
+    let engine = Racedetect.Stream.create () in
+    let d = Tracing.Codec.decoder () in
+    let file = Filename.temp_file "weakrace-bench" ".ckpt" in
+    let push () r = Racedetect.Stream.push engine r in
+    let last = ref 0 in
+    let len = String.length ckpt_text in
+    let chunk = 65536 in
+    let pos = ref 0 in
+    while !pos < len do
+      let n = min chunk (len - !pos) in
+      (match Tracing.Codec.feed d (String.sub ckpt_text !pos n) ~f:push () with
+       | Ok () -> ()
+       | Error msg -> failwith ("checkpoint bench: " ^ msg));
+      pos := !pos + n;
+      match every with
+      | Some k when Racedetect.Stream.seen_events engine - !last >= k ->
+        Racedetect.Stream.checkpoint file engine ~extra:!pos;
+        last := Racedetect.Stream.seen_events engine
+      | _ -> ()
+    done;
+    (match Tracing.Codec.finish_feed d ~f:push () with
+     | Ok () -> ()
+     | Error msg -> failwith ("checkpoint bench: " ^ msg));
+    (match Racedetect.Stream.finish engine with
+     | Ok _ -> ()
+     | Error msg -> failwith ("checkpoint bench: " ^ msg));
+    (try Sys.remove file with Sys_error _ -> ());
+    Racedetect.Stream.seen_events engine
+  in
+  let ckpt_events = ckpt_drive None (* warm *) in
+  let ckpt_per_ev s = s *. 1e9 /. float_of_int (max 1 ckpt_events) in
+  let _, ckpt_none_s = wall (fun () -> ignore (ckpt_drive None : int)) in
+  let _, ckpt_1k_s = wall (fun () -> ignore (ckpt_drive (Some 1000) : int)) in
+  Format.printf
+    "@.checkpoint overhead (token-ring-8x2000, %d events): none %.0f ns/ev, \
+     every-1000 %.0f ns/ev (+%.1f%%)@."
+    ckpt_events (ckpt_per_ev ckpt_none_s) (ckpt_per_ev ckpt_1k_s)
+    ((ckpt_1k_s /. ckpt_none_s -. 1.) *. 100.);
+  let micro =
+    micro
+    @ [
+        ("checkpoint-overhead/none", ckpt_per_ev ckpt_none_s, nan);
+        ("checkpoint-overhead/every-1000", ckpt_per_ev ckpt_1k_s, nan);
+      ]
+  in
   let path = "BENCH_perf.json" in
   write_bench_json ~micro ~speedups ~streaming:(stream_rows, hwm)
     ~parallel:(batch, njobs, serial_s, par_s) path;

@@ -237,13 +237,20 @@ let detect_cmd =
       if !racy > 0 then exit 2
     end
   in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"no data races were reported."
+    :: Cmd.Exit.info 1 ~doc:"usage or I/O error."
+    :: Cmd.Exit.info 2 ~doc:"data races were reported."
+    :: List.filter (fun i -> Cmd.Exit.info_code i > 2) Cmd.Exit.defaults
+  in
   Cmd.v
     (Cmd.info "detect"
        ~doc:
          "Run a program, trace it, and report the first partitions of data races \
           (exit status 2 when races are found).  With $(b,--batch) N, analyze N \
           consecutive seeds (in parallel with $(b,--jobs)) and print one line per \
-          seed.")
+          seed."
+       ~exits)
     Term.(
       const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
       $ max_steps_arg $ all_arg $ batch_arg $ jobs_arg)
@@ -267,16 +274,33 @@ let trace_cmd =
     in
     Arg.(value & flag & info [ "stream" ] ~doc)
   in
-  let run program machine model sched seed max_steps out split stream =
+  let v2_arg =
+    let doc =
+      "Write format v2: every line carries a CRC-32 checksum suffix and an \
+       epoch mark summarizing the event count and cumulative checksum is \
+       emitted periodically, so $(b,analyze --salvage) can localize damage \
+       and quantify losses.  v1 readers reject v2 files; this tool reads \
+       both."
+    in
+    Arg.(value & flag & info [ "v2"; "checksummed" ] ~doc)
+  in
+  let run program machine model sched seed max_steps out split stream v2 =
     if split && stream then begin
       Format.eprintf "racedet: --split and --stream are mutually exclusive@.";
       exit 1
     end;
+    if split && v2 then begin
+      Format.eprintf "racedet: --v2 is not available for split-trace directories@.";
+      exit 1
+    end;
+    let version =
+      if v2 then Tracing.Codec.version_checksummed else Tracing.Codec.version
+    in
     let _, e = run_exec program machine model sched seed max_steps in
     let t = Tracing.Trace.of_execution e in
     if split then Tracing.Codec.write_dir out t
-    else if stream then Tracing.Codec.write_stream_file out t
-    else Tracing.Codec.write_file out t;
+    else if stream then Tracing.Codec.write_stream_file ~version out t
+    else Tracing.Codec.write_file ~version out t;
     Format.printf "wrote %d events (%d computation, %d sync) to %s@."
       (Tracing.Trace.n_events t)
       (Tracing.Trace.n_computation_events t)
@@ -287,42 +311,166 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run a program and write its trace file.")
     Term.(
       const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
-      $ max_steps_arg $ out_arg $ split_arg $ stream_arg)
+      $ max_steps_arg $ out_arg $ split_arg $ stream_arg $ v2_arg)
 
-(* --follow: tail a trace file that is still being written, feeding each
-   appended chunk to the streaming engine.  Stops at the end marker, or
-   after [idle] seconds without growth. *)
-let follow_analyze ?max_live ~idle file =
-  match open_in_bin file with
-  | exception Sys_error msg -> Error msg
-  | ic ->
-    let t = Racedetect.Stream.create ?max_live () in
-    let d = Tracing.Codec.decoder () in
-    let buf = Bytes.create 65536 in
-    let push () r = Racedetect.Stream.push t r in
-    let rec loop idle_for =
-      if Racedetect.Stream.saw_end t then Ok ()
-      else
-        match input ic buf 0 (Bytes.length buf) with
-        | 0 ->
-          if idle_for >= idle then Ok ()
-          else begin
-            Unix.sleepf 0.05;
-            loop (idle_for +. 0.05)
-          end
-        | n ->
-          (match Tracing.Codec.feed d (Bytes.sub_string buf 0 n) ~f:push () with
-           | Ok () -> loop 0.
-           | Error _ as e -> e)
-        | exception Sys_error msg -> Error msg
+(* -- the streaming driver --------------------------------------------
+
+   One loop serves --stream, --follow, --salvage and --checkpoint: read
+   the file in chunks (tailing it while it grows under --follow), feed a
+   strict or salvage codec into a strict or tolerant engine, and — when
+   a checkpoint path is given — atomically persist (engine, codec
+   position) every [checkpoint_every] events plus once more before the
+   finish, so a kill at any point resumes to a byte-identical report.
+   The checkpoint is deleted after a successful finish. *)
+
+type codec_state =
+  | Cs_strict of Tracing.Codec.decoder
+  | Cs_salvage of Tracing.Codec.Salvage.t
+
+let stream_drive ?max_live ~salvage ~follow ~idle ~ckpt ~ckpt_every file =
+  let fresh () =
+    let engine = Racedetect.Stream.create ?max_live ~tolerant:salvage () in
+    let codec =
+      if salvage then Cs_salvage (Tracing.Codec.Salvage.create ())
+      else Cs_strict (Tracing.Codec.decoder ())
     in
-    let r =
-      match loop 0. with
-      | Error _ as e -> e
-      | Ok () -> Tracing.Codec.finish_feed d ~f:push ()
-    in
-    close_in_noerr ic;
-    (match r with Error _ as e -> e | Ok () -> Racedetect.Stream.finish t)
+    Ok (engine, codec, 0)
+  in
+  let restored =
+    match ckpt with
+    | Some cp when Sys.file_exists cp ->
+      (match
+         (Racedetect.Stream.restore cp
+           : (Racedetect.Stream.t * (bool * codec_state * int), string) result)
+       with
+       | Ok (engine, (was_salvage, codec, pos)) ->
+         if was_salvage <> salvage then
+           Error
+             (Printf.sprintf "%s: checkpoint was taken %s --salvage" cp
+                (if was_salvage then "with" else "without"))
+         else begin
+           Format.eprintf "racedet: resuming %s from byte %d (%d events)@." file
+             pos
+             (Racedetect.Stream.seen_events engine);
+           Ok (engine, codec, pos)
+         end
+       | Error _ as e -> e)
+    | _ -> fresh ()
+  in
+  match restored with
+  | Error _ as e -> e
+  | Ok (engine, codec, start_pos) ->
+    (match open_in_bin file with
+     | exception Sys_error msg -> Error msg
+     | ic ->
+       let r =
+         try
+           if in_channel_length ic < start_pos then
+             Error
+               (Printf.sprintf "%s: file is shorter than the checkpoint position %d"
+                  file start_pos)
+           else begin
+             seek_in ic start_pos;
+             let buf = Bytes.create 65536 in
+             let pos = ref start_pos in
+             let events_at_ckpt = ref (Racedetect.Stream.seen_events engine) in
+             let push () r = Racedetect.Stream.push engine r in
+             let feed chunk =
+               match codec with
+               | Cs_strict d -> Tracing.Codec.feed d chunk ~f:push ()
+               | Cs_salvage s -> Tracing.Codec.Salvage.feed s chunk ~f:push ()
+             in
+             let save_ckpt () =
+               match ckpt with
+               | None -> ()
+               | Some cp ->
+                 Racedetect.Stream.checkpoint cp engine ~extra:(salvage, codec, !pos);
+                 events_at_ckpt := Racedetect.Stream.seen_events engine
+             in
+             let maybe_ckpt () =
+               if ckpt <> None
+                  && Racedetect.Stream.seen_events engine - !events_at_ckpt
+                     >= ckpt_every
+               then save_ckpt ()
+             in
+             (* codec and engine errors carry byte/line positions but not
+                the file name; checkpoint errors already name their file *)
+             let in_file = function
+               | Ok _ as ok -> ok
+               | Error m -> Error (file ^ ": " ^ m)
+             in
+             let rec loop idle_for =
+               match input ic buf 0 (Bytes.length buf) with
+               | 0 ->
+                 if Racedetect.Stream.saw_end engine then Ok ()
+                 else if (not follow) || idle_for >= idle then Ok ()
+                 else begin
+                   Unix.sleepf 0.05;
+                   loop (idle_for +. 0.05)
+                 end
+               | n ->
+                 (match in_file (feed (Bytes.sub_string buf 0 n)) with
+                  | Ok () ->
+                    pos := !pos + n;
+                    maybe_ckpt ();
+                    loop 0.
+                  | Error _ as e -> e)
+               | exception Sys_error msg -> Error msg
+             in
+             match loop 0. with
+             | Error _ as e -> e
+             | Ok () ->
+               (* persist once more before the finish: finishing mutates
+                  the engine, so a kill inside it must resume from here *)
+               save_ckpt ();
+               (match codec with
+                | Cs_strict d ->
+                  (match in_file (Tracing.Codec.finish_feed d ~f:push ()) with
+                   | Error _ as e -> e
+                   | Ok () ->
+                     (match in_file (Racedetect.Stream.finish engine) with
+                      | Ok (a, st) -> Ok (Racedetect.Postmortem.verdict a, st)
+                      | Error _ as e -> e))
+                | Cs_salvage s ->
+                  (match in_file (Tracing.Codec.Salvage.finish_feed s ~f:push ()) with
+                   | Error _ as e -> e
+                   | Ok () ->
+                     in_file
+                       (Racedetect.Stream.finish_salvaged engine
+                          ~decode_losses:(Tracing.Codec.Salvage.losses s))))
+           end
+         with Sys_error msg -> Error msg
+       in
+       close_in_noerr ic;
+       (match r, ckpt with
+        | Ok _, Some cp -> (try Sys.remove cp with Sys_error _ -> ())
+        | _ -> ());
+       r)
+
+let print_verdict v =
+  let a = Racedetect.Postmortem.verdict_analysis v in
+  let pp =
+    match v with
+    | Racedetect.Postmortem.Degraded _ ->
+      Racedetect.Report.pp_analysis_degraded ?loc_name:None
+    | _ -> Racedetect.Report.pp_analysis ?loc_name:None
+  in
+  Format.printf "%a@." pp a;
+  (match v with
+   | Racedetect.Postmortem.Degraded { loss; _ } ->
+     Format.printf "@.@[<v>%a@]@." Racedetect.Postmortem.pp_loss loss
+   | _ -> ());
+  Racedetect.Postmortem.verdict_exit_code v
+
+let analysis_exits =
+  Cmd.Exit.info 0 ~doc:"the trace was analyzed and is race-free."
+  :: Cmd.Exit.info 1 ~doc:"usage error, I/O error, or undecodable trace."
+  :: Cmd.Exit.info 2 ~doc:"data races were reported."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "the trace was lossy (salvaged decode discarded damaged regions): the \
+          analysis is degraded and race-freedom cannot be certified."
+  :: List.filter (fun i -> Cmd.Exit.info_code i > 3) Cmd.Exit.defaults
 
 let analyze_cmd =
   let file_arg =
@@ -382,8 +530,35 @@ let analyze_cmd =
     in
     Arg.(value & opt float 5.0 & info [ "idle-timeout" ] ~docv:"SECONDS" ~doc)
   in
-  let run file reconstruct stream follow max_live stats idle =
-    let stream_mode = stream || follow || max_live <> None || stats in
+  let salvage_arg =
+    let doc =
+      "Salvage a damaged trace (implies $(b,--stream)): on a checksum or parse \
+       failure, discard lines until the decode resynchronizes and analyze the \
+       surviving events.  If anything was lost the verdict is degraded (exit \
+       3): races are reported among survivors, but race-freedom is never \
+       claimed.  An undamaged trace produces the exact batch report."
+    in
+    Arg.(value & flag & info [ "salvage" ] ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Persist the analysis state to $(docv) every $(b,--checkpoint-every) \
+       events (implies $(b,--stream)).  If $(docv) already exists, resume \
+       from it instead of re-reading the prefix; the file is removed after a \
+       successful report.  A resumed run prints the same report, byte for \
+       byte, as an uninterrupted one."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc = "With $(b,--checkpoint): events between checkpoint writes." in
+    Arg.(value & opt int 1000 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
+  in
+  let run file reconstruct stream follow max_live stats idle salvage ckpt
+      ckpt_every =
+    let stream_mode =
+      stream || follow || max_live <> None || stats || salvage || ckpt <> None
+    in
     if not stream_mode then begin
       let result =
         if Sys.file_exists file && Sys.is_directory file then Tracing.Codec.read_dir file
@@ -405,6 +580,10 @@ let analyze_cmd =
          Format.eprintf "racedet: --max-live must be at least 1@.";
          exit 1
        | _ -> ());
+      if ckpt_every < 1 then begin
+        Format.eprintf "racedet: --checkpoint-every must be at least 1@.";
+        exit 1
+      end;
       if reconstruct then begin
         Format.eprintf
           "racedet: --reconstruct-so1 is not available with --stream (streaming \
@@ -416,29 +595,323 @@ let analyze_cmd =
           "racedet: --stream reads a single trace file, not a split directory@.";
         exit 1
       end;
-      let result =
-        if follow then follow_analyze ?max_live ~idle file
-        else Racedetect.Stream.analyze_file ?max_live file
-      in
-      match result with
+      match
+        stream_drive ?max_live ~salvage ~follow ~idle ~ckpt ~ckpt_every file
+      with
       | Error msg ->
         Format.eprintf "racedet: %s@." msg;
         exit 1
-      | Ok (a, st) ->
-        Format.printf "%a@." (Racedetect.Report.pp_analysis ?loc_name:None) a;
-        if stats then
-          Format.eprintf "stream: %a@." Racedetect.Stream.pp_stats st;
-        if not (Racedetect.Postmortem.race_free a) then exit 2
+      | Ok (v, st) ->
+        let code = print_verdict v in
+        if stats then Format.eprintf "stream: %a@." Racedetect.Stream.pp_stats st;
+        if code <> 0 then exit code
     end
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Post-mortem analysis of an existing trace file, batch or streaming \
-          ($(b,--stream)); both modes print the same report.")
+          ($(b,--stream)); both modes print the same report.  $(b,--salvage) \
+          analyzes damaged traces (degraded verdict, exit 3); \
+          $(b,--checkpoint) makes a long analysis survive a kill."
+       ~exits:analysis_exits)
     Term.(
       const run $ file_arg $ reconstruct_arg $ stream_flag $ follow_arg
-      $ max_live_arg $ stats_arg $ idle_arg)
+      $ max_live_arg $ stats_arg $ idle_arg $ salvage_arg $ checkpoint_arg
+      $ checkpoint_every_arg)
+
+(* -- faultfuzz --------------------------------------------------------- *)
+
+(* The fault-injection campaign: §5 warns that a racy program can
+   overwrite its own trace buffers, so the decoder must fail loudly and
+   the salvage path must stay sound however the bytes are damaged.  The
+   campaign damages encoded traces with every injector Corrupt knows and
+   asserts the robustness contract:
+
+     1. no exception ever escapes the salvage pipeline — damaged input
+        yields a verdict or a clean refusal, never a crash;
+     2. an undamaged trace salvages to the exact batch report, and is
+        never reported degraded;
+     3. when salvage claims a clean decode, the strict pipeline accepts
+        the same bytes and prints the identical report (so "clean" is
+        never a euphemism for "lost something");
+     4. anything else is a degraded verdict or a refusal — a lossy trace
+        is never reported race-free;
+     5. checkpointing at a random byte, abandoning the engine (the
+        "kill"), restoring, and finishing reproduces the uninterrupted
+        batch report byte-for-byte. *)
+
+let faultfuzz_cmd =
+  let seeds_arg =
+    let doc = "Damage seeds per program, trace version and damage kind." in
+    Arg.(value & opt int 200 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let program_arg =
+    let doc = "Fuzz only this stock program (default: all of them)." in
+    Arg.(value & opt (some string) None & info [ "program" ] ~docv:"NAME" ~doc)
+  in
+  let run seeds jobs program_filter =
+    let jobs = resolve_jobs jobs in
+    if seeds < 1 then begin
+      Format.eprintf "racedet: --seeds must be at least 1@.";
+      exit 1
+    end;
+    let report_of a =
+      Format.asprintf "%a" (Racedetect.Report.pp_analysis ?loc_name:None) a
+    in
+    let programs =
+      match program_filter with
+      | None -> Minilang.Programs.all
+      | Some n ->
+        (match Minilang.Programs.find n with
+         | Some p -> [ (n, p) ]
+         | None ->
+           or_fail (Error (Printf.sprintf "unknown stock program %S" n)))
+    in
+    (* one execution per program; every damage case reuses its encodings *)
+    let fixtures =
+      Array.of_list
+        (List.map
+           (fun (name, p) ->
+             let e = exec_of p `Buffer Memsim.Model.WO `Adversarial 4_000 0 in
+             let t = Tracing.Trace.of_execution e in
+             let v1 = Tracing.Codec.encode_stream t in
+             let v2 =
+               Tracing.Codec.encode_stream
+                 ~version:Tracing.Codec.version_checksummed t
+             in
+             (* the reference report is the batch analysis of the decoded
+                file (op labels are not serialized, so analyzing the
+                in-memory trace would print differently) *)
+             let batch =
+               match Tracing.Codec.decode v1 with
+               | Ok t' -> report_of (Racedetect.Postmortem.analyze t')
+               | Error e ->
+                 or_fail
+                   (Error (Printf.sprintf "%s: fixture decode failed: %s" name e))
+             in
+             (name, t, batch, v1, v2))
+           programs)
+    in
+    let preflight = ref [] in
+    let pre_fail name fmt =
+      Printf.ksprintf (fun m -> preflight := (name ^ ": " ^ m) :: !preflight) fmt
+    in
+    Array.iter
+      (fun (name, t, batch, v1, v2) ->
+        List.iter
+          (fun (vn, text) ->
+            (match Tracing.Codec.decode text with
+             | Ok t' when Tracing.Codec.equivalent t t' -> ()
+             | Ok _ -> pre_fail name "v%d round-trip decoded a different trace" vn
+             | Error e -> pre_fail name "v%d round-trip failed: %s" vn e);
+            match Racedetect.Stream.analyze_salvage_string text with
+            | exception ex ->
+              pre_fail name "undamaged v%d salvage raised %s" vn
+                (Printexc.to_string ex)
+            | Error e -> pre_fail name "undamaged v%d salvage refused: %s" vn e
+            | Ok (v, _) ->
+              (match v with
+               | Racedetect.Postmortem.Degraded _ ->
+                 pre_fail name "undamaged v%d trace reported degraded" vn
+               | v ->
+                 if report_of (Racedetect.Postmortem.verdict_analysis v) <> batch
+                 then
+                   pre_fail name "undamaged v%d salvage report differs from batch"
+                     vn))
+          [ (1, v1); (2, v2) ];
+        let batch_enc =
+          [ (1, Tracing.Codec.encode t);
+            (2, Tracing.Codec.encode ~version:Tracing.Codec.version_checksummed t)
+          ]
+        in
+        List.iter
+          (fun (vn, text) ->
+            match Tracing.Codec.decode text with
+            | Ok t' when Tracing.Codec.equivalent t t' -> ()
+            | Ok _ ->
+              pre_fail name "batch-layout v%d round-trip decoded a different trace"
+                vn
+            | Error e -> pre_fail name "batch-layout v%d round-trip failed: %s" vn e)
+          batch_enc)
+      fixtures;
+    let damage_name =
+      let open Tracing.Corrupt in
+      function
+      | Garble_bytes n -> Printf.sprintf "garble:%d" n
+      | Drop_lines n -> Printf.sprintf "drop-lines:%d" n
+      | Swap_events -> "swap-events"
+      | Truncate_tail n -> Printf.sprintf "truncate:%d" n
+      | Flip_bits n -> Printf.sprintf "flip-bits:%d" n
+      | Duplicate_lines n -> Printf.sprintf "dup-lines:%d" n
+    in
+    let kinds seed =
+      let open Tracing.Corrupt in
+      [ Garble_bytes (1 + (seed mod 7));
+        Drop_lines (1 + (seed mod 3));
+        Swap_events;
+        Truncate_tail (1 + (seed * 13 mod 160));
+        Flip_bits (1 + (seed mod 5));
+        Duplicate_lines (1 + (seed mod 3))
+      ]
+    in
+    let run_case label ~batch ~orig damaged =
+      match Racedetect.Stream.analyze_salvage_string damaged with
+      | exception ex ->
+        `Fail (Printf.sprintf "%s: salvage raised %s" label (Printexc.to_string ex))
+      | Error _ -> `Refused
+      | Ok (v, _) ->
+        let rep = report_of (Racedetect.Postmortem.verdict_analysis v) in
+        (match v with
+         | Racedetect.Postmortem.Degraded _ ->
+           if damaged = orig then
+             `Fail (label ^ ": undamaged trace reported degraded")
+           else `Degraded
+         | Racedetect.Postmortem.Race_free _ | Racedetect.Postmortem.Races _ ->
+           if damaged = orig then
+             if rep = batch then `Clean
+             else `Fail (label ^ ": no-op damage changed the report")
+           else (
+             (* clean claim on altered bytes: the strict pipeline must
+                agree on those bytes, or information was silently lost *)
+             match Racedetect.Stream.analyze_string damaged with
+             | exception ex ->
+               `Fail
+                 (Printf.sprintf "%s: strict raised %s where salvage was clean"
+                    label (Printexc.to_string ex))
+             | Error e ->
+               `Fail
+                 (Printf.sprintf
+                    "%s: salvage claims a clean decode but strict analysis \
+                     fails (%s)"
+                    label e)
+             | Ok (a, _) ->
+               if report_of a = rep then `Clean
+               else `Fail (label ^ ": clean salvage report differs from strict")))
+    in
+    let resume_check label ~batch text seed =
+      let ckpt = Filename.temp_file "racedet-fuzz" ".ckpt" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove ckpt with Sys_error _ -> ())
+        (fun () ->
+          let cut = seed * 7919 mod (String.length text + 1) in
+          let engine = Racedetect.Stream.create () in
+          let d = Tracing.Codec.decoder () in
+          let push () r = Racedetect.Stream.push engine r in
+          match Tracing.Codec.feed d (String.sub text 0 cut) ~f:push () with
+          | Error e -> `Fail (Printf.sprintf "%s: prefix feed failed: %s" label e)
+          | Ok () ->
+            Racedetect.Stream.checkpoint ckpt engine
+              ~extra:(false, Cs_strict d, cut);
+            (* the engine above is abandoned here — the simulated kill *)
+            (match
+               (Racedetect.Stream.restore ckpt
+                 : (Racedetect.Stream.t * (bool * codec_state * int), string)
+                   result)
+             with
+             | Error e -> `Fail (Printf.sprintf "%s: restore failed: %s" label e)
+             | Ok (_, (_, Cs_salvage _, _)) ->
+               `Fail (label ^ ": restore changed the codec kind")
+             | Ok (engine2, (_, Cs_strict d2, pos)) ->
+               let push2 () r = Racedetect.Stream.push engine2 r in
+               let rest = String.sub text pos (String.length text - pos) in
+               (match Tracing.Codec.feed d2 rest ~f:push2 () with
+                | Error e ->
+                  `Fail (Printf.sprintf "%s: resumed feed failed: %s" label e)
+                | Ok () ->
+                  (match Tracing.Codec.finish_feed d2 ~f:push2 () with
+                   | Error e ->
+                     `Fail (Printf.sprintf "%s: resumed finish failed: %s" label e)
+                   | Ok () ->
+                     (match Racedetect.Stream.finish engine2 with
+                      | Error e ->
+                        `Fail
+                          (Printf.sprintf "%s: resumed analysis failed: %s" label
+                             e)
+                      | Ok (a, _) ->
+                        if report_of a = batch then `Clean
+                        else `Fail (label ^ ": resumed report differs from batch"))))))
+    in
+    let results =
+      Engine.Parbatch.map_seeds ~jobs seeds (fun seed ->
+          let cases = ref 0
+          and degraded = ref 0
+          and refused = ref 0
+          and clean = ref 0
+          and fails = ref [] in
+          let record = function
+            | `Fail m ->
+              incr cases;
+              fails := m :: !fails
+            | `Degraded -> incr cases; incr degraded
+            | `Refused -> incr cases; incr refused
+            | `Clean -> incr cases; incr clean
+          in
+          Array.iter
+            (fun (name, _t, batch, v1, v2) ->
+              List.iter
+                (fun damage ->
+                  List.iter
+                    (fun (vn, text) ->
+                      let damaged = Tracing.Corrupt.apply ~seed damage text in
+                      let label =
+                        Printf.sprintf "%s v%d seed %d %s" name vn seed
+                          (damage_name damage)
+                      in
+                      record (run_case label ~batch ~orig:text damaged))
+                    [ (1, v1); (2, v2) ])
+                (kinds seed);
+              record
+                (resume_check
+                   (Printf.sprintf "%s seed %d kill+resume" name seed)
+                   ~batch v2 seed))
+            fixtures;
+          (!cases, !degraded, !refused, !clean, List.rev !fails))
+    in
+    let cases = ref 0
+    and degraded = ref 0
+    and refused = ref 0
+    and clean = ref 0
+    and failures = ref (List.rev !preflight) in
+    Array.iter
+      (fun (c, d, r, cl, fs) ->
+        cases := !cases + c;
+        degraded := !degraded + d;
+        refused := !refused + r;
+        clean := !clean + cl;
+        failures := !failures @ fs)
+      results;
+    let failures = !failures in
+    Format.printf
+      "faultfuzz: %d program(s) x %d seed(s): %d case(s) — %d clean, %d \
+       degraded, %d refused, %d invariant violation(s)@."
+      (Array.length fixtures) seeds !cases !clean !degraded !refused
+      (List.length failures);
+    List.iteri
+      (fun i m -> if i < 20 then Format.printf "  FAIL %s@." m)
+      failures;
+    (match List.length failures with
+     | n when n > 20 -> Format.printf "  ... and %d more@." (n - 20)
+     | _ -> ());
+    if failures <> [] then exit 1
+  in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"every robustness invariant held."
+    :: Cmd.Exit.info 1 ~doc:"usage error, or at least one invariant violation."
+    :: List.filter (fun i -> Cmd.Exit.info_code i > 1) Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "faultfuzz"
+       ~doc:
+         "Fault-injection campaign over the trace pipeline: damage encoded \
+          traces (garbled bytes, flipped bits, dropped / duplicated / swapped \
+          / truncated lines), salvage-analyze the wreckage, and assert that \
+          no exception escapes, that lossy traces are never reported \
+          race-free, that clean salvages match the strict report byte for \
+          byte, and that checkpoint / kill / restore reproduces the batch \
+          report exactly."
+       ~exits)
+    Term.(const run $ seeds_arg $ jobs_arg $ program_arg)
 
 (* -- enumerate ---------------------------------------------------------- *)
 
@@ -798,5 +1271,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; detect_cmd; trace_cmd; analyze_cmd;
-            enumerate_cmd; check_cmd; cost_cmd; replay_cmd; graph_cmd; gen_cmd;
-            sweep_cmd; lint_cmd ]))
+            faultfuzz_cmd; enumerate_cmd; check_cmd; cost_cmd; replay_cmd;
+            graph_cmd; gen_cmd; sweep_cmd; lint_cmd ]))

@@ -39,3 +39,54 @@ val race_free : analysis -> bool
 (** Theorem 4.1 + Condition 3.4(1): no first partitions with data races
     means no data races occurred, and the execution was sequentially
     consistent. *)
+
+(** {1 Degraded verdicts}
+
+    §5 warns that a racy program can overwrite its own trace buffers.
+    When the salvage decoder ({!Tracing.Codec.Salvage}) had to discard
+    damaged regions, the analysis that follows is over the {e surviving}
+    events only.  Removing events only removes hb1 edges, so the
+    analysis can over-report races among survivors but never under-
+    report them — yet nothing can be said about races involving the lost
+    events themselves.  A lossy trace therefore never yields the
+    race-free verdict: it is {!Degraded}, whatever the survivors say. *)
+
+type gap = {
+  proc : int;
+  after_seq : int;   (** last surviving seq before the gap; -1 at head *)
+  before_seq : int;  (** first surviving seq after the gap *)
+  missing : int;     (** events of [proc] lost in between *)
+}
+(** A hole in one processor's event sequence, reconstructed from the
+    per-processor [seq] numbers of the surviving events. *)
+
+type loss = {
+  decode_losses : Tracing.Codec.Salvage.loss list;
+      (** byte/line regions the salvage decoder discarded *)
+  missing_events : int;  (** event ids announced by the header but never decoded *)
+  gaps : gap list;       (** per-processor sequence holes *)
+  dropped_records : int; (** records rejected semantically in tolerant mode *)
+  dropped_so1 : int;     (** so1 edges dropped because an endpoint is missing *)
+}
+
+val no_loss : loss
+val lossy : loss -> bool
+
+type verdict =
+  | Race_free of analysis
+  | Races of analysis
+  | Degraded of { analysis : analysis; loss : loss }
+
+val verdict : ?loss:loss -> analysis -> verdict
+(** Classify an analysis: {!Degraded} whenever [loss] is {!lossy} —
+    race-freedom is never claimed for a lossy trace — else by
+    {!race_free}. *)
+
+val verdict_analysis : verdict -> analysis
+
+val verdict_exit_code : verdict -> int
+(** The [racedet] exit-code convention: 0 race-free, 2 races, 3
+    degraded (1 is reserved for usage and I/O errors). *)
+
+val pp_gap : Format.formatter -> gap -> unit
+val pp_loss : Format.formatter -> loss -> unit

@@ -29,14 +29,19 @@ let pp_partition ?(loc_name = default_loc_name) ~trace ppf (p : Partition.partit
   List.iter (fun r -> Format.fprintf ppf "@,%a" (pp_race ~loc_name ~trace) r) p.Partition.races;
   Format.fprintf ppf "@]"
 
-let pp_analysis ?(loc_name = default_loc_name) ppf (a : Postmortem.analysis) =
+let pp_analysis_gen ?(loc_name = default_loc_name) ~degraded ppf
+    (a : Postmortem.analysis) =
   let first = Postmortem.first_partitions a in
   let non_first = Partition.non_first_partitions a.Postmortem.partitions in
   let trace = a.Postmortem.trace in
   if first = [] then
-    Format.fprintf ppf
-      "@[<v>No data races detected.@,\
-       By Condition 3.4(1) the execution was sequentially consistent.@]"
+    if degraded then
+      Format.fprintf ppf
+        "@[<v>No data races detected among the surviving events.@]"
+    else
+      Format.fprintf ppf
+        "@[<v>No data races detected.@,\
+         By Condition 3.4(1) the execution was sequentially consistent.@]"
   else begin
     Format.fprintf ppf
       "@[<v>%d data race(s) in %d first partition(s) — each contains at least@,\
@@ -57,6 +62,11 @@ let pp_analysis ?(loc_name = default_loc_name) ppf (a : Postmortem.analysis) =
     end;
     Format.fprintf ppf "@]"
   end
+
+let pp_analysis ?loc_name ppf a = pp_analysis_gen ?loc_name ~degraded:false ppf a
+
+let pp_analysis_degraded ?loc_name ppf a =
+  pp_analysis_gen ?loc_name ~degraded:true ppf a
 
 let to_string ?loc_name a = Format.asprintf "%a" (pp_analysis ?loc_name) a
 

@@ -6,6 +6,13 @@
 val pp_analysis :
   ?loc_name:(int -> string) -> Format.formatter -> Postmortem.analysis -> unit
 
+val pp_analysis_degraded :
+  ?loc_name:(int -> string) -> Format.formatter -> Postmortem.analysis -> unit
+(** Lossy-trace wording for a {!Postmortem.Degraded} verdict: when no
+    races are found among the surviving events the Condition 3.4(1)
+    sequential-consistency claim is {e not} made — a lossy trace can
+    never certify race-freedom. *)
+
 val pp_partition :
   ?loc_name:(int -> string) ->
   trace:Tracing.Trace.t ->

@@ -28,6 +28,8 @@ type cand = { ev : Event.t; tick : int }
 
 type t = {
   max_live : int option;
+  tolerant : bool;
+  mutable dropped : int; (* records rejected and discarded (tolerant mode) *)
   mutable model : string;
   mutable truncated : bool;
   mutable sizes : Codec.sizes option;
@@ -62,12 +64,14 @@ type t = {
   mutable forced : int;
 }
 
-let create ?max_live () =
+let create ?max_live ?(tolerant = false) () =
   (match max_live with
    | Some k when k < 1 -> invalid_arg "Stream.create: max_live must be >= 1"
    | _ -> ());
   {
     max_live;
+    tolerant;
+    dropped = 0;
     model = "";
     truncated = false;
     sizes = None;
@@ -155,7 +159,7 @@ let update_minclock t (s : Codec.sizes) =
   !changed
 
 let remove_from_loc_index t (ev : Event.t) =
-  let s = match t.sizes with Some s -> s | None -> assert false in
+  let s = sizes_exn t "location index update" in
   let eid = ev.Event.eid in
   Bitset.iter
     (fun l ->
@@ -361,20 +365,33 @@ let on_end t n =
 
 let push t (r : Codec.record) =
   try
-    if t.ended then failf "record after the end marker";
-    t.seen_any <- true;
     (match r with
-     | Codec.Magic _ -> ()
-     | Codec.Model m -> t.model <- m
-     | Codec.Truncated b -> t.truncated <- b
-     | Codec.Sizes s -> on_sizes t s
-     | Codec.Event ev -> on_event t ev
-     | Codec.So1 { release; acquire } -> on_so1 t release acquire
-     | Codec.So1_unpaired a -> on_so1_unpaired t a
-     | Codec.Sync_order (l, es) -> t.sync_order <- (l, es) :: t.sync_order
-     | Codec.End n -> on_end t n);
+     | Codec.Mark _ ->
+       (* v2 integrity framing, verified (or salvaged) at the codec
+          layer; the final mark legitimately follows the end record *)
+       ()
+     | _ ->
+       if t.ended then failf "record after the end marker";
+       t.seen_any <- true;
+       (match r with
+        | Codec.Magic _ | Codec.Mark _ -> ()
+        | Codec.Model m -> t.model <- m
+        | Codec.Truncated b -> t.truncated <- b
+        | Codec.Sizes s -> on_sizes t s
+        | Codec.Event ev -> on_event t ev
+        | Codec.So1 { release; acquire } -> on_so1 t release acquire
+        | Codec.So1_unpaired a -> on_so1_unpaired t a
+        | Codec.Sync_order (l, es) -> t.sync_order <- (l, es) :: t.sync_order
+        | Codec.End n -> on_end t n));
     Ok ()
-  with Fail msg -> Error msg
+  with Fail msg ->
+    if t.tolerant then begin
+      (* every handler validates before it mutates, so a rejected record
+         leaves the engine consistent; drop it, count it, carry on *)
+      t.dropped <- t.dropped + 1;
+      Ok ()
+    end
+    else Error msg
 
 let stats_of t =
   {
@@ -397,7 +414,16 @@ let finish_cyclic t (s : Codec.sizes) =
     (fun q -> Queue.iter (fun (ev : Event.t) -> events.(ev.Event.eid) <- Some ev) q)
     t.pending;
   let events =
-    Array.map (function Some e -> e | None -> assert false (* all seen *)) events
+    Array.mapi
+      (fun eid ev ->
+        match ev with
+        | Some e -> e
+        | None ->
+          (* every id was counted before this path is taken, so a hole
+             here means the engine's own bookkeeping went wrong — still
+             report it as a decode error, never abort the process *)
+          failf "event %d has no payload during the cyclic fallback" eid)
+      events
   in
   let by_proc = Array.make s.n_procs [] in
   Array.iter (fun (e : Event.t) -> by_proc.(e.Event.proc) <- e :: by_proc.(e.Event.proc)) events;
@@ -496,6 +522,243 @@ let finish t =
     end
   with Fail msg -> Error msg
 
+(* -- degraded (salvaged) finish -------------------------------------- *)
+
+(* Holes in each processor's surviving [seq] sequence.  Head and tail
+   holes are already covered by the global missing-event count; interior
+   holes localize the loss for the report. *)
+let compute_gaps t (s : Codec.sizes) =
+  let by = Array.make s.n_procs [] in
+  for eid = s.n_events - 1 downto 0 do
+    if t.ev_proc.(eid) >= 0 then
+      by.(t.ev_proc.(eid)) <- t.ev_seq.(eid) :: by.(t.ev_proc.(eid))
+  done;
+  let gaps = ref [] in
+  Array.iteri
+    (fun p seqs ->
+      let rec go = function
+        | a :: (b :: _ as rest) ->
+          if b > a + 1 then
+            gaps :=
+              { Postmortem.proc = p; after_seq = a; before_seq = b;
+                missing = b - a - 1 }
+              :: !gaps;
+          go rest
+        | _ -> ()
+      in
+      go (List.sort compare seqs))
+    by;
+  List.sort
+    (fun (a : Postmortem.gap) b -> compare (a.proc, a.after_seq) (b.proc, b.after_seq))
+    !gaps
+
+(* End of salvaged input.  When nothing was actually lost this delegates
+   to {!finish} — the report stays byte-identical to batch.  Otherwise it
+   produces a [Degraded] verdict over the surviving events: so1 edges
+   whose endpoint never arrived are dropped (an acquire must not wait
+   forever for a lost release), lost event ids become isolated dummy
+   nodes with {e no} hb1 edges at all, and the ordering index is forced
+   to the reference closure — isolated nodes would corrupt the vector-
+   clock index, which assigns ticks by processor.  Removing events and
+   edges from hb1 can only enlarge the set of unordered conflicting
+   pairs, so the degraded report may over-report races among survivors
+   but never under-reports them. *)
+let finish_salvaged t ~decode_losses =
+  try
+    let s =
+      match t.sizes with
+      | Some s -> s
+      | None ->
+        if t.seen_any then { Codec.n_procs = 0; n_locs = 0; n_events = 0 }
+        else failf "empty trace"
+    in
+    (* drop so1 edges with a lost endpoint before the final drain *)
+    let dropped_so1 = ref 0 in
+    let so1_kept =
+      List.filter
+        (fun (r, a) ->
+          if t.ev_proc.(r) < 0 || t.ev_proc.(a) < 0 then begin
+            incr dropped_so1;
+            false
+          end
+          else true)
+        (List.rev t.so1_list)
+    in
+    if !dropped_so1 > 0 then begin
+      let acquires = Hashtbl.fold (fun a _ acc -> a :: acc) t.so1_in [] in
+      List.iter
+        (fun a ->
+          let rels = rels_of t a in
+          let kept = List.filter (fun r -> t.ev_proc.(r) >= 0) rels in
+          if List.length kept <> List.length rels then
+            Hashtbl.replace t.so1_in a kept)
+        acquires
+    end;
+    t.so1_complete <- true;
+    drain t;
+    let missing_events = ref 0 in
+    for eid = 0 to s.n_events - 1 do
+      if t.ev_proc.(eid) < 0 then incr missing_events
+    done;
+    let loss =
+      {
+        Postmortem.decode_losses;
+        missing_events = !missing_events;
+        gaps = compute_gaps t s;
+        dropped_records = t.dropped;
+        dropped_so1 = !dropped_so1;
+      }
+    in
+    if not (Postmortem.lossy loss) then
+      (* nothing was lost: the strict finish applies unchanged, and the
+         report is byte-identical to the batch pipeline's *)
+      (match finish t with
+       | Ok (a, st) -> Ok (Postmortem.verdict a, st)
+       | Error _ as e -> e)
+    else begin
+      let empty = Bitset.create s.n_locs in
+      let dummy = Event.Computation { reads = empty; writes = empty; ops = [] } in
+      let dummy_event eid =
+        let proc = if t.ev_proc.(eid) >= 0 then t.ev_proc.(eid) else 0 in
+        { Event.eid; proc; seq = t.ev_seq.(eid); body = dummy }
+      in
+      let sync_order =
+        List.rev t.sync_order
+        |> List.map (fun (l, es) -> (l, List.filter (fun e -> t.ev_proc.(e) >= 0) es))
+      in
+      let mk_trace events by_proc =
+        {
+          Trace.n_procs = s.n_procs;
+          n_locs = s.n_locs;
+          model = t.model;
+          truncated = t.truncated;
+          events;
+          by_proc;
+          so1 = so1_kept;
+          sync_order;
+        }
+      in
+      if t.pending_count > 0 then begin
+        (* survivors form an hb1 cycle: no topological processing order.
+           Mirror {!finish_cyclic} — with every payload still resident,
+           run the batch pipeline over survivors plus isolated dummies. *)
+        if t.retired > 0 || t.forced > 0 then
+          failf
+            "hb1 cycle among salvaged events after %d were retired; re-run without --stream"
+            (t.retired + t.forced);
+        let events = Array.make s.n_events None in
+        Hashtbl.iter (fun eid (cand : cand) -> events.(eid) <- Some cand.ev) t.cands;
+        Array.iter
+          (fun q -> Queue.iter (fun (ev : Event.t) -> events.(ev.Event.eid) <- Some ev) q)
+          t.pending;
+        let events =
+          Array.mapi
+            (fun eid ev -> match ev with Some e -> e | None -> dummy_event eid)
+            events
+        in
+        let by_proc = Array.make s.n_procs [] in
+        Array.iter
+          (fun (e : Event.t) ->
+            if t.ev_proc.(e.Event.eid) >= 0 then
+              by_proc.(e.Event.proc) <- e :: by_proc.(e.Event.proc))
+          events;
+        let by_proc =
+          Array.map
+            (fun evs ->
+              let arr = Array.of_list (List.rev evs) in
+              Array.sort
+                (fun (a : Event.t) b -> compare a.Event.seq b.Event.seq)
+                arr;
+              arr)
+            by_proc
+        in
+        let analysis =
+          Postmortem.analyze ~so1:`Recorded ~index:`Closure (mk_trace events by_proc)
+        in
+        Ok (Postmortem.Degraded { analysis; loss }, stats_of t)
+      end
+      else begin
+        (* skeleton rebuild, as in {!finish}, but lost ids are isolated
+           dummies (absent from every by_proc row) and the index is the
+           reference closure *)
+        let events =
+          Array.init s.n_events (fun eid ->
+              match Hashtbl.find_opt t.pinned eid with
+              | Some ev -> ev
+              | None -> dummy_event eid)
+        in
+        let by_proc =
+          Array.map
+            (fun eids -> Array.of_list (List.rev_map (fun eid -> events.(eid)) eids))
+            t.proc_eids
+        in
+        let trace = mk_trace events by_proc in
+        let hb = Hb.build ~so1:`Recorded ~index:`Closure trace in
+        let races =
+          List.sort
+            (fun (r1 : Race.t) (r2 : Race.t) ->
+              compare (r1.Race.a, r1.Race.b) (r2.Race.a, r2.Race.b))
+            t.races
+        in
+        let augmented = Augment.build hb races in
+        let partitions = Partition.compute augmented in
+        let analysis = { Postmortem.trace; hb; races; augmented; partitions } in
+        Ok (Postmortem.Degraded { analysis; loss }, stats_of t)
+      end
+    end
+  with Fail msg -> Error msg
+
+(* -- checkpoint / restore -------------------------------------------- *)
+
+(* A checkpoint is one header line — magic, payload length, payload
+   CRC-32 — followed by the marshalled (engine, extra) pair.  The write
+   goes through a temporary file and a rename, so a kill mid-write
+   leaves either the previous checkpoint or a complete new one, and the
+   CRC rejects torn or doctored payloads on restore. *)
+let ckpt_magic = "weakrace-ckpt 1"
+
+let checkpoint path t ~extra =
+  let payload = Marshal.to_string (t, extra) [] in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Printf.fprintf oc "%s %d %08x\n" ckpt_magic (String.length payload)
+       (Tracing.Crc32.string payload);
+     output_string oc payload
+   with exn -> close_out_noerr oc; raise exn);
+  close_out oc;
+  Sys.rename tmp path
+
+let restore path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | data ->
+    (match String.index_opt data '\n' with
+     | None -> Error (Printf.sprintf "%s: not a checkpoint file" path)
+     | Some i ->
+       let header = String.sub data 0 i in
+       let payload = String.sub data (i + 1) (String.length data - i - 1) in
+       (match String.split_on_char ' ' header with
+        | [ "weakrace-ckpt"; "1"; len; crc ] ->
+          (match int_of_string_opt len, int_of_string_opt ("0x" ^ crc) with
+           | Some l, Some c ->
+             if String.length payload < l then
+               Error
+                 (Printf.sprintf "%s: checkpoint truncated (%d of %d payload bytes)"
+                    path (String.length payload) l)
+             else if String.length payload > l then
+               Error
+                 (Printf.sprintf
+                    "%s: checkpoint payload is %d bytes but the header announces %d"
+                    path (String.length payload) l)
+             else if Tracing.Crc32.string payload <> c then
+               Error (Printf.sprintf "%s: checkpoint checksum mismatch" path)
+             else
+               (try Ok (Marshal.from_string payload 0)
+                with _ -> Error (Printf.sprintf "%s: corrupt checkpoint payload" path))
+           | _ -> Error (Printf.sprintf "%s: not a checkpoint file" path))
+        | _ -> Error (Printf.sprintf "%s: not a checkpoint file" path)))
+
 let analyze_fold fold ?max_live () =
   let t = create ?max_live () in
   match fold ~init:() ~f:(fun () r -> push t r) with
@@ -507,3 +770,19 @@ let analyze_file ?chunk_size ?max_live path =
 
 let analyze_string ?chunk_size ?max_live text =
   analyze_fold (fun ~init ~f -> Codec.fold_string ?chunk_size text ~init ~f) ?max_live ()
+
+let analyze_salvage_fold fold ?max_live () =
+  let t = create ?max_live ~tolerant:true () in
+  match fold ~init:() ~f:(fun () r -> push t r) with
+  | Error _ as e -> e
+  | Ok ((), losses) -> finish_salvaged t ~decode_losses:losses
+
+let analyze_salvage_file ?chunk_size ?max_live path =
+  analyze_salvage_fold
+    (fun ~init ~f -> Codec.fold_salvage_file ?chunk_size path ~init ~f)
+    ?max_live ()
+
+let analyze_salvage_string ?chunk_size ?max_live text =
+  analyze_salvage_fold
+    (fun ~init ~f -> Codec.fold_salvage_string ?chunk_size text ~init ~f)
+    ?max_live ()

@@ -44,11 +44,18 @@ type stats = {
   races : int;
 }
 
-val create : ?max_live:int -> unit -> t
+val create : ?max_live:int -> ?tolerant:bool -> unit -> t
 (** [max_live] caps the number of live race candidates; beyond it the
     oldest candidates are evicted (payload dropped, hb1 clock kept, so
     ordering stays exact but races spanning more than the window may be
-    missed — see [forced_retired]). *)
+    missed — see [forced_retired]).
+
+    [tolerant] (default false) makes {!push} drop-and-count a record the
+    engine would otherwise reject (duplicate or out-of-order events, so1
+    after its acquire was processed, records after the end marker)
+    instead of failing.  Every handler validates before it mutates, so a
+    dropped record leaves the engine consistent.  Used with the salvage
+    decoder; the drop count feeds the {!finish_salvaged} loss summary. *)
 
 val push : t -> Tracing.Codec.record -> (unit, string) result
 (** Feed one record.  Errors (duplicate or out-of-order events, so1
@@ -68,6 +75,36 @@ val finish : t -> (Postmortem.analysis * stats, string) result
     same file, but non-racy events carry placeholder payloads — use it
     for reporting, not for payload inspection. *)
 
+val finish_salvaged :
+  t -> decode_losses:Tracing.Codec.Salvage.loss list ->
+  (Postmortem.verdict * stats, string) result
+(** End of {e salvaged} input (engine created with [~tolerant:true], fed
+    from {!Tracing.Codec.Salvage}).  If nothing was lost — no decode
+    losses, no dropped records, no missing events — this is exactly
+    {!finish} and the report is byte-identical to batch.  Otherwise the
+    verdict is [Degraded]: so1 edges with a lost endpoint are dropped,
+    lost event ids become isolated nodes with {e no} hb1 edges (so no
+    ordering is ever invented through a gap; the index is forced to the
+    reference closure because isolated nodes would corrupt the
+    vector-clock index), and the loss summary records decode losses,
+    missing events, per-processor sequence gaps, and dropped records and
+    edges.  Removing events and edges can only enlarge the set of
+    unordered conflicting pairs, so a degraded report may over-report
+    races among survivors but never under-reports them — and race
+    freedom is never claimed. *)
+
+val checkpoint : string -> t -> extra:'a -> unit
+(** Atomically persist the engine plus caller state [extra] (codec
+    decoder, input offset, …) to a file: marshalled payload behind a
+    header carrying its length and CRC-32, written to a temporary file
+    and renamed, so a crash mid-write never leaves a half checkpoint in
+    place.  [extra] must be marshallable (no closures). *)
+
+val restore : string -> (t * 'a, string) result
+(** Load a {!checkpoint}.  Truncated, doctored, or torn files are
+    rejected via the header CRC.  The caller must request the same
+    [extra] type it saved — marshalling is untyped, as usual. *)
+
 val analyze_file :
   ?chunk_size:int -> ?max_live:int -> string ->
   (Postmortem.analysis * stats, string) result
@@ -76,5 +113,16 @@ val analyze_file :
 val analyze_string :
   ?chunk_size:int -> ?max_live:int -> string ->
   (Postmortem.analysis * stats, string) result
+
+val analyze_salvage_file :
+  ?chunk_size:int -> ?max_live:int -> string ->
+  (Postmortem.verdict * stats, string) result
+(** {!Tracing.Codec.fold_salvage_file} → tolerant {!push} →
+    {!finish_salvaged}: never fails on damaged input short of an
+    unsalvageable header. *)
+
+val analyze_salvage_string :
+  ?chunk_size:int -> ?max_live:int -> string ->
+  (Postmortem.verdict * stats, string) result
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -3,6 +3,8 @@ type damage =
   | Drop_lines of int
   | Swap_events
   | Truncate_tail of int
+  | Flip_bits of int
+  | Duplicate_lines of int
 
 let apply ~seed damage text =
   let rng = Memsim.Rng.create seed in
@@ -61,3 +63,26 @@ let apply ~seed damage text =
   | Truncate_tail n ->
     let keep = max 0 (String.length text - n) in
     String.sub text 0 keep
+  | Flip_bits n ->
+    (* single-bit flips: the subtlest damage a checksum must catch — a
+       flipped digit can still parse as a different, valid number *)
+    let b = Bytes.of_string text in
+    if Bytes.length b > 0 then
+      for _ = 1 to n do
+        let i = Memsim.Rng.int rng (Bytes.length b) in
+        let bit = 1 lsl Memsim.Rng.int rng 7 in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit))
+      done;
+    Bytes.to_string b
+  | Duplicate_lines n ->
+    (* replay N random lines immediately after themselves: every copy
+       still parses, so only the cumulative epoch state can object *)
+    let lines = String.split_on_char '\n' text in
+    let len = List.length lines in
+    let victims =
+      List.init n (fun _ -> if len > 0 then Memsim.Rng.int rng len else 0)
+    in
+    lines
+    |> List.mapi (fun i l -> if List.mem i victims then [ l; l ] else [ l ])
+    |> List.concat
+    |> String.concat "\n"

@@ -11,6 +11,8 @@ type damage =
   | Drop_lines of int     (** delete N random lines *)
   | Swap_events           (** exchange the ids of two random event lines *)
   | Truncate_tail of int  (** cut the final N bytes *)
+  | Flip_bits of int      (** flip N random single bits *)
+  | Duplicate_lines of int (** replay N random lines after themselves *)
 
 val apply : seed:int -> damage -> string -> string
 (** Deterministically damage an encoded trace. *)

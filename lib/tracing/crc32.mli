@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3) over strings, for the v2 trace framing and the
+    checkpoint files.  A checksum is a non-negative [int] below 2^32. *)
+
+val string : string -> int
+(** CRC-32 of a whole string. *)
+
+val update : int -> string -> int
+(** Incremental form: [update (update 0 a) b = string (a ^ b)]. *)

@@ -28,7 +28,7 @@ A corrupted trace fails loudly instead of inventing an answer:
 
   $ head -c 120 u.trace > cut.trace
   $ racedet analyze cut.trace
-  racedet: line 6: unrecognized record "event 1 proc 0"
+  racedet: cut.trace: line 6: unrecognized record "event 1 proc 0"
   [1]
 
 Condition 3.4 verification against exhaustive SC enumeration:

@@ -1,0 +1,73 @@
+Format v2 adds a CRC-32 suffix to every line and periodic epoch marks;
+v1 files stay byte-identical to the old format and both decode:
+
+  $ racedet trace fig1b --model SC --seed 7 --stream -o v1.trace
+  wrote 9 events (2 computation, 7 sync) to v1.trace
+  $ racedet trace fig1b --model SC --seed 7 --stream --v2 -o v2.trace
+  wrote 9 events (2 computation, 7 sync) to v2.trace
+  $ head -1 v1.trace; head -1 v2.trace
+  weakrace-trace 1
+  weakrace-trace 2
+  $ tail -1 v2.trace | grep -c '^mark '
+  1
+  $ racedet analyze v1.trace > r1.out; racedet analyze v2.trace > r2.out
+  $ cmp r1.out r2.out && echo same-report
+  same-report
+
+--v2 is meaningless for split directories:
+
+  $ racedet trace fig1b --split --v2 -o split.d
+  racedet: --v2 is not available for split-trace directories
+  [1]
+
+A damaged v2 file fails the strict decode loudly, naming the file:
+
+  $ sed '12s/event/evnet/' v2.trace > bad.trace
+  $ racedet analyze bad.trace 2>&1 | head -1
+  racedet: bad.trace: line 12: line checksum mismatch
+
+--salvage resynchronizes past the damage and analyzes the survivors.
+Race-freedom is never certified for a lossy trace: the verdict is
+degraded and the exit status is 3:
+
+  $ racedet analyze --salvage bad.trace
+  No data races detected among the surviving events.
+  
+  trace is lossy; analysis is degraded:
+    decode: lines 12-12 (bytes 561-654): 1 line discarded, ~1 event lost — line 12: line checksum mismatch
+    1 event never decoded
+    gap: proc 1: 1 event missing between seq 2 and seq 4
+    1 malformed or conflicting record dropped
+  race-freedom cannot be certified; races reported are among surviving events only
+  [3]
+
+
+An undamaged trace salvages to the exact batch report and exit status:
+
+  $ racedet analyze --salvage v2.trace > salv.out; echo $?
+  0
+  $ cmp r2.out salv.out && echo same-report
+  same-report
+
+--checkpoint persists the analysis state; after a successful report the
+checkpoint is removed:
+
+  $ racedet analyze --checkpoint v2.ckpt --checkpoint-every 5 v2.trace > ckpt.out
+  $ cmp r2.out ckpt.out && echo same-report
+  same-report
+  $ test -f v2.ckpt || echo checkpoint-removed
+  checkpoint-removed
+
+A corrupt checkpoint is rejected, not trusted:
+
+  $ echo "weakrace-ckpt 1 4 00000000" > broken.ckpt
+  $ echo junk >> broken.ckpt
+  $ racedet analyze --checkpoint broken.ckpt v2.trace 2>&1 | head -1
+  racedet: broken.ckpt: checkpoint payload is 5 bytes but the header announces 4
+
+The fault-injection campaign asserts the whole contract — no escaping
+exceptions, lossy traces never race-free, clean salvages byte-identical
+to strict, kill+resume byte-identical to batch:
+
+  $ racedet faultfuzz --seeds 5 --program fig1b
+  faultfuzz: 1 program(s) x 5 seed(s): 65 case(s) — 17 clean, 47 degraded, 1 refused, 0 invariant violation(s)

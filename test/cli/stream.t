@@ -51,10 +51,10 @@ additionally reports the byte offset of the offending line:
 
   $ sed '5s/comp/cmop/' barrier.trace > bad.trace
   $ racedet analyze bad.trace
-  racedet: line 5: unrecognized record "event 0 proc 0 seq 0 cmop reads - writes 0"
+  racedet: bad.trace: line 5: unrecognized record "event 0 proc 0 seq 0 cmop reads - writes 0"
   [1]
   $ racedet analyze --stream bad.trace
-  racedet: byte 63: line 5: unrecognized record "event 0 proc 0 seq 0 cmop reads - writes 0"
+  racedet: bad.trace: byte 63: line 5: unrecognized record "event 0 proc 0 seq 0 cmop reads - writes 0"
   [1]
 
 Truncating the stream-ordered layout mid-way loses events, which the end
@@ -62,7 +62,7 @@ marker (or its absence) exposes:
 
   $ head -n 20 barrier.trace > cut.trace
   $ racedet analyze --stream cut.trace > /dev/null
-  racedet: missing event 5 (saw 12 of 50)
+  racedet: cut.trace: missing event 5 (saw 12 of 50)
   [1]
 
 --max-live caps the resident candidate set.  hb1 ordering stays exact,

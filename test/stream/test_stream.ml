@@ -342,6 +342,184 @@ let test_stream_input_validation () =
   in
   expect_error "end mismatch" (rejoin wrong_end)
 
+(* ------------------------------------------------------------------ *)
+(* Salvage: corruption differential                                    *)
+(* ------------------------------------------------------------------ *)
+
+let report_of a = Format.asprintf "%a" (Report.pp_analysis ?loc_name:None) a
+
+let salvage_damage_of seed =
+  let open Tracing.Corrupt in
+  match seed mod 6 with
+  | 0 -> Garble_bytes (1 + (seed mod 9))
+  | 1 -> Drop_lines (1 + (seed mod 3))
+  | 2 -> Swap_events
+  | 3 -> Truncate_tail (1 + (seed * 17 mod 150))
+  | 4 -> Flip_bits (1 + (seed mod 5))
+  | _ -> Duplicate_lines (1 + (seed mod 3))
+
+(* the faultfuzz contract, as a property: salvage never raises; a clean
+   claim on damaged bytes must agree byte-for-byte with the strict
+   pipeline on those same bytes; undamaged input is never degraded *)
+let prop_salvage_differential =
+  QCheck.Test.make ~name:"salvage never raises, clean claims match strict"
+    ~count:150
+    QCheck.(pair arb_case (int_bound 1_000_000))
+    (fun (case, dseed) ->
+      let t = Tracing.Trace.of_execution (random_exec case) in
+      let version =
+        if dseed mod 2 = 0 then Tracing.Codec.version
+        else Tracing.Codec.version_checksummed
+      in
+      let text = Tracing.Codec.encode_stream ~version t in
+      let damaged = Tracing.Corrupt.apply ~seed:dseed (salvage_damage_of dseed) text in
+      match Stream.analyze_salvage_string damaged with
+      | exception e ->
+        QCheck.Test.fail_reportf "salvage raised %s" (Printexc.to_string e)
+      | Error _ -> true (* clean refusal (e.g. damaged header) *)
+      | Ok (Postmortem.Degraded _, _) ->
+        (* never degraded on undamaged bytes *)
+        not (String.equal damaged text)
+      | Ok (v, _) -> (
+        let rep = report_of (Postmortem.verdict_analysis v) in
+        match Stream.analyze_string damaged with
+        | exception e ->
+          QCheck.Test.fail_reportf "strict raised %s on a clean salvage"
+            (Printexc.to_string e)
+        | Error e ->
+          QCheck.Test.fail_reportf "salvage clean but strict failed: %s" e
+        | Ok (a, _) -> String.equal (report_of a) rep))
+
+let test_salvage_lossy_never_race_free () =
+  (* drop one event line from a race-free v2 trace: the survivors are
+     still race-free, but the verdict must be Degraded *)
+  let t =
+    Tracing.Trace.of_execution
+      (Minilang.Interp.run ~model:Memsim.Model.WO
+         ~sched:(Memsim.Sched.random ~seed:3) Minilang.Programs.fig1b)
+  in
+  let text =
+    Tracing.Codec.encode_stream ~version:Tracing.Codec.version_checksummed t
+  in
+  let lines = String.split_on_char '\n' text in
+  let dropped = ref false in
+  let damaged =
+    lines
+    |> List.filter (fun l ->
+           if (not !dropped) && String.length l > 6 && String.sub l 0 6 = "event "
+           then (dropped := true; false)
+           else true)
+    |> String.concat "\n"
+  in
+  Alcotest.(check bool) "an event line was dropped" true !dropped;
+  match Stream.analyze_salvage_string damaged with
+  | Ok (Postmortem.Degraded { analysis; loss }, _) ->
+    Alcotest.(check bool) "loss is recorded" true (Postmortem.lossy loss);
+    Alcotest.(check bool) "survivors are race-free" true
+      (Postmortem.race_free analysis)
+  | Ok (Postmortem.Race_free _, _) ->
+    Alcotest.fail "lossy trace reported race-free"
+  | Ok (Postmortem.Races _, _) -> Alcotest.fail "expected a degraded verdict"
+  | Error e -> Alcotest.failf "salvage refused: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint / restore                                                *)
+(* ------------------------------------------------------------------ *)
+
+let with_ckpt f =
+  let path = Filename.temp_file "weakrace" ".ckpt" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_checkpoint_resume_byte_identical () =
+  let t = Tracing.Trace.of_execution (random_exec (41, 2)) in
+  let text =
+    Tracing.Codec.encode_stream ~version:Tracing.Codec.version_checksummed t
+  in
+  let oneshot =
+    match Stream.analyze_string text with
+    | Ok (a, _) -> report_of a
+    | Error e -> Alcotest.failf "one-shot analysis failed: %s" e
+  in
+  (* cut at every ~third byte: partial lines must marshal through *)
+  let len = String.length text in
+  List.iter
+    (fun cut ->
+      let cut = min cut len in
+      with_ckpt (fun path ->
+          let engine = Stream.create () in
+          let d = Tracing.Codec.decoder () in
+          let push () r = Stream.push engine r in
+          (match Tracing.Codec.feed d (String.sub text 0 cut) ~f:push () with
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "cut %d: prefix feed failed: %s" cut e);
+          Stream.checkpoint path engine ~extra:(d, cut);
+          (* the first engine dies here; restore and finish *)
+          match (Stream.restore path : (Stream.t * (Tracing.Codec.decoder * int), string) result) with
+          | Error e -> Alcotest.failf "cut %d: restore failed: %s" cut e
+          | Ok (engine2, (d2, pos)) ->
+            Alcotest.(check int) "offset restored" cut pos;
+            let push2 () r = Stream.push engine2 r in
+            (match Tracing.Codec.feed d2 (String.sub text pos (len - pos)) ~f:push2 () with
+             | Ok () -> ()
+             | Error e -> Alcotest.failf "cut %d: resumed feed failed: %s" cut e);
+            (match Tracing.Codec.finish_feed d2 ~f:push2 () with
+             | Ok () -> ()
+             | Error e -> Alcotest.failf "cut %d: resumed finish_feed failed: %s" cut e);
+            match Stream.finish engine2 with
+            | Ok (a, _) ->
+              Alcotest.(check string)
+                (Printf.sprintf "cut %d: resumed report" cut)
+                oneshot (report_of a)
+            | Error e -> Alcotest.failf "cut %d: resumed finish failed: %s" cut e))
+    [ 0; 17; len / 3; len / 2; len - 1; len ]
+
+let test_checkpoint_rejects_corruption () =
+  let t = Tracing.Trace.of_execution (random_exec (7, 1)) in
+  let text = Tracing.Codec.encode_stream t in
+  with_ckpt (fun path ->
+      let engine = Stream.create () in
+      let d = Tracing.Codec.decoder () in
+      let push () r = Stream.push engine r in
+      (match Tracing.Codec.feed d text ~f:push () with
+       | Ok () -> ()
+       | Error e -> Alcotest.failf "feed failed: %s" e);
+      Stream.checkpoint path engine ~extra:(d, String.length text);
+      let read_all p =
+        let ic = open_in_bin p in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let write_all p s =
+        let oc = open_out_bin p in
+        output_string oc s;
+        close_out oc
+      in
+      let blob = read_all path in
+      let expect_reject name s =
+        write_all path s;
+        match (Stream.restore path : (Stream.t * (Tracing.Codec.decoder * int), string) result) with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.failf "%s: corrupt checkpoint accepted" name
+      in
+      (* flip a byte deep in the marshalled payload *)
+      let flipped = Bytes.of_string blob in
+      let mid = String.length blob - 20 in
+      Bytes.set flipped mid (Char.chr (Char.code blob.[mid] lxor 0x41));
+      expect_reject "bit flip" (Bytes.to_string flipped);
+      expect_reject "truncation" (String.sub blob 0 (String.length blob / 2));
+      expect_reject "garbage" "not a checkpoint at all\n";
+      expect_reject "empty" "";
+      (* and the pristine blob still restores *)
+      write_all path blob;
+      match (Stream.restore path : (Stream.t * (Tracing.Codec.decoder * int), string) result) with
+      | Ok (engine2, (_, pos)) ->
+        Alcotest.(check int) "offset" (String.length text) pos;
+        (match Stream.finish engine2 with
+         | Ok _ -> ()
+         | Error e -> Alcotest.failf "restored engine cannot finish: %s" e)
+      | Error e -> Alcotest.failf "pristine checkpoint rejected: %s" e)
+
 let () =
   Alcotest.run "stream"
     [
@@ -368,5 +546,18 @@ let () =
       ( "validation",
         [
           Alcotest.test_case "stream input checks" `Quick test_stream_input_validation;
+        ] );
+      ( "salvage",
+        [
+          QCheck_alcotest.to_alcotest prop_salvage_differential;
+          Alcotest.test_case "lossy never race-free" `Quick
+            test_salvage_lossy_never_race_free;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "kill+resume byte-identical" `Quick
+            test_checkpoint_resume_byte_identical;
+          Alcotest.test_case "rejects corruption" `Quick
+            test_checkpoint_rejects_corruption;
         ] );
     ]

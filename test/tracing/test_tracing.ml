@@ -185,6 +185,254 @@ let test_corruption_deterministic () =
   Alcotest.(check string) "same damage" a b
 
 (* ------------------------------------------------------------------ *)
+(* Format v2: checksummed framing                                      *)
+(* ------------------------------------------------------------------ *)
+
+let v2 = Codec.version_checksummed
+
+let test_v2_roundtrip_stock () =
+  List.iter
+    (fun (name, p) ->
+      let t = trace_of p in
+      (match Codec.decode (Codec.encode ~version:v2 t) with
+       | Ok t' ->
+         Alcotest.(check bool) (name ^ " v2 batch roundtrips") true
+           (Codec.equivalent t t')
+       | Error msg -> Alcotest.failf "%s v2 decode failed: %s" name msg);
+      match Codec.decode (Codec.encode_stream ~version:v2 t) with
+      | Ok t' ->
+        Alcotest.(check bool) (name ^ " v2 stream roundtrips") true
+          (Codec.equivalent t t')
+      | Error msg -> Alcotest.failf "%s v2 stream decode failed: %s" name msg)
+    Minilang.Programs.all
+
+let test_v1_bytes_unframed () =
+  (* the default encoding is byte-for-byte the pre-v2 format: no line
+     checksums, no epoch marks *)
+  let t = trace_of Minilang.Programs.counter_locked in
+  Alcotest.(check string) "default version is v1" (Codec.encode t)
+    (Codec.encode ~version:Codec.version t);
+  List.iter
+    (fun text ->
+      String.split_on_char '\n' text
+      |> List.iter (fun line ->
+             Alcotest.(check bool) ("no mark line: " ^ line) false
+               (String.length line >= 5 && String.sub line 0 5 = "mark ");
+             let suffixed =
+               String.length line >= 10
+               && line.[String.length line - 9] = '~'
+               && line.[String.length line - 10] = ' '
+             in
+             Alcotest.(check bool) ("no checksum suffix: " ^ line) false suffixed))
+    [ Codec.encode t; Codec.encode_stream t ]
+
+let test_v2_has_periodic_marks () =
+  let t = trace_of ~seed:5 (Minilang.Programs.queue_bug ~region:40 ()) in
+  let text = Codec.encode ~version:v2 t in
+  let marks =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.length l >= 5 && String.sub l 0 5 = "mark ")
+    |> List.length
+  in
+  let expected_at_least = Trace.n_events t / Codec.mark_period in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d marks for %d events" marks (Trace.n_events t))
+    true
+    (marks >= max 1 expected_at_least)
+
+let damage_kinds seed =
+  [
+    ("garble", Corrupt.Garble_bytes (3 + (seed mod 8)));
+    ("drop", Corrupt.Drop_lines (1 + (seed mod 3)));
+    ("swap", Corrupt.Swap_events);
+    ("truncate", Corrupt.Truncate_tail (5 + (seed mod 60)));
+    ("flip", Corrupt.Flip_bits (1 + (seed mod 6)));
+    ("dup", Corrupt.Duplicate_lines (1 + (seed mod 3)));
+  ]
+
+let test_v2_strict_detects_every_damage () =
+  (* in v2 every textual change is either caught by the strict decoder
+     or provably harmless (the decode is equivalent to the original —
+     e.g. a duplicated epoch mark) *)
+  let t = trace_of ~seed:3 (Minilang.Programs.queue_bug ~region:6 ()) in
+  List.iter
+    (fun text ->
+      for seed = 0 to 39 do
+        List.iter
+          (fun (name, damage) ->
+            let damaged = Corrupt.apply ~seed damage text in
+            if not (String.equal damaged text) then
+              match Codec.decode damaged with
+              | Error _ -> ()
+              | Ok t' ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s seed %d: silent decode must be equivalent"
+                     name seed)
+                  true (Codec.equivalent t t'))
+          (damage_kinds seed)
+      done)
+    [ Codec.encode ~version:v2 t; Codec.encode_stream ~version:v2 t ]
+
+(* ------------------------------------------------------------------ *)
+(* Salvage decoding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let count_records text =
+  match Codec.fold_salvage_string text ~f:(fun n _ -> Ok (n + 1)) ~init:0 with
+  | Ok (n, losses) -> (n, losses)
+  | Error e -> Alcotest.failf "salvage failed: %s" e
+
+let test_salvage_clean_on_undamaged () =
+  let t = trace_of ~seed:2 Minilang.Programs.peterson in
+  List.iter
+    (fun text ->
+      let n, losses = count_records text in
+      Alcotest.(check bool) "records decoded" true (n > 0);
+      Alcotest.(check int) "no losses" 0 (List.length losses))
+    [
+      Codec.encode t;
+      Codec.encode ~version:v2 t;
+      Codec.encode_stream t;
+      Codec.encode_stream ~version:v2 t;
+    ]
+
+let test_salvage_recovers_and_reports_loss () =
+  let t = trace_of ~seed:3 (Minilang.Programs.queue_bug ~region:6 ()) in
+  let text = Codec.encode_stream ~version:v2 t in
+  let clean, _ = count_records text in
+  let magic_len = String.index text '\n' in
+  for seed = 0 to 19 do
+    let damaged = Corrupt.apply ~seed (Corrupt.Garble_bytes 12) text in
+    let magic_intact =
+      String.length damaged > magic_len
+      && String.equal (String.sub damaged 0 magic_len) (String.sub text 0 magic_len)
+    in
+    if (not (String.equal damaged text)) && magic_intact then begin
+      let n, losses = count_records damaged in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: damage is visible as a loss" seed)
+        true (losses <> []);
+      (* 12 garbled bytes can destroy at most a couple dozen lines *)
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d: most records survive (%d of %d)" seed n clean)
+        true
+        (n >= clean - 40)
+    end
+  done
+
+let test_salvage_quantifies_single_dropped_event () =
+  (* deleting exactly one event line between two marks is quantified as
+     exactly one lost event by the next epoch mark *)
+  let t = trace_of ~seed:4 (Minilang.Programs.queue_bug ~region:8 ()) in
+  let text = Codec.encode ~version:v2 t in
+  let lines = String.split_on_char '\n' text in
+  let victim =
+    match
+      List.find_opt
+        (fun l -> String.length l >= 6 && String.sub l 0 6 = "event ")
+        lines
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "no event line"
+  in
+  let dropped =
+    lines
+    |> List.filter (fun l -> not (String.equal l victim))
+    |> String.concat "\n"
+  in
+  let _, losses = count_records dropped in
+  match losses with
+  | [ l ] ->
+    Alcotest.(check (option int)) "one event lost" (Some 1)
+      l.Codec.Salvage.events_lost
+  | ls -> Alcotest.failf "expected one loss interval, got %d" (List.length ls)
+
+let test_salvage_flags_truncation () =
+  let t = trace_of ~seed:5 Minilang.Programs.peterson in
+  let text = Codec.encode_stream ~version:v2 t in
+  let cut = String.sub text 0 (String.length text - 40) in
+  let _, losses = count_records cut in
+  Alcotest.(check bool) "truncation is reported" true (losses <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Errors carry the offending file name                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_read_file_error_names_file () =
+  let path = Filename.temp_file "weakrace" ".trace" in
+  let oc = open_out path in
+  output_string oc "weakrace-trace 1\nbogus line\n";
+  close_out oc;
+  (match Codec.read_file path with
+   | Ok _ -> Alcotest.fail "accepted a bogus trace"
+   | Error msg ->
+     Alcotest.(check bool)
+       (Printf.sprintf "error %S names %s" msg path)
+       true
+       (String.length msg >= String.length path
+        && String.sub msg 0 (String.length path) = path));
+  Sys.remove path
+
+let test_read_dir_error_names_file () =
+  let t = trace_of Minilang.Programs.fig1b in
+  let dir = Filename.temp_file "weakrace" ".d" in
+  Sys.remove dir;
+  Codec.write_dir dir t;
+  let victim = Filename.concat dir "proc0.trace" in
+  let oc = open_out victim in
+  output_string oc "weakrace-trace 1\nbroken record\n";
+  close_out oc;
+  (match Codec.read_dir dir with
+   | Ok _ -> Alcotest.fail "accepted a broken split dir"
+   | Error msg ->
+     Alcotest.(check bool)
+       (Printf.sprintf "error %S names %s" msg victim)
+       true
+       (String.length msg >= String.length victim
+        && String.sub msg 0 (String.length victim) = victim));
+  Sys.readdir dir |> Array.iter (fun f -> Sys.remove (Filename.concat dir f));
+  Sys.rmdir dir
+
+(* ------------------------------------------------------------------ *)
+(* New damage kinds                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_flip_bits_behaviour () =
+  let text = Codec.encode (trace_of Minilang.Programs.fig1b) in
+  let damaged = Corrupt.apply ~seed:11 (Corrupt.Flip_bits 4) text in
+  Alcotest.(check int) "length preserved" (String.length text)
+    (String.length damaged);
+  Alcotest.(check bool) "text changed" false (String.equal text damaged);
+  let bits_differing =
+    let n = ref 0 in
+    String.iteri
+      (fun i c ->
+        let x = Char.code c lxor Char.code damaged.[i] in
+        for b = 0 to 7 do
+          if x land (1 lsl b) <> 0 then incr n
+        done)
+      text;
+    !n
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "at most 4 bits flipped (%d)" bits_differing)
+    true
+    (bits_differing >= 1 && bits_differing <= 4)
+
+let test_duplicate_lines_behaviour () =
+  let text = Codec.encode (trace_of Minilang.Programs.fig1b) in
+  let damaged = Corrupt.apply ~seed:11 (Corrupt.Duplicate_lines 2) text in
+  Alcotest.(check bool) "text changed" false (String.equal text damaged);
+  let lines s = String.split_on_char '\n' s in
+  let orig = lines text and dup = lines damaged in
+  Alcotest.(check bool) "line count grew" true (List.length dup > List.length orig);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) ("every line comes from the original: " ^ l) true
+        (List.mem l orig))
+    dup
+
+(* ------------------------------------------------------------------ *)
 (* E7 size accounting                                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -266,6 +514,36 @@ let () =
           Alcotest.test_case "detected or content changes" `Quick
             test_corruption_is_detected_or_changes_content;
           Alcotest.test_case "deterministic" `Quick test_corruption_deterministic;
+        ] );
+      ( "v2-framing",
+        [
+          Alcotest.test_case "roundtrip stock programs" `Quick test_v2_roundtrip_stock;
+          Alcotest.test_case "v1 bytes unchanged" `Quick test_v1_bytes_unframed;
+          Alcotest.test_case "periodic marks" `Quick test_v2_has_periodic_marks;
+          Alcotest.test_case "strict decode detects damage" `Quick
+            test_v2_strict_detects_every_damage;
+        ] );
+      ( "salvage",
+        [
+          Alcotest.test_case "clean on undamaged input" `Quick
+            test_salvage_clean_on_undamaged;
+          Alcotest.test_case "recovers and reports loss" `Quick
+            test_salvage_recovers_and_reports_loss;
+          Alcotest.test_case "quantifies a dropped event" `Quick
+            test_salvage_quantifies_single_dropped_event;
+          Alcotest.test_case "flags truncation" `Quick test_salvage_flags_truncation;
+        ] );
+      ( "error-context",
+        [
+          Alcotest.test_case "read_file names the file" `Quick
+            test_read_file_error_names_file;
+          Alcotest.test_case "read_dir names the file" `Quick
+            test_read_dir_error_names_file;
+        ] );
+      ( "new-damage-kinds",
+        [
+          Alcotest.test_case "flip-bits" `Quick test_flip_bits_behaviour;
+          Alcotest.test_case "duplicate-lines" `Quick test_duplicate_lines_behaviour;
         ] );
       ( "sizes",
         [
