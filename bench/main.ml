@@ -772,10 +772,11 @@ let json_escape s =
 
 let json_float v = if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
 
-let write_bench_json ~micro ~speedups ~streaming ~parallel path =
+let write_bench_json ~micro ~speedups ~streaming ~parallel ~exploration ~triage
+    path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": 2,\n  \"microbench_ns_per_run\": [\n";
+  out "{\n  \"schema\": 3,\n  \"microbench_ns_per_run\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
       out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
@@ -803,6 +804,28 @@ let write_bench_json ~micro ~speedups ~streaming ~parallel path =
         (if i = List.length rows - 1 then "" else ","))
     rows;
   out "    ]\n  },\n";
+  out "  \"exploration\": [\n";
+  List.iteri
+    (fun i (name, naive_n, naive_s, dpor_n, dpor_s) ->
+      out
+        "    {\"name\": \"enumerate-naive/%s\", \"schedules\": %d, \"wall_s\": %s},\n"
+        (json_escape name) naive_n (json_float naive_s);
+      out
+        "    {\"name\": \"enumerate-dpor/%s\", \"schedules\": %d, \"wall_s\": %s, \"reduction\": %s}%s\n"
+        (json_escape name) dpor_n (json_float dpor_s)
+        (json_float (float_of_int naive_n /. float_of_int (max 1 dpor_n)))
+        (if i = List.length exploration - 1 then "" else ","))
+    exploration;
+  out "  ],\n  \"triage\": [\n";
+  List.iteri
+    (fun i (name, data, confirmed, refuted, unknown, wall_s) ->
+      out
+        "    {\"name\": \"triage/%s\", \"data_candidates\": %d, \"confirmed\": %d, \
+         \"refuted\": %d, \"unknown\": %d, \"wall_s\": %s}%s\n"
+        (json_escape name) data confirmed refuted unknown (json_float wall_s)
+        (if i = List.length triage - 1 then "" else ","))
+    triage;
+  out "  ],\n";
   let batch, njobs, serial_s, parallel_s = parallel in
   out "  \"parallel_montecarlo\": {\"batch\": %d, \"jobs\": %d, \"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s}\n}\n"
     batch njobs (json_float serial_s) (json_float parallel_s)
@@ -1146,9 +1169,60 @@ let perf () =
         ("checkpoint-overhead/every-1000", ckpt_per_ev ckpt_1k_s, nan);
       ]
   in
+  (* DPOR vs naive enumeration: same behaviour coverage, exponentially
+     fewer schedules on programs with independent work *)
+  Format.printf "@.exhaustive SC exploration, naive vs DPOR (same behaviours):@.@.";
+  Format.printf "%-18s %12s %12s %10s@." "program" "naive" "dpor" "reduction";
+  let explore_rows =
+    List.map
+      (fun (name, p) ->
+        let mk () = Minilang.Interp.source p in
+        let naive, naive_s =
+          wall (fun () -> Memsim.Enumerate.explore ~limit:2_000_000 mk)
+        in
+        let dpor, dpor_s =
+          wall (fun () ->
+              Explore.Dpor.explore ~limit:2_000_000 ~model:Memsim.Model.SC mk)
+        in
+        let nn = List.length naive.Memsim.Enumerate.executions in
+        let dn = dpor.Explore.Dpor.schedules in
+        Format.printf "%-18s %12d %12d %9.1fx@." name nn dn
+          (float_of_int nn /. float_of_int (max 1 dn));
+        (name, nn, naive_s, dn, dpor_s))
+      [
+        ("fig1a", Minilang.Programs.fig1a);
+        ("disjoint", Minilang.Programs.disjoint);
+        ("queue_bug-r3", Minilang.Programs.queue_bug ~region:3 ~stale:1 ());
+      ]
+  in
+  (* candidate triage: lint + DPOR-directed verification, end to end *)
+  Format.printf "@.candidate triage (static candidates -> dynamic verdicts):@.@.";
+  Format.printf "%-18s %6s %10s %8s %8s %9s@." "program" "data" "confirmed"
+    "refuted" "unknown" "wall";
+  let triage_rows =
+    List.map
+      (fun (name, p) ->
+        let r, s = wall (fun () -> Explore.Triage.run ~jobs:!jobs p) in
+        let count st =
+          List.length
+            (List.filter (fun v -> v.Explore.Triage.status = st) r.Explore.Triage.data)
+        in
+        let data = List.length r.Explore.Triage.data in
+        let c = count Explore.Triage.Confirmed in
+        let rf = count Explore.Triage.Refuted in
+        let u = count Explore.Triage.Unknown in
+        Format.printf "%-18s %6d %10d %8d %8d %8.2fs@." name data c rf u s;
+        (name, data, c, rf, u, s))
+      [
+        ("queue_bug", Minilang.Programs.queue_bug ());
+        ("peterson", Minilang.Programs.peterson);
+        ("counter_racy", Minilang.Programs.counter_racy);
+      ]
+  in
   let path = "BENCH_perf.json" in
   write_bench_json ~micro ~speedups ~streaming:(stream_rows, hwm)
-    ~parallel:(batch, njobs, serial_s, par_s) path;
+    ~parallel:(batch, njobs, serial_s, par_s) ~exploration:explore_rows
+    ~triage:triage_rows path;
   Format.printf "wrote %s@." path
 
 (* ================================================================== *)

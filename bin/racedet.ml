@@ -917,15 +917,27 @@ let faultfuzz_cmd =
 
 let enumerate_cmd =
   let limit_arg =
-    let doc = "Stop after this many SC executions." in
+    let doc = "Stop after this many explored SC schedules." in
     Arg.(value & opt int 100_000 & info [ "limit" ] ~doc)
   in
-  let run program limit =
-    let p = or_fail (load_program program) in
-    let r =
-      Memsim.Enumerate.explore ~limit (fun () -> Minilang.Interp.source p)
+  let naive_arg =
+    let doc =
+      "Visit every schedule instead of the DPOR-reduced set (same behaviours, \
+       exponentially more schedules; kept for differential testing)."
     in
-    let execs = r.Memsim.Enumerate.executions in
+    Arg.(value & flag & info [ "naive" ] ~doc)
+  in
+  let run program limit naive =
+    let p = or_fail (load_program program) in
+    let mk () = Minilang.Interp.source p in
+    let execs, complete =
+      if naive then
+        let r = Memsim.Enumerate.explore ~limit mk in
+        (r.Memsim.Enumerate.executions, r.Memsim.Enumerate.complete)
+      else
+        let r = Explore.Dpor.explore ~limit ~model:Memsim.Model.SC mk in
+        (r.Explore.Dpor.executions, r.Explore.Dpor.complete)
+    in
     let racy =
       List.filter
         (fun e ->
@@ -933,20 +945,39 @@ let enumerate_cmd =
           <> [])
         execs
     in
-    Format.printf "%d sequentially consistent execution(s)%s@." (List.length execs)
-      (if r.Memsim.Enumerate.complete then "" else " (incomplete)");
+    Format.printf "%d sequentially consistent execution(s)%s%s@."
+      (List.length execs)
+      (if naive then "" else " (DPOR-reduced)")
+      (if complete then "" else " (incomplete)");
     Format.printf "%d exhibit data races@." (List.length racy);
-    if racy <> [] then
-      Format.printf "the program is NOT data-race-free (Def 2.4)@."
-    else if r.Memsim.Enumerate.complete then
+    if racy <> [] then begin
+      Format.printf "the program is NOT data-race-free (Def 2.4)@.";
+      exit 2
+    end
+    else if complete then
       Format.printf "the program is data-race-free: every weak execution is SC@."
+    else begin
+      Format.printf "exploration incomplete: no verdict@.";
+      exit 1
+    end
+  in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"every SC execution was covered and none races."
+    :: Cmd.Exit.info 1
+         ~doc:
+           "usage error, or the exploration hit a bound before covering every \
+            execution (no verdict)."
+    :: Cmd.Exit.info 2 ~doc:"a racy SC execution was found (Def 2.4)."
+    :: List.filter (fun i -> Cmd.Exit.info_code i > 2) Cmd.Exit.defaults
   in
   Cmd.v
     (Cmd.info "enumerate"
        ~doc:
-         "Enumerate all SC executions and decide whether the program is \
-          data-race-free.")
-    Term.(const run $ program_arg $ limit_arg)
+         "Enumerate the SC executions (one representative per Mazurkiewicz \
+          trace, via dynamic partial-order reduction) and decide whether the \
+          program is data-race-free."
+       ~exits)
+    Term.(const run $ program_arg $ limit_arg $ naive_arg)
 
 (* -- check (Condition 3.4) ---------------------------------------------- *)
 
@@ -989,16 +1020,20 @@ let check_cmd =
     List.iter
       (fun model ->
         if exhaustive then begin
+          (* DPOR covers every behaviour class of the weak decision space
+             with exponentially fewer schedules than [explore_weak]; the
+             SC pool above stays naive because Condition needs the full
+             execution pool for its SCP witness search *)
           let w =
-            Memsim.Enumerate.explore_weak ~limit ~model (fun () ->
+            Explore.Dpor.explore ~limit ~model (fun () ->
                 Minilang.Interp.source p)
           in
-          if not w.Memsim.Enumerate.complete then begin
+          if not w.Explore.Dpor.complete then begin
             Format.eprintf "racedet: weak exploration incomplete for %s@."
               (Memsim.Model.name model);
             exit 1
           end;
-          let behaviours = Memsim.Enumerate.behaviours w.Memsim.Enumerate.executions in
+          let behaviours = Memsim.Enumerate.behaviours w.Explore.Dpor.executions in
           Engine.Parbatch.map_list ~jobs
             (fun e -> Racedetect.Condition.check ~sc:pool e)
             behaviours
@@ -1226,19 +1261,127 @@ let cost_cmd =
           sequentially consistent debug mode).")
     Term.(const run $ program_arg $ seed_arg)
 
+(* -- triage ------------------------------------------------------------ *)
+
+let triage_exits =
+  Cmd.Exit.info 0
+    ~doc:
+      "every data candidate was REFUTED (or none existed): within the \
+       exploration bounds the program is data-race-free."
+  :: Cmd.Exit.info 1 ~doc:"usage or I/O error."
+  :: Cmd.Exit.info 2 ~doc:"at least one data candidate was CONFIRMED by a witness execution."
+  :: Cmd.Exit.info 3
+       ~doc:
+         "no candidate was confirmed but at least one is UNKNOWN (an \
+          exploration bound was hit before the candidate could be refuted)."
+  :: List.filter (fun i -> Cmd.Exit.info_code i > 3) Cmd.Exit.defaults
+
+let triage_steps_arg =
+  let doc =
+    "Truncate explored schedules after this many machine steps (truncation \
+     downgrades refutations to UNKNOWN)."
+  in
+  Arg.(value & opt int 400 & info [ "max-steps" ] ~docv:"N" ~doc)
+
+let triage_limit_arg =
+  let doc = "Explore at most this many schedules per candidate." in
+  Arg.(value & opt int 2_000 & info [ "limit" ] ~docv:"N" ~doc)
+
+let write_witnesses dir (r : Explore.Triage.report) =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  List.iteri
+    (fun i (v : Explore.Triage.verdict) ->
+      match v.Explore.Triage.witness with
+      | None -> ()
+      | Some w ->
+        let path = Filename.concat dir (Printf.sprintf "cand%d.trace" i) in
+        or_fail (Explore.Triage.write_witness path w);
+        Format.printf "witness for candidate %d written to %s (verified by re-analysis)@."
+          i path)
+    r.Explore.Triage.data
+
+let run_triage p ~max_steps ~limit ~sync ~jobs ~model ~witness_dir =
+  or_fail (Minilang.Ast.validate p);
+  let r = Explore.Triage.run ~max_steps ~limit ~sync ~jobs ~model p in
+  Format.printf "%a@." Explore.Triage.pp r;
+  Option.iter (fun dir -> write_witnesses dir r) witness_dir;
+  Explore.Triage.exit_code r
+
+let sc_model_arg =
+  let parse s =
+    match Memsim.Model.of_name s with
+    | Some m -> Ok m
+    | None -> Error (`Msg (Printf.sprintf "unknown model %S (SC|WO|RCsc|DRF0|DRF1)" s))
+  in
+  let print ppf m = Format.pp_print_string ppf (Memsim.Model.name m) in
+  let doc =
+    "Memory model whose decision space is explored.  The default SC is the \
+     canonical choice: Definition 2.4 defines data-race-freedom through the \
+     sequentially consistent executions."
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Memsim.Model.SC
+    & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let witness_dir_arg =
+  let doc =
+    "Write each CONFIRMED candidate's minimal witness to $(docv)/candN.trace \
+     (checksummed v2 format); each file is verified by decoding it back and \
+     re-running the analysis, and replays through $(b,racedet analyze) to a \
+     report containing the race."
+  in
+  Arg.(value & opt (some string) None & info [ "witness-dir" ] ~docv:"DIR" ~doc)
+
+let triage_cmd =
+  let sync_flag =
+    let doc = "Also triage the unordered sync-sync pairs (informational)." in
+    Arg.(value & flag & info [ "sync" ] ~doc)
+  in
+  let run program max_steps limit sync jobs model witness_dir =
+    let jobs = resolve_jobs jobs in
+    let p = or_fail (load_program program) in
+    exit (run_triage p ~max_steps ~limit ~sync ~jobs ~model ~witness_dir)
+  in
+  Cmd.v
+    (Cmd.info "triage"
+       ~doc:
+         "Classify every static race candidate ($(b,racedet lint)) by \
+          candidate-directed bounded exploration: CONFIRMED with a minimal \
+          replayable witness trace, REFUTED by complete DPOR coverage within \
+          the bounds, or UNKNOWN when a bound was hit."
+       ~exits:triage_exits)
+    Term.(
+      const run $ program_arg $ triage_steps_arg $ triage_limit_arg $ sync_flag
+      $ jobs_arg $ sc_model_arg $ witness_dir_arg)
+
 (* -- lint -------------------------------------------------------------- *)
 
 let lint_cmd =
-  let run program sync model =
+  let run program sync model triage max_steps limit jobs witness_dir =
     let p = or_fail (load_program program) in
     or_fail (Minilang.Ast.validate p);
     let r = Staticcheck.Lint.analyze p in
     Format.printf "%a@." (Staticcheck.Lint.pp ?model ~show_sync:sync) r;
-    if r.Staticcheck.Lint.data_candidates <> [] then exit 2
+    if triage then begin
+      let jobs = resolve_jobs jobs in
+      Format.printf "@.";
+      exit
+        (run_triage p ~max_steps ~limit ~sync ~jobs ~model:Memsim.Model.SC
+           ~witness_dir)
+    end
+    else if r.Staticcheck.Lint.data_candidates <> [] then exit 2
   in
   let sync_arg =
     let doc = "Itemize the unordered sync-sync pairs instead of counting them." in
     Arg.(value & flag & info [ "sync" ] ~doc)
+  in
+  let triage_arg =
+    let doc =
+      "Follow the static report with a dynamic triage of every candidate \
+       (see $(b,racedet triage)); the exit status becomes the triage one."
+    in
+    Arg.(value & flag & info [ "triage" ] ~doc)
   in
   let model_opt_arg =
     let parse s =
@@ -1261,8 +1404,12 @@ let lint_cmd =
        ~doc:
          "Statically check synchronization discipline and list candidate race \
           pairs (a sound over-approximation: exits 2 when data candidates \
-          exist, 0 when the program is statically race-free).")
-    Term.(const run $ program_arg $ sync_arg $ model_opt_arg)
+          exist, 0 when the program is statically race-free).  With \
+          $(b,--triage), follow up with the dynamic classification of every \
+          candidate.")
+    Term.(
+      const run $ program_arg $ sync_arg $ model_opt_arg $ triage_arg
+      $ triage_steps_arg $ triage_limit_arg $ jobs_arg $ witness_dir_arg)
 
 let () =
   let doc = "dynamic data-race detection on weak memory systems (ISCA 1991)" in
@@ -1272,4 +1419,4 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; detect_cmd; trace_cmd; analyze_cmd;
             faultfuzz_cmd; enumerate_cmd; check_cmd; cost_cmd; replay_cmd;
-            graph_cmd; gen_cmd; sweep_cmd; lint_cmd ]))
+            graph_cmd; gen_cmd; sweep_cmd; lint_cmd; triage_cmd ]))

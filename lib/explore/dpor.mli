@@ -1,0 +1,73 @@
+(** Stateless dynamic partial-order reduction over the machine's decision
+    space.
+
+    The naive enumerators ({!Memsim.Enumerate.explore} /
+    [explore_weak]) visit every interleaving of every decision sequence —
+    exponentially many even when most decisions commute.  This explorer
+    visits at least one representative of every Mazurkiewicz trace
+    (equivalence class of schedules under commutation of independent
+    decisions) and prunes the rest with the classic combination of
+
+    - {e persistent sets}, computed dynamically in the style of
+      Flanagan–Godefroid DPOR: when a decision about to be executed
+      conflicts with an earlier decision of another processor, a
+      backtracking point is planted at that earlier state; and
+    - {e sleep sets}: a decision already explored at a node is carried
+      into the sibling subtrees and never re-executed until a dependent
+      decision wakes it, eliminating the redundant second order of every
+      independent pair.
+
+    Two decisions are {e dependent} when they belong to the same
+    processor (program order, buffer FIFO and forwarding tie them
+    together) or when their memory footprints ({!Memsim.Machine.footprint})
+    conflict — a common location at least one of them writes.  Because
+    enabledness in the machine is a function of the deciding processor's
+    own state alone, independent decisions commute at the state level,
+    so every pruned schedule is Mazurkiewicz-equivalent to an explored
+    one and yields the same per-processor operation sequences, the same
+    reads-from, the same so1 — hence the same
+    {!Memsim.Exec.same_program_behaviour} class and the same hb1 races
+    (see DESIGN.md, "DPOR soundness").
+
+    The interpreter state is not snapshotable (continuations), so like
+    the naive enumerators the explorer replays each prefix from scratch;
+    litmus programs are tiny and the quadratic replay cost is
+    irrelevant. *)
+
+type result = {
+  executions : Memsim.Exec.t list;
+      (** the maximal (or truncated) executions recorded, one per explored
+          schedule, in exploration order *)
+  complete : bool;
+      (** false when the step budget or the schedule limit was hit *)
+  schedules : int;  (** executions recorded = schedules fully explored *)
+  sleep_blocked : int;
+      (** explorations abandoned because every enabled decision was
+          sleeping (redundant orders proven already covered) *)
+  stopped : bool;  (** the [stop] predicate ended the search early *)
+}
+
+val explore :
+  ?max_steps:int ->
+  ?limit:int ->
+  ?prefer:int list ->
+  ?stop:(Memsim.Exec.t -> bool) ->
+  model:Memsim.Model.t ->
+  (unit -> Memsim.Thread_intf.source) ->
+  result
+(** [explore ~model mk] explores the decision space of [mk ()] under
+    [model].  Defaults: [max_steps] 2000 (a schedule longer than this is
+    truncated, drained, recorded, and marks the result incomplete),
+    [limit] 500_000 recorded schedules.
+
+    [prefer] biases the {e order} of exploration — decisions of the
+    listed processors are tried first at every node — without affecting
+    the set of schedules explored; a candidate-directed search lists the
+    two processors of the candidate so schedules interleaving them come
+    first.  [stop] is applied to every recorded execution; returning
+    [true] ends the search immediately with [stopped = true]. *)
+
+val behaviours_covered : Memsim.Exec.t list -> Memsim.Exec.t list -> bool
+(** [behaviours_covered a b]: every behaviour class
+    ({!Memsim.Exec.same_program_behaviour}) present in [a] is present in
+    [b].  Test helper for the differential suites. *)

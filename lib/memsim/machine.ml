@@ -118,6 +118,52 @@ let enabled t =
   done;
   !issues @ List.rev !retires
 
+let footprint t d =
+  match d with
+  | Exec.Retire (_, loc) -> [ (loc, Op.Write) ]
+  | Exec.Issue p -> (
+    match t.src.peek p with
+    | None -> []
+    | Some (Thread_intf.Read { loc; _ }) ->
+      (* a forwarded read returns the processor's own buffered value and
+         never consults memory, so it commutes with everything remote *)
+      if forwardable t p loc <> None then [] else [ (loc, Op.Read) ]
+    | Some (Thread_intf.Write { loc; cls; _ }) ->
+      if Model.buffers_writes t.model && cls = Op.Data then []
+      else [ (loc, Op.Write) ]
+    | Some (Thread_intf.Rmw { loc; _ }) -> [ (loc, Op.Read); (loc, Op.Write) ]
+    | Some (Thread_intf.Fence _) -> [])
+
+type buffer_footprint =
+  | BNone
+  | BReads of Op.loc
+  | BAppends of Op.loc
+  | BWrites of Op.loc
+  | BAll
+
+let buffer_footprint t d =
+  match d with
+  | Exec.Retire (_, loc) -> BWrites loc
+  | Exec.Issue p -> (
+    match t.src.peek p with
+    | None -> BNone
+    | Some (Thread_intf.Read { cls; loc; _ }) ->
+      (* a forwarded read consults the buffer: retiring the forwarding
+         source changes it into a memory read.  A draining read is only
+         enabled once the buffer is empty. *)
+      if forwardable t p loc <> None then BReads loc
+      else if Model.drains_on t.model cls then BAll
+      else BNone
+    | Some (Thread_intf.Write { cls; loc; _ }) ->
+      (* a buffered data write appends the youngest entry; a retire of
+         the same location may only exist because of it (enabling), so
+         they are conservatively dependent.  Unbuffered writes wait for
+         drains. *)
+      if Model.buffers_writes t.model && cls = Op.Data then BAppends loc
+      else BAll
+    | Some (Thread_intf.Rmw _) -> BAll
+    | Some (Thread_intf.Fence _) -> BAll)
+
 let finished t = enabled t = []
 
 let steps t = t.n_steps

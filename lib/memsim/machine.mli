@@ -31,6 +31,49 @@ val create : ?on_op:(Op.t -> unit) -> model:Model.t -> Thread_intf.source -> t
 val enabled : t -> Exec.decision list
 (** Decisions currently permitted; empty iff the run is complete. *)
 
+val footprint : t -> Exec.decision -> (Op.loc * Op.kind) list
+(** The shared-memory accesses the decision would perform {e at memory},
+    for the dependence relation of a partial-order-reduced explorer.  A
+    retire writes its location; an issue reads or writes the locations of
+    the request it performs — except that a data write headed for the
+    store buffer touches memory only at its retire (empty footprint now),
+    and a read forwarded from the processor's own buffer never reaches
+    memory at all.  Fences have empty footprints.  Decisions of different
+    processors with non-conflicting footprints commute: performing them
+    in either order yields the same memory, buffers, reads-from and
+    per-processor operation sequences, because enabledness and buffer
+    state are per-processor and values flow only through the locations
+    listed here.
+
+    Within one processor the memory footprint is not the whole story:
+    issue and retire decisions of the {e same} processor can interact
+    through its private store buffer, with no memory access at all —
+    see {!buffer_footprint}. *)
+
+type buffer_footprint =
+  | BNone  (** no interaction with the processor's own buffer *)
+  | BReads of Op.loc
+      (** reads the newest buffered write to this location (forwarding) *)
+  | BAppends of Op.loc
+      (** appends a buffered write to this location (buffered store) *)
+  | BWrites of Op.loc
+      (** removes the oldest buffered write to this location (retire) *)
+  | BAll
+      (** enabled only while the buffer is (or becomes) empty: fences,
+          draining reads, unbuffered writes, read-modify-writes *)
+
+val buffer_footprint : t -> Exec.decision -> buffer_footprint
+(** The decision's interaction with its own processor's store buffer,
+    for the {e same-processor} dependence of a partial-order-reduced
+    explorer.  A processor is two scheduling agents — the front end that
+    issues and the buffer that retires — and two of its decisions from
+    {e different} agents commute unless their buffer footprints conflict
+    ([BReads l] or [BAppends l] with [BWrites l], or [BAll] with any
+    [BWrites]): a retire removes the oldest entry for its location, so
+    it changes a later forwarded read of that location into a memory
+    read, and a retire of location [l] may only be enabled because an
+    append to [l] came first. *)
+
 val perform : t -> Exec.decision -> unit
 (** @raise Invalid_argument if the decision is not enabled. *)
 

@@ -28,3 +28,12 @@ val pp :
 (** [?model] keeps only the findings relevant to that model;
     [?show_sync] (default false) itemizes the sync-sync pairs instead of
     just counting them. *)
+
+(** {1 Rendering pieces}
+
+    Exposed so the triage layer can render candidates the same way the
+    lint report does. *)
+
+val pp_locs : Minilang.Ast.program -> Format.formatter -> Absdom.t -> unit
+val pp_side : Minilang.Ast.program -> Format.formatter -> Absint.access -> unit
+val pp_pair : Minilang.Ast.program -> Format.formatter -> Candidates.pair -> unit

@@ -22,7 +22,7 @@ Program files in the concrete syntax work everywhere a stock name does:
   By Condition 3.4(1) the execution was sequentially consistent.
 
   $ racedet enumerate handoff.race
-  3 sequentially consistent execution(s)
+  2 sequentially consistent execution(s) (DPOR-reduced)
   0 exhibit data races
   the program is data-race-free: every weak execution is SC
 

@@ -1,0 +1,135 @@
+Candidate-directed triage closes the static/dynamic loop: every lint
+candidate is CONFIRMED with a replayable witness, REFUTED by a complete
+DPOR exploration, or left UNKNOWN when a bound is hit.
+
+  $ cat > mp.race <<'EOF'
+  > program mp
+  > loc data
+  > loc flag
+  > proc Producer {
+  >   data := 42
+  >   flag := 1
+  > }
+  > proc Consumer {
+  >   f := flag
+  >   if f == 1 {
+  >     d := data
+  >   }
+  > }
+  > EOF
+  $ racedet triage mp.race --witness-dir w
+  triage of mp under SC: 2 data candidate(s), 0 sync-sync candidate(s)
+  [CONFIRMED] P0 at 0 (Producer:L5): store data  <->  P1 at 1.then.0 (Consumer:L11): load data  on data
+    witness: 4-step schedule, found after 1 schedule(s)
+  [CONFIRMED] P0 at 1 (Producer:L6): store flag  <->  P1 at 0 (Consumer:L9): load flag  on flag
+    witness: 3-step schedule, found after 1 schedule(s)
+  summary: 2 confirmed, 0 refuted, 0 unknown
+  witness for candidate 0 written to w/cand0.trace (verified by re-analysis)
+  witness for candidate 1 written to w/cand1.trace (verified by re-analysis)
+  [2]
+
+Each witness is an ordinary v2 trace file: `racedet analyze` replays it
+to a report exhibiting the confirmed race.
+
+  $ racedet analyze w/cand0.trace
+  1 data race(s) in 1 first partition(s) — each contains at least
+  one race that also occurs in a sequentially consistent execution:
+  
+  partition #0 (2 events, 1 data races)
+    E0(P0 comp) <-> E1(P1 comp) on loc0, loc1
+  [2]
+
+On the paper's Figure 2 queue bug, triage splits the four static
+candidates: the missing synchronization really races (CONFIRMED), while
+the stale-address region pairs the abstract interpreter could not rule
+out are false positives, proven so by a complete exploration (REFUTED).
+
+  $ racedet triage queue_bug
+  triage of queue_bug under SC: 4 data candidate(s), 1 sync-sync candidate(s)
+  [CONFIRMED] P0 at 1 (P1:enqueue): store Q  <->  P1 at 1.then.0 (P2:dequeue): load Q  on Q
+    witness: 5-step schedule, found after 1 schedule(s)
+  [CONFIRMED] P0 at 2 (P1:clear-qempty): store QEmpty  <->  P1 at 0 (P2:read-qempty): load QEmpty  on QEmpty
+    witness: 4-step schedule, found after 1 schedule(s)
+  [REFUTED] P1 at 1.then.3.body.0 (P2:work-read): load mem[37..199]  <->  P2 at 1.body.0 (P3:work-write): store mem[0..99]  on mem[37..99]
+    complete exploration: 3 schedule(s), no race on this pair
+  [REFUTED] P1 at 1.then.3.body.1 (P2:work-write): store mem[37..199]  <->  P2 at 1.body.0 (P3:work-write): store mem[0..99]  on mem[37..99]
+    complete exploration: 3 schedule(s), no race on this pair
+  summary: 2 confirmed, 2 refuted, 0 unknown
+  [2]
+
+A program with no data candidates has nothing to triage (exit 0);
+`--sync` additionally triages the informational sync-sync pairs, which
+never affect the verdict.
+
+  $ cat > sb_sync.race <<'EOF'
+  > program sb_sync
+  > loc x
+  > loc y
+  > proc P0 {
+  >   release x := 1
+  >   r0 := acquire y
+  > }
+  > proc P1 {
+  >   release y := 1
+  >   r1 := acquire x
+  > }
+  > EOF
+  $ racedet triage sb_sync.race --sync
+  triage of sb_sync under SC: 0 data candidate(s), 2 sync-sync candidate(s)
+  sync-sync pairs (informational):
+  [CONFIRMED] P0 at 0 (P0:L5): release x  <->  P1 at 1 (P1:L10): acquire x  on x
+    witness: 3-step schedule, found after 3 schedule(s)
+  [CONFIRMED] P0 at 1 (P0:L6): acquire y  <->  P1 at 0 (P1:L9): release y  on y
+    witness: 3-step schedule, found after 1 schedule(s)
+  summary: 0 confirmed, 0 refuted, 0 unknown
+
+Tight bounds on a spinning program leave candidates UNKNOWN (exit 3):
+truncated schedules can neither confirm nor refute.
+
+  $ racedet triage barrier_phases --max-steps 60 --limit 200
+  triage of barrier_phases under SC: 3 data candidate(s), 27 sync-sync candidate(s)
+  [UNKNOWN] P0 at 0 (P0:phase1-write): store 0  <->  P2 at 9 (P2:phase2-read): load 0  on 0
+    bounds hit after 1 schedule(s); inconclusive
+  [UNKNOWN] P0 at 9 (P0:phase2-read): load 1  <->  P1 at 0 (P1:phase1-write): store 1  on 1
+    bounds hit after 1 schedule(s); inconclusive
+  [UNKNOWN] P1 at 9 (P1:phase2-read): load 2  <->  P2 at 0 (P2:phase1-write): store 2  on 2
+    bounds hit after 1 schedule(s); inconclusive
+  summary: 0 confirmed, 0 refuted, 3 unknown
+  [3]
+
+`racedet lint --triage` chains both phases in one command: the static
+report first, then the dynamic verdict on its candidates.
+
+  $ racedet lint mp.race --triage
+  program mp: 2 processors, 2 locations
+  
+  sync discipline:
+    no findings
+  
+  data race candidates:
+    P0 at 0 (Producer:L5): store data  <->  P1 at 1.then.0 (Consumer:L11): load data  on data
+    P0 at 1 (Producer:L6): store flag  <->  P1 at 0 (Consumer:L9): load flag  on flag
+    2 candidate pair(s): any data race an execution exhibits is among these
+  
+  triage of mp under SC: 2 data candidate(s), 0 sync-sync candidate(s)
+  [CONFIRMED] P0 at 0 (Producer:L5): store data  <->  P1 at 1.then.0 (Consumer:L11): load data  on data
+    witness: 4-step schedule, found after 1 schedule(s)
+  [CONFIRMED] P0 at 1 (Producer:L6): store flag  <->  P1 at 0 (Consumer:L9): load flag  on flag
+    witness: 3-step schedule, found after 1 schedule(s)
+  summary: 2 confirmed, 0 refuted, 0 unknown
+  [2]
+
+`racedet enumerate` reports its verdict in the exit code too: 0 for
+data-race-free, 2 for racy, 1 when the exploration was cut short with
+no races seen.
+
+  $ racedet enumerate fig1a
+  3 sequentially consistent execution(s) (DPOR-reduced)
+  3 exhibit data races
+  the program is NOT data-race-free (Def 2.4)
+  [2]
+  $ racedet enumerate handoff_update --limit 1
+  1 sequentially consistent execution(s) (DPOR-reduced) (incomplete)
+  0 exhibit data races
+  exploration incomplete: no verdict
+  [1]
