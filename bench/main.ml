@@ -31,6 +31,11 @@ let section_header title =
    every job count. *)
 let jobs = ref 1
 
+(* --quick: CI smoke mode — shorter bechamel quotas, and the perf section
+   fails (exit 1) if the epoch race engine regresses below the vector
+   baseline instead of merely recording the ratio *)
+let quick = ref false
+
 let run_weak ?(sched = `Adversarial) ~model ~seed p =
   let sched =
     match sched with
@@ -929,6 +934,7 @@ let perf () =
   let hb400c = Racedetect.Hb.build ~index:`Closure t400 in
   let hbhugev = Racedetect.Hb.build thuge in
   let hbhugec = Racedetect.Hb.build ~index:`Closure thuge in
+  let hbxlv = Racedetect.Hb.build txl in
   Format.printf
     "hb1 index in use: %s (queue400), %s (random-8x100, %d events); xl trace: %d events@."
     (if Racedetect.Hb.uses_clocks hb400v then "vclock" else "closure")
@@ -951,14 +957,25 @@ let perf () =
         (Staged.stage (fun () -> ignore (Racedetect.Hb.build txl)));
       Test.make ~name:"hb1-closure/rand-8x400"
         (Staged.stage (fun () -> ignore (Racedetect.Hb.build ~index:`Closure txl)));
+      (* races-vclock = the reference pair-scan engine over the vclock
+         index; races-epoch = the epoch-compressed engine (what
+         Race.find_all now dispatches to on acyclic hb1) *)
       Test.make ~name:"races-vclock/queue400"
+        (Staged.stage (fun () -> ignore (Racedetect.Race.find_all_vector hb400v)));
+      Test.make ~name:"races-epoch/queue400"
         (Staged.stage (fun () -> ignore (Racedetect.Race.find_all hb400v)));
       Test.make ~name:"races-closure/queue400"
         (Staged.stage (fun () -> ignore (Racedetect.Race.find_all hb400c)));
       Test.make ~name:"races-vclock/rand-8x100"
+        (Staged.stage (fun () -> ignore (Racedetect.Race.find_all_vector hbhugev)));
+      Test.make ~name:"races-epoch/rand-8x100"
         (Staged.stage (fun () -> ignore (Racedetect.Race.find_all hbhugev)));
       Test.make ~name:"races-closure/rand-8x100"
         (Staged.stage (fun () -> ignore (Racedetect.Race.find_all hbhugec)));
+      Test.make ~name:"races-vclock/rand-8x400"
+        (Staged.stage (fun () -> ignore (Racedetect.Race.find_all_vector hbxlv)));
+      Test.make ~name:"races-epoch/rand-8x400"
+        (Staged.stage (fun () -> ignore (Racedetect.Race.find_all hbxlv)));
       Test.make ~name:"analyze/queue100"
         (Staged.stage (fun () -> ignore (Racedetect.Postmortem.analyze t100)));
       Test.make ~name:"analyze/queue400"
@@ -968,6 +985,14 @@ let perf () =
       Test.make ~name:"analyze-closure/rand-8x100"
         (Staged.stage (fun () ->
              ignore (Racedetect.Postmortem.analyze ~index:`Closure thuge)));
+      (* full pipeline under the SHB reporting order: hb1 analysis plus rf
+         reconstruction and the staged-clock extras pass *)
+      Test.make ~name:"shb/queue400"
+        (Staged.stage (fun () ->
+             ignore (Racedetect.Postmortem.analyze ~order:`Shb t400)));
+      Test.make ~name:"shb/rand-8x100"
+        (Staged.stage (fun () ->
+             ignore (Racedetect.Postmortem.analyze ~order:`Shb thuge)));
       Test.make ~name:"onthefly/queue400"
         (Staged.stage (fun () -> ignore (Racedetect.Onthefly.detect e400)));
       Test.make ~name:"onthefly/random-big"
@@ -1002,7 +1027,13 @@ let perf () =
                (Staticcheck.Lint.analyze (Minilang.Programs.barrier_phases ()))));
     ]
   in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None () in
+  (* full mode runs long enough that the noisy rows (segment/queue400,
+     hb1-vclock/queue400 historically fit at r² ≈ 0.85) reach r² ≥ 0.95;
+     --quick trades fit quality for CI wall-clock *)
+  let cfg =
+    if !quick then Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+    else Benchmark.cfg ~limit:10000 ~quota:(Time.second 2.0) ~kde:None ()
+  in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -1042,10 +1073,37 @@ let perf () =
        ns_of "races-closure/rand-8x100" /. ns_of "races-vclock/rand-8x100");
       ("analyze_closure_over_vclock/rand-8x100",
        ns_of "analyze-closure/rand-8x100" /. ns_of "analyze/rand-8x100");
+      ("races_vclock_over_epoch/queue400",
+       ns_of "races-vclock/queue400" /. ns_of "races-epoch/queue400");
+      ("races_vclock_over_epoch/rand-8x100",
+       ns_of "races-vclock/rand-8x100" /. ns_of "races-epoch/rand-8x100");
+      ("races_vclock_over_epoch/rand-8x400",
+       ns_of "races-vclock/rand-8x400" /. ns_of "races-epoch/rand-8x400");
     ]
   in
   Format.printf "@.closure-vs-vclock (hb1 index; >1 means the vclock path wins):@.";
   List.iter (fun (n, v) -> Format.printf "  %-40s %8.2fx@." n v) speedups;
+  (* epoch-vs-vector regression gate: the epoch engine must not be slower
+     than the reference pair scan it replaced; --quick turns a regression
+     into a CI failure.  The short --quick quota leaves the µs-scale
+     queue400 rows with poor OLS fits (r² can drop below 0.3), so allow
+     10% measurement slack before declaring a regression — a real
+     regression from losing the O(1) fast path is 2x+, far outside it *)
+  let epoch_rows = [ "queue400"; "rand-8x100"; "rand-8x400" ] in
+  let regressed =
+    List.filter
+      (fun row ->
+        let ratio =
+          ns_of ("races-vclock/" ^ row) /. ns_of ("races-epoch/" ^ row)
+        in
+        Float.is_finite ratio && ratio < 0.9)
+      epoch_rows
+  in
+  if regressed <> [] then begin
+    Format.eprintf "bench: races-epoch regressed below races-vclock on: %s@."
+      (String.concat ", " regressed);
+    if !quick then exit 1
+  end;
   (* serial vs domain-parallel Monte-Carlo: the fig1b-style loop that every
      bench section now runs through Engine.Parbatch *)
   let batch = 48 in
@@ -1243,6 +1301,7 @@ let () =
     | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
       jobs := int_of_string (String.sub arg 7 (String.length arg - 7));
       parse_args acc rest
+    | "--quick" :: rest -> quick := true; parse_args acc rest
     | arg :: rest -> parse_args (arg :: acc) rest
   in
   let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
@@ -1252,6 +1311,9 @@ let () =
   end;
   let requested =
     match names with
+    (* bare --quick is the CI smoke entry point: just the perf section,
+       with the epoch-vs-vector regression gate armed *)
+    | [] when !quick -> [ "perf" ]
     | [] | [ "all" ] -> List.map fst sections
     | names -> names
   in

@@ -193,15 +193,30 @@ let run_cmd =
 
 (* -- detect ------------------------------------------------------------ *)
 
+let order_arg =
+  let doc =
+    "Reporting partial order: $(b,hb1) (the paper's happens-before-1 with \
+     first-partition suppression, the default) or $(b,shb) (hb1 plus the \
+     observed reads-from edges).  $(b,shb) appends the suppressed races that \
+     stay unordered even with every communication edge added — sound \
+     predictions beyond the first partitions.  It only ever adds races: the \
+     first-partition report, the verdict, and the exit code are identical \
+     under both orders."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("hb1", `Hb1); ("shb", `Shb) ]) `Hb1
+    & info [ "order" ] ~docv:"ORDER" ~doc)
+
 let detect_cmd =
   let all_arg =
     let doc = "Also show the suppressed non-first partitions in full." in
     Arg.(value & flag & info [ "a"; "all" ] ~doc)
   in
-  let run program machine model sched seed max_steps show_all batch jobs =
+  let run program machine model sched seed max_steps show_all batch jobs order =
     if batch <= 1 then begin
       let p, e = run_exec program machine model sched seed max_steps in
-      let a = Racedetect.Postmortem.analyze_execution e in
+      let a = Racedetect.Postmortem.analyze_execution ~order e in
       let loc_name = Minilang.Ast.loc_name p in
       Format.printf "%a@." (Racedetect.Report.pp_analysis ~loc_name) a;
       if show_all then begin
@@ -220,18 +235,22 @@ let detect_cmd =
       let _, rs =
         run_batch program machine model sched seed max_steps ~batch ~jobs
           (fun _p e ->
-            let a = Racedetect.Postmortem.analyze_execution e in
+            let a = Racedetect.Postmortem.analyze_execution ~order e in
             ( List.length (Racedetect.Postmortem.data_races a),
-              List.length (Racedetect.Postmortem.reported_races a) ))
+              List.length (Racedetect.Postmortem.reported_races a),
+              List.length a.Racedetect.Postmortem.shb_extra ))
       in
       let racy = ref 0 in
       Array.iter
-        (fun (s, (all, reported)) ->
+        (fun (s, (all, reported, extra)) ->
           if reported > 0 then incr racy;
           if reported = 0 then Format.printf "seed %-6d race-free@." s
           else
-            Format.printf "seed %-6d %d data race(s), %d reported after partitioning@."
-              s all reported)
+            Format.printf
+              "seed %-6d %d data race(s), %d reported after partitioning%s@." s all
+              reported
+              (if order = `Shb then Printf.sprintf ", %d shb-predicted" extra
+               else ""))
         rs;
       Format.printf "%d / %d seeds racy@." !racy batch;
       if !racy > 0 then exit 2
@@ -249,11 +268,12 @@ let detect_cmd =
          "Run a program, trace it, and report the first partitions of data races \
           (exit status 2 when races are found).  With $(b,--batch) N, analyze N \
           consecutive seeds (in parallel with $(b,--jobs)) and print one line per \
-          seed."
+          seed.  $(b,--order shb) additionally predicts suppressed races via the \
+          SHB order; exit codes are unaffected."
        ~exits)
     Term.(
       const run $ program_arg $ machine_arg $ model_arg $ sched_arg $ seed_arg
-      $ max_steps_arg $ all_arg $ batch_arg $ jobs_arg)
+      $ max_steps_arg $ all_arg $ batch_arg $ jobs_arg $ order_arg)
 
 (* -- trace / analyze --------------------------------------------------- *)
 
@@ -555,7 +575,7 @@ let analyze_cmd =
     Arg.(value & opt int 1000 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
   in
   let run file reconstruct stream follow max_live stats idle salvage ckpt
-      ckpt_every =
+      ckpt_every order =
     let stream_mode =
       stream || follow || max_live <> None || stats || salvage || ckpt <> None
     in
@@ -570,7 +590,7 @@ let analyze_cmd =
         exit 1
       | Ok t ->
         let so1 = if reconstruct then `Reconstructed else `Recorded in
-        let a = Racedetect.Postmortem.analyze ~so1 t in
+        let a = Racedetect.Postmortem.analyze ~so1 ~order t in
         Format.printf "%a@." (Racedetect.Report.pp_analysis ?loc_name:None) a;
         if not (Racedetect.Postmortem.race_free a) then exit 2
     end
@@ -602,6 +622,13 @@ let analyze_cmd =
         Format.eprintf "racedet: %s@." msg;
         exit 1
       | Ok (v, st) ->
+        (* the streaming driver analyzes under hb1; the SHB extras are a
+           pure post-pass over the verdict it hands back *)
+        let v =
+          Racedetect.Postmortem.verdict_map
+            (Racedetect.Postmortem.with_order order)
+            v
+        in
         let code = print_verdict v in
         if stats then Format.eprintf "stream: %a@." Racedetect.Stream.pp_stats st;
         if code <> 0 then exit code
@@ -613,12 +640,14 @@ let analyze_cmd =
          "Post-mortem analysis of an existing trace file, batch or streaming \
           ($(b,--stream)); both modes print the same report.  $(b,--salvage) \
           analyzes damaged traces (degraded verdict, exit 3); \
-          $(b,--checkpoint) makes a long analysis survive a kill."
+          $(b,--checkpoint) makes a long analysis survive a kill.  \
+          $(b,--order shb) additionally predicts suppressed races via the SHB \
+          order; exit codes are unaffected by the order."
        ~exits:analysis_exits)
     Term.(
       const run $ file_arg $ reconstruct_arg $ stream_flag $ follow_arg
       $ max_live_arg $ stats_arg $ idle_arg $ salvage_arg $ checkpoint_arg
-      $ checkpoint_every_arg)
+      $ checkpoint_every_arg $ order_arg)
 
 (* -- faultfuzz --------------------------------------------------------- *)
 

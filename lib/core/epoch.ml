@@ -1,0 +1,29 @@
+type t = int
+
+let bits = 10
+let max_procs = 1 lsl bits
+let mask = max_procs - 1
+
+(* [none] is the epoch (proc 0, tick 0): no event carries tick 0 (every
+   clock ticks its own component before being read), and [leq] on it
+   degenerates to [0 <= c.(0)], which always holds — exactly the
+   "no prior access" semantics, with no branch on the hot path. *)
+let none = 0
+
+let is_none e = e = 0
+
+let make ~proc ~tick =
+  if proc < 0 || proc >= max_procs then invalid_arg "Epoch.make: proc out of range";
+  if tick <= 0 then invalid_arg "Epoch.make: tick must be positive";
+  (tick lsl bits) lor proc
+
+let of_clock c p = (Vclock.get c p lsl bits) lor p
+
+let proc e = e land mask
+let tick e = e lsr bits
+
+let leq e c = e lsr bits <= Vclock.get c (e land mask)
+
+let pp ppf e =
+  if is_none e then Format.pp_print_string ppf "_"
+  else Format.fprintf ppf "%d@@P%d" (tick e) (proc e)

@@ -1,0 +1,49 @@
+(** Epoch-compressed clocks (FastTrack's @{i epochs}, adapted to the
+    event-level analysis of §4).
+
+    An epoch [(p, t)] names a single event: the one whose hb1
+    vector-clock component for its own processor [p] is [t].  Where a
+    full vector clock answers "is the current event ordered after
+    {e every} access seen so far?" in O(P), an epoch answers the
+    common-case question "is it ordered after {e the last} access?" in
+    O(1) — one array read and one integer comparison, independent of the
+    processor count.  The race engines keep epochs per variable and fall
+    back to vector comparison only on the rare same-variable
+    concurrent-access path.
+
+    An epoch is one immediate integer ([tick lsl 10 lor proc]), so
+    per-location epoch tables are flat unboxed [int] arrays with no
+    allocation on the hot path. *)
+
+type t = private int
+(** A packed [(proc, tick)] pair.  Runs as an immediate integer:
+    [Epoch.t array] is an unboxed int array. *)
+
+val none : t
+(** "No access yet."  [leq none c] holds for every clock, so a fresh
+    location passes every check without a special case. *)
+
+val is_none : t -> bool
+
+val max_procs : int
+(** Processor ids must be below this (1024); ticks get the remaining
+    ~52 bits. *)
+
+val make : proc:int -> tick:int -> t
+(** [tick] must be positive (a zero tick would collide with {!none}) and
+    [proc] below {!max_procs}; raises [Invalid_argument] otherwise. *)
+
+val of_clock : Vclock.t -> int -> t
+(** [of_clock c p] — the epoch of the event whose clock is [c] on
+    processor [p]: [(p, c.(p))].  The clock's own component must already
+    be ticked (positive). *)
+
+val proc : t -> int
+val tick : t -> int
+
+val leq : t -> Vclock.t -> bool
+(** [leq e c] — the event named by [e] happens before (or is) the event
+    whose clock is [c]: [tick e <= c.(proc e)].  The O(1) common-case
+    race check. *)
+
+val pp : Format.formatter -> t -> unit

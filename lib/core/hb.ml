@@ -1,7 +1,11 @@
 type index =
-  | Clocks of Vclock.t array
+  | Clocks of { clocks : Vclock.t array; order : int array }
       (* acyclic hb1: per-event vector clock; ordering queries are an O(1)
-         component comparison *)
+         component comparison.  [order] is the topological order the
+         clocks were computed in — the processing order of the
+         epoch-compressed race engine, which must see events in an
+         hb1-consistent sequence (eids are assigned per-processor block
+         by the tracer and are NOT topological). *)
   | Closure of Graphlib.Reach.t
       (* cyclic hb1 (possible on weak executions, §3.1) or forced by the
          caller: SCC condensation + bitset transitive closure *)
@@ -56,7 +60,10 @@ let build ?(so1 = `Recorded) ?(index = `Auto) (trace : Tracing.Trace.t) =
   | `Auto -> (
     match Graphlib.Digraph.topological_order g with
     | Some order ->
-      { trace; graph = g; index = Clocks (clocks_of_graph trace g order); reach = None }
+      let clocks = clocks_of_graph trace g order in
+      { trace; graph = g;
+        index = Clocks { clocks; order = Array.of_list order };
+        reach = None }
     | None ->
       (* a cycle: vector clocks cannot represent mutual reachability *)
       let r = Graphlib.Reach.compute g in
@@ -66,6 +73,11 @@ let trace t = t.trace
 let graph t = t.graph
 
 let uses_clocks t = match t.index with Clocks _ -> true | Closure _ -> false
+
+let epoch_basis t =
+  match t.index with
+  | Clocks { clocks; order } -> Some (clocks, order)
+  | Closure _ -> None
 
 let reach t =
   match t.reach with
@@ -79,7 +91,7 @@ let happens_before t a b =
   a <> b
   &&
   match t.index with
-  | Clocks clocks ->
+  | Clocks { clocks; _ } ->
     let pa = t.trace.Tracing.Trace.events.(a).Tracing.Event.proc in
     Vclock.get clocks.(b) pa >= Vclock.get clocks.(a) pa
   | Closure r -> Graphlib.Reach.reaches r a b

@@ -33,6 +33,13 @@ val graph : t -> Graphlib.Digraph.t
 val uses_clocks : t -> bool
 (** Whether ordering queries go through the vector-clock fast path. *)
 
+val epoch_basis : t -> (Vclock.t array * int array) option
+(** The per-event vector clocks and the topological order they were
+    computed in — the inputs of the epoch-compressed race engine
+    ({!Race.find_all}) and of the SHB index ({!Shb.build}).  [None] on
+    the closure fallback (cyclic hb1 or [index = `Closure]).  Both
+    arrays are owned by the index: treat them as read-only. *)
+
 val reach : t -> Graphlib.Reach.t
 (** The bitset transitive closure, computed on first use and cached.
     Ordering queries never need it on the vclock path; it exists for

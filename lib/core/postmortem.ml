@@ -1,25 +1,40 @@
+type order = [ `Hb1 | `Shb ]
+
 type analysis = {
   trace : Tracing.Trace.t;
   hb : Hb.t;
   races : Race.t list;
   augmented : Augment.t;
   partitions : Partition.t;
+  order : order;
+  shb_extra : Race.t list;
 }
 
-let analyze ?so1 ?index trace =
+let shb_extra_of hb partitions = function
+  | `Hb1 -> []
+  | `Shb -> Shb.extra_races (Shb.build hb) partitions
+
+let analyze ?so1 ?index ?(order = `Hb1) trace =
   let hb = Hb.build ?so1 ?index trace in
   let races = Race.find_all hb in
   let augmented = Augment.build hb races in
   let partitions = Partition.compute augmented in
-  { trace; hb; races; augmented; partitions }
+  let shb_extra = shb_extra_of hb partitions order in
+  { trace; hb; races; augmented; partitions; order; shb_extra }
 
-let analyze_execution ?so1 ?index e = analyze ?so1 ?index (Tracing.Trace.of_execution e)
+let analyze_execution ?so1 ?index ?order e =
+  analyze ?so1 ?index ?order (Tracing.Trace.of_execution e)
+
+let with_order order a =
+  { a with order; shb_extra = shb_extra_of a.hb a.partitions order }
 
 let data_races a = Race.data_races a.races
 
 let first_partitions a = Partition.first_partitions a.partitions
 
 let reported_races a = Partition.reported_races a.partitions
+
+let predicted_races a = reported_races a @ a.shb_extra
 
 let race_free a = first_partitions a = []
 
@@ -55,6 +70,11 @@ let verdict ?loss a =
 
 let verdict_analysis = function
   | Race_free a | Races a | Degraded { analysis = a; _ } -> a
+
+let verdict_map f = function
+  | Race_free a -> Race_free (f a)
+  | Races a -> Races (f a)
+  | Degraded { analysis; loss } -> Degraded { analysis = f analysis; loss }
 
 let verdict_exit_code = function
   | Race_free _ -> 0

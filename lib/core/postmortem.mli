@@ -2,30 +2,50 @@
     graph → races → augmented graph → partitions → first-partition
     report. *)
 
+type order = [ `Hb1 | `Shb ]
+(** The reporting partial order: [`Hb1] is the paper's first-partition
+    discipline unchanged; [`Shb] additionally predicts the non-first
+    races that stay unordered under shb = po ∪ so1 ∪ rf ({!Shb}).  SHB
+    only ever {e adds} races on top of the hb1 report — the verdict,
+    exit code, and first-partition section are identical under both. *)
+
 type analysis = {
   trace : Tracing.Trace.t;
   hb : Hb.t;
   races : Race.t list;       (** every race, data and sync–sync *)
   augmented : Augment.t;
   partitions : Partition.t;
+  order : order;             (** the reporting order this was run with *)
+  shb_extra : Race.t list;
+      (** [`Shb] only: suppressed data races that shb still leaves
+          unordered, disjoint from {!reported_races}; [[]] under
+          [`Hb1] *)
 }
 
 val analyze :
   ?so1:[ `Recorded | `Reconstructed ] ->
   ?index:[ `Auto | `Closure ] ->
+  ?order:order ->
   Tracing.Trace.t ->
   analysis
 (** [index] selects the hb1 ordering index ({!Hb.build}): the default
     [`Auto] answers race queries from the O(n·P) vector-clock index with
     no full-trace transitive closure on the hot path; [`Closure] forces
-    the reference bitset closure. *)
+    the reference bitset closure.  [order] (default [`Hb1]) selects the
+    reporting order; see {!order}. *)
 
 val analyze_execution :
   ?so1:[ `Recorded | `Reconstructed ] ->
   ?index:[ `Auto | `Closure ] ->
+  ?order:order ->
   Memsim.Exec.t ->
   analysis
 (** Trace the execution ({!Tracing.Trace.of_execution}) and analyze. *)
+
+val with_order : order -> analysis -> analysis
+(** Re-derive the SHB extras of an existing analysis without re-running
+    the pipeline — how the streaming driver applies [--order] to a
+    verdict it already holds. *)
 
 val data_races : analysis -> Race.t list
 
@@ -34,6 +54,11 @@ val first_partitions : analysis -> Partition.partition list
 val reported_races : analysis -> Race.t list
 (** What the tool shows the programmer: the data races of the first
     partitions only (§4.2). *)
+
+val predicted_races : analysis -> Race.t list
+(** {!reported_races} plus the SHB extras — everything the selected
+    order predicts.  Equal to {!reported_races} under [`Hb1]; a
+    superset under [`Shb]. *)
 
 val race_free : analysis -> bool
 (** Theorem 4.1 + Condition 3.4(1): no first partitions with data races
@@ -83,6 +108,10 @@ val verdict : ?loss:loss -> analysis -> verdict
     {!race_free}. *)
 
 val verdict_analysis : verdict -> analysis
+
+val verdict_map : (analysis -> analysis) -> verdict -> verdict
+(** Rewrite the analysis inside a verdict (e.g. {!with_order}) without
+    reclassifying it — SHB extras never change the verdict class. *)
 
 val verdict_exit_code : verdict -> int
 (** The [racedet] exit-code convention: 0 race-free, 2 races, 3

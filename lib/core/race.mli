@@ -17,7 +17,18 @@ type t = {
 val find_all : Hb.t -> t list
 (** Every race of the execution, data and sync–sync alike, deduplicated
     and sorted by [(a, b)].  Events of the same processor never race
-    (program order totally orders them). *)
+    (program order totally orders them).
+
+    Runs the epoch-compressed engine (FastTrack-style, O(1) common-case
+    checks via {!Epoch}) whenever the hb1 index exposes a clock basis
+    ({!Hb.epoch_basis}); falls back to {!find_all_vector} on cyclic
+    hb1.  Both engines return identical race lists. *)
+
+val find_all_vector : Hb.t -> t list
+(** The reference engine: per-location quadratic pair scan with a full
+    ordering query per candidate pair.  The differential baseline the
+    property tests compare {!find_all} against, and the [races-vclock]
+    benchmark rows. *)
 
 val data_races : t list -> t list
 

@@ -60,6 +60,18 @@ let pp_analysis_gen ?(loc_name = default_loc_name) ~degraded ppf
             (List.length p.Partition.races))
         non_first
     end;
+    (match a.Postmortem.order with
+     | `Hb1 -> ()
+     | `Shb ->
+       let extra = a.Postmortem.shb_extra in
+       Format.fprintf ppf
+         "@,@,SHB (hb1 + reads-from) predicts %d additional race(s) among the@,\
+          suppressed partitions%s"
+         (List.length extra)
+         (if extra = [] then "." else ":");
+       List.iter
+         (fun r -> Format.fprintf ppf "@,  %a" (pp_race ~loc_name ~trace) r)
+         extra);
     Format.fprintf ppf "@]"
   end
 

@@ -22,9 +22,10 @@ let pp_stats ppf s =
     s.total_events s.peak_live s.retired s.forced_retired s.surviving s.races
 
 (* A processed event that is still a race candidate: its payload is
-   resident, and [tick] is its own component of its hb1 clock — a later
-   event [f] is ordered after it iff C_f[proc] >= tick. *)
-type cand = { ev : Event.t; tick : int }
+   resident, and [epoch] packs (proc, own hb1 clock component) — a later
+   event [f] is ordered after it iff [Epoch.leq epoch C_f], one integer
+   comparison against [f]'s clock. *)
+type cand = { ev : Event.t; epoch : Epoch.t }
 
 type t = {
   max_live : int option;
@@ -232,7 +233,7 @@ let process t (s : Codec.sizes) (ev : Event.t) =
     (rels_of t eid);
   Vclock.tick_into c p;
   t.frontier.(p) <- c;
-  let tick = Vclock.get c p in
+  let epoch = Epoch.of_clock c p in
   (* race scan against the live candidates sharing a location *)
   let n_locs = s.n_locs in
   let considered = Hashtbl.create 8 in
@@ -245,7 +246,7 @@ let process t (s : Codec.sizes) (ev : Event.t) =
         if
           cand.ev.Event.proc <> p
           && Event.conflict cand.ev ev
-          && Vclock.get c cand.ev.Event.proc < cand.tick
+          && not (Epoch.leq cand.epoch c)
         then begin
           let a = min o_eid eid and b = max o_eid eid in
           let ea, eb = if a = o_eid then (cand.ev, ev) else (ev, cand.ev) in
@@ -272,7 +273,7 @@ let process t (s : Codec.sizes) (ev : Event.t) =
       t.loc_touchers.(l) <- eid :: t.loc_touchers.(l))
     w;
   Bitset.iter (fun l -> t.loc_touchers.(l) <- eid :: t.loc_touchers.(l)) r;
-  Hashtbl.replace t.cands eid { ev; tick };
+  Hashtbl.replace t.cands eid { ev; epoch };
   Hashtbl.replace t.clocks eid c;
   Queue.add eid t.fifo;
   Bytes.set t.processed eid '\001';
@@ -518,7 +519,10 @@ let finish t =
       in
       let augmented = Augment.build hb races in
       let partitions = Partition.compute augmented in
-      Ok ({ Postmortem.trace; hb; races; augmented; partitions }, stats_of t)
+      Ok
+        ( { Postmortem.trace; hb; races; augmented; partitions; order = `Hb1;
+            shb_extra = [] },
+          stats_of t )
     end
   with Fail msg -> Error msg
 
@@ -702,7 +706,10 @@ let finish_salvaged t ~decode_losses =
         in
         let augmented = Augment.build hb races in
         let partitions = Partition.compute augmented in
-        let analysis = { Postmortem.trace; hb; races; augmented; partitions } in
+        let analysis =
+          { Postmortem.trace; hb; races; augmented; partitions; order = `Hb1;
+            shb_extra = [] }
+        in
         Ok (Postmortem.Degraded { analysis; loss }, stats_of t)
       end
     end

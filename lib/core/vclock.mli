@@ -20,6 +20,11 @@ val copy : t -> t
 (** An independent snapshot; the only safe way to publish a clock that
     will keep being mutated in place. *)
 
+val blit : t -> t -> unit
+(** [blit src dst] overwrites [dst] with [src] in place — a {!copy} that
+    reuses an existing buffer instead of allocating.  [dst] must be
+    exclusively owned, of the same width, and must not alias [src]. *)
+
 val tick : t -> int -> t
 (** Increment one component (persistent). *)
 

@@ -547,6 +547,55 @@ let test_report_racy () =
   Alcotest.(check bool) "mentions non-first suppression" true
     (Astring.String.is_infix ~affix:"non-first" s)
 
+(* ------------------------------------------------------------------ *)
+(* Epoch engine fallback transitions                                    *)
+(* ------------------------------------------------------------------ *)
+
+let mk_prog name procs =
+  { Minilang.Ast.name; n_locs = 1; init = []; procs; symbols = [] }
+
+let check_epoch_matches_vector ~expect_races e =
+  let t = Tracing.Trace.of_execution e in
+  let hb = Hb.build t in
+  Alcotest.(check bool) "vclock hb1 index in use" true (Hb.uses_clocks hb);
+  let ve = Race.find_all_vector hb in
+  let ep = Race.find_all hb in
+  Alcotest.(check int) "race count" expect_races (List.length ve);
+  Alcotest.(check (list (pair int int))) "same pairs"
+    (List.map (fun (r : Race.t) -> (r.Race.a, r.Race.b)) ve)
+    (List.map (fun (r : Race.t) -> (r.Race.a, r.Race.b)) ep);
+  List.iter2
+    (fun (x : Race.t) (y : Race.t) ->
+      Alcotest.(check (list int)) "same locs" x.Race.locs y.Race.locs;
+      Alcotest.(check bool) "same data flag" x.Race.is_data y.Race.is_data)
+    ve ep
+
+let test_epoch_fallback_write_write () =
+  (* two unsynchronized writers: the second write processed fails its
+     last-write epoch check, demoting the location to the exact scan *)
+  let p =
+    mk_prog "ww"
+      [|
+        [ Minilang.Ast.Store { addr = Int 0; value = Int 1; label = None } ];
+        [ Minilang.Ast.Store { addr = Int 0; value = Int 2; label = None } ];
+      |]
+  in
+  check_epoch_matches_vector ~expect_races:1 (run ~model:Memsim.Model.SC ~seed:0 p)
+
+let test_epoch_fallback_read_share () =
+  (* two concurrent readers promote the read window from a single epoch
+     to a per-processor vector; the unsynchronized writer then fails the
+     window-coverage check and must scan both reads *)
+  let p =
+    mk_prog "rshare"
+      [|
+        [ Minilang.Ast.Load { reg = "a"; addr = Int 0; label = None } ];
+        [ Minilang.Ast.Load { reg = "b"; addr = Int 0; label = None } ];
+        [ Minilang.Ast.Store { addr = Int 0; value = Int 1; label = None } ];
+      |]
+  in
+  check_epoch_matches_vector ~expect_races:2 (run ~model:Memsim.Model.SC ~seed:0 p)
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let () =
@@ -611,5 +660,14 @@ let () =
         [
           Alcotest.test_case "race free" `Quick test_report_race_free;
           Alcotest.test_case "racy with names" `Quick test_report_racy;
+        ] );
+      (* the epoch engine's two demotion points: a concurrent second
+         write, and a write meeting a promoted (shared) read window *)
+      ( "epoch-fallback",
+        [
+          Alcotest.test_case "write-write transition" `Quick
+            test_epoch_fallback_write_write;
+          Alcotest.test_case "read-share transition" `Quick
+            test_epoch_fallback_read_share;
         ] );
     ]

@@ -258,6 +258,58 @@ let prop_postmortem_same_races_both_indexes =
       races `Auto = races `Closure)
 
 (* ------------------------------------------------------------------ *)
+(* Epoch / SHB differentials                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The epoch-compressed engine is an optimization, not a new analysis:
+   on every input it must reproduce the reference vector engine's
+   report exactly — same pairs, same conflict locations, same data
+   flags, same order, same rendering. *)
+let prop_epoch_matches_vector =
+  QCheck.Test.make ~name:"epoch engine report identical to vector engine" ~count:500
+    arb_case (fun case ->
+      let e = random_exec case in
+      let t = Tracing.Trace.of_execution e in
+      let hb = Hb.build t in
+      let ve = Race.find_all_vector hb in
+      let ep = Race.find_all hb in
+      let render rs =
+        Format.asprintf "%a"
+          (Format.pp_print_list ~pp_sep:Format.pp_print_cut Race.pp)
+          rs
+      in
+      List.length ve = List.length ep
+      && List.for_all2
+           (fun (x : Race.t) (y : Race.t) ->
+             x.Race.a = y.Race.a && x.Race.b = y.Race.b
+             && x.Race.locs = y.Race.locs
+             && x.Race.is_data = y.Race.is_data)
+           ve ep
+      && render ve = render ep)
+
+(* SHB only ever adds predictions: every hb1-reported race stays
+   reported, and the extras are data races from suppressed partitions
+   that hb1 left unordered. *)
+let prop_shb_superset_of_hb1 =
+  QCheck.Test.make ~name:"shb predictions are a superset of hb1 reports" ~count:500
+    arb_case (fun case ->
+      let e = random_exec case in
+      let a1 = Postmortem.analyze_execution ~order:`Hb1 e in
+      let a2 = Postmortem.analyze_execution ~order:`Shb e in
+      let key (r : Race.t) = (r.Race.a, r.Race.b) in
+      let rep1 = List.map key (Postmortem.reported_races a1) in
+      let rep2 = List.map key (Postmortem.reported_races a2) in
+      let pred = List.map key (Postmortem.predicted_races a2) in
+      rep1 = rep2
+      && List.for_all (fun k -> List.mem k pred) rep1
+      && List.for_all
+           (fun (r : Race.t) ->
+             r.Race.is_data
+             && (not (Hb.ordered a2.Postmortem.hb r.Race.a r.Race.b))
+             && not (List.mem (key r) rep1))
+           a2.Postmortem.shb_extra)
+
+(* ------------------------------------------------------------------ *)
 (* Determinism                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -301,5 +353,7 @@ let () =
         qsuite
           [ prop_vclock_index_matches_closure; prop_postmortem_same_races_both_indexes ]
       );
+      ( "differential",
+        qsuite [ prop_epoch_matches_vector; prop_shb_superset_of_hb1 ] );
       ("determinism", qsuite [ prop_analysis_deterministic; prop_onthefly_deterministic ]);
     ]
