@@ -1025,6 +1025,39 @@ let perf () =
         (Staged.stage (fun () ->
              ignore
                (Staticcheck.Lint.analyze (Minilang.Programs.barrier_phases ()))));
+      (* the knob-driven variant machine against the legacy enum path:
+         variants/simulate-wo is the same lattice point as
+         simulate/queue100 (WO), dispatched through the per-knob issue
+         rules instead of the hand-written model cases — the pair bounds
+         the refactor's overhead.  The other rows exercise knobs with no
+         enum equivalent (bounded buffers, stall-on-conflict reads) *)
+      Test.make ~name:"variants/simulate-wo/queue100"
+        (Staged.stage (fun () ->
+             ignore
+               (run_weak ~model:(Memsim.Model.Custom Memsim.Variant.wo) ~seed:3
+                  (Minilang.Programs.queue_bug ~region:100 ()))));
+      Test.make ~name:"variants/simulate-bounded2/queue100"
+        (Staged.stage (fun () ->
+             ignore
+               (run_weak
+                  ~model:
+                    (Memsim.Model.Custom
+                       { Memsim.Variant.wo with depth = Memsim.Variant.Bounded 2 })
+                  ~seed:3
+                  (Minilang.Programs.queue_bug ~region:100 ()))));
+      Test.make ~name:"variants/simulate-stall/queue100"
+        (Staged.stage (fun () ->
+             ignore
+               (run_weak
+                  ~model:
+                    (Memsim.Model.Custom
+                       { Memsim.Variant.wo with read = Memsim.Variant.Stall })
+                  ~seed:3
+                  (Minilang.Programs.queue_bug ~region:100 ()))));
+      Test.make ~name:"variants/spec-parse"
+        (Staged.stage (fun () ->
+             ignore
+               (Memsim.Model.of_spec "sb:depth=2,read=stall,retire=fifo,fence=nop")));
     ]
   in
   (* full mode runs long enough that the noisy rows (segment/queue400,
@@ -1079,6 +1112,9 @@ let perf () =
        ns_of "races-vclock/rand-8x100" /. ns_of "races-epoch/rand-8x100");
       ("races_vclock_over_epoch/rand-8x400",
        ns_of "races-vclock/rand-8x400" /. ns_of "races-epoch/rand-8x400");
+      (* >1 means the knob-driven dispatch costs more than the enum path *)
+      ("variant_knobs_over_enum/queue100",
+       ns_of "variants/simulate-wo/queue100" /. ns_of "simulate/queue100");
     ]
   in
   Format.printf "@.closure-vs-vclock (hb1 index; >1 means the vclock path wins):@.";

@@ -23,15 +23,20 @@ let program_arg =
   let doc = "Stock program name or path to a program file." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM" ~doc)
 
+let parse_model s =
+  match Memsim.Model.of_spec s with
+  | Ok m -> Ok m
+  | Error e -> Error (`Msg e)
+
+let print_model ppf m = Format.pp_print_string ppf (Memsim.Model.name m)
+let model_conv = Arg.conv (parse_model, print_model)
+
 let model_arg =
-  let parse s =
-    match Memsim.Model.of_name s with
-    | Some m -> Ok m
-    | None -> Error (`Msg (Printf.sprintf "unknown model %S (SC|WO|RCsc|DRF0|DRF1)" s))
+  let doc =
+    "Memory model: a named model (SC, TSO, WO, RCsc, DRF0, DRF1), a named \
+     hardware variant (e.g. sb-fence-nop), or a variant spec such as \
+     $(b,sb:depth=2,fence=nop) — see $(b,racedet variants)."
   in
-  let print ppf m = Format.pp_print_string ppf (Memsim.Model.name m) in
-  let model_conv = Arg.conv (parse, print) in
-  let doc = "Memory model: SC, WO, RCsc, DRF0 or DRF1." in
   Arg.(value & opt model_conv Memsim.Model.WO & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
 
 let seed_arg =
@@ -1337,12 +1342,6 @@ let run_triage p ~max_steps ~limit ~sync ~jobs ~model ~witness_dir =
   Explore.Triage.exit_code r
 
 let sc_model_arg =
-  let parse s =
-    match Memsim.Model.of_name s with
-    | Some m -> Ok m
-    | None -> Error (`Msg (Printf.sprintf "unknown model %S (SC|WO|RCsc|DRF0|DRF1)" s))
-  in
-  let print ppf m = Format.pp_print_string ppf (Memsim.Model.name m) in
   let doc =
     "Memory model whose decision space is explored.  The default SC is the \
      canonical choice: Definition 2.4 defines data-race-freedom through the \
@@ -1350,7 +1349,7 @@ let sc_model_arg =
   in
   Arg.(
     value
-    & opt (conv (parse, print)) Memsim.Model.SC
+    & opt model_conv Memsim.Model.SC
     & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
 
 let witness_dir_arg =
@@ -1384,6 +1383,50 @@ let triage_cmd =
       const run $ program_arg $ triage_steps_arg $ triage_limit_arg $ sync_flag
       $ jobs_arg $ sc_model_arg $ witness_dir_arg)
 
+(* -- variants ---------------------------------------------------------- *)
+
+let variants_cmd =
+  let seeds_arg =
+    let doc =
+      "Seeds per variant x program cell (even seeds use the adversarial \
+       scheduler, odd seeds the uniform one)."
+    in
+    Arg.(value & opt int 16 & info [ "n"; "seeds" ] ~doc)
+  in
+  let witness_arg =
+    let doc =
+      "Write each violating variant's minimized breaking schedule to \
+       $(docv)/<variant>-<check>.trace (checksummed v2 format); every file is \
+       verified by replaying the schedule to a byte-identical trace and by \
+       decoding + re-analyzing it."
+    in
+    Arg.(value & opt (some string) None & info [ "witness-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run seeds jobs witness_dir =
+    let jobs = resolve_jobs jobs in
+    let r = Explore.Vcampaign.run ~seeds ~jobs ?witness_dir () in
+    Format.printf "%a@." Explore.Vcampaign.pp r;
+    exit (Explore.Vcampaign.exit_code r)
+  in
+  let exits =
+    Cmd.Exit.info 0 ~doc:"every verdict matches the lattice prediction"
+    :: Cmd.Exit.info 1
+         ~doc:
+           "a verdict diverged from its prediction, or a witness failed \
+            verification"
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "variants"
+       ~doc:
+         "Sweep the hardware-variant lattice (canonical models, bounded \
+          buffers, stalling/bypassing reads, weakened drains) over the stock \
+          litmus programs and seeds, asserting per variant whether Condition \
+          3.4 is preserved and whether fences really order buffered writes; \
+          violating variants get minimized, replayable v2 witness traces."
+       ~exits)
+    Term.(const run $ seeds_arg $ jobs_arg $ witness_arg)
+
 (* -- lint -------------------------------------------------------------- *)
 
 let lint_cmd =
@@ -1413,19 +1456,12 @@ let lint_cmd =
     Arg.(value & flag & info [ "triage" ] ~doc)
   in
   let model_opt_arg =
-    let parse s =
-      match Memsim.Model.of_name s with
-      | Some m -> Ok m
-      | None ->
-        Error (`Msg (Printf.sprintf "unknown model %S (SC|WO|RCsc|DRF0|DRF1)" s))
-    in
-    let print ppf m = Format.pp_print_string ppf (Memsim.Model.name m) in
     let doc =
       "Keep only the discipline findings relevant to this model (default: all)."
     in
     Arg.(
       value
-      & opt (some (conv (parse, print))) None
+      & opt (some model_conv) None
       & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
   in
   Cmd.v
@@ -1448,4 +1484,4 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; detect_cmd; trace_cmd; analyze_cmd;
             faultfuzz_cmd; enumerate_cmd; check_cmd; cost_cmd; replay_cmd;
-            graph_cmd; gen_cmd; sweep_cmd; lint_cmd; triage_cmd ]))
+            graph_cmd; gen_cmd; sweep_cmd; lint_cmd; triage_cmd; variants_cmd ]))

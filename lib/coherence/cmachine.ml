@@ -89,7 +89,18 @@ let flushes_on model (cls : Memsim.Op.op_class) =
     match model with
     | Memsim.Model.SC | Memsim.Model.TSO -> false (* queues never populated / rejected *)
     | Memsim.Model.WO | Memsim.Model.DRF0 -> true
-    | Memsim.Model.RCsc | Memsim.Model.DRF1 -> cls = Memsim.Op.Acquire)
+    | Memsim.Model.RCsc | Memsim.Model.DRF1 -> cls = Memsim.Op.Acquire
+    | Memsim.Model.Custom _ ->
+      (* derive the reader-side dual from the predicates: SC/TSO-like
+         variants keep their queues empty, release/acquire-distinguishing
+         ones flush on acquires only *)
+      if
+        (not (Memsim.Model.buffers_writes model))
+        || Memsim.Model.fifo_buffer model
+      then false
+      else if Memsim.Model.distinguishes_release_acquire model then
+        cls = Memsim.Op.Acquire
+      else true)
 
 (* -- bus ------------------------------------------------------------- *)
 

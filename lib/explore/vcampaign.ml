@@ -1,0 +1,414 @@
+module Exec = Memsim.Exec
+module Machine = Memsim.Machine
+module Model = Memsim.Model
+module Variant = Memsim.Variant
+module Op = Memsim.Op
+module Sched = Memsim.Sched
+module Enumerate = Memsim.Enumerate
+module Condition = Racedetect.Condition
+module Ophb = Racedetect.Ophb
+module Postmortem = Racedetect.Postmortem
+module Trace = Tracing.Trace
+module Codec = Tracing.Codec
+
+(* The hardware-variant campaign: sweep variant x stock-program x seed,
+   assert per variant whether Condition 3.4 (the SC-prefix property up
+   to the first race) is preserved, and separately whether fences
+   actually order buffered writes.  Each violating variant gets a
+   minimized breaking schedule emitted as a replayable v2 witness trace,
+   re-verified through decode + re-analysis — the triage witness
+   discipline. *)
+
+type check = Cond34 | Fence_contract
+
+type witness = {
+  w_check : check;
+  w_program : string;
+  w_seed : int option;  (* None: found by envelope enumeration *)
+  w_schedule : Exec.decision list;
+  w_exec : Exec.t;
+  w_path : string option;
+  w_verified : (unit, string) result;
+}
+
+type prediction = { p_cond34 : bool; p_fence : bool }
+
+type verdict = {
+  v_name : string;
+  v_model : Model.t;
+  predicted : prediction;
+  cond34_ok : bool;
+  fence_ok : bool;
+  cond34_runs : int;
+  fence_runs : int;
+  cond34_witness : witness option;
+  fence_witness : witness option;
+}
+
+type report = { verdicts : verdict list; seeds : int; as_predicted : bool }
+
+(* The lattice points under test: the six named models re-expressed as
+   canonical variants, plus the named off-lattice points (bounded depth,
+   stalling reads, and the three deliberately broken knobs). *)
+let roster =
+  List.map
+    (fun m ->
+      (String.lowercase_ascii (Model.name m), Model.Custom (Model.variant m)))
+    Model.all
+  @ List.map (fun (n, v) -> (n, Model.Custom v)) Variant.aliases
+
+(* Spin-free stock programs whose SC pools enumerate completely, so
+   Condition.check is exact. *)
+let programs =
+  Minilang.Programs.
+    [
+      fig1a;
+      dekker;
+      dekker_fenced;
+      read_own_write;
+      mp_data_flag;
+      mp_release_acquire;
+      handoff_update;
+      guarded_handoff;
+      unguarded_handoff;
+      counter_racy;
+      disjoint;
+    ]
+
+let fence_litmus = Minilang.Programs.dekker_fenced
+
+let sc_pool p =
+  let r =
+    Memsim.Enumerate.explore ~limit:2_000_000 (fun () -> Minilang.Interp.source p)
+  in
+  if not r.Memsim.Enumerate.complete then
+    invalid_arg
+      (Printf.sprintf "Vcampaign: SC pool for %s did not enumerate completely"
+         p.Minilang.Ast.name);
+  r.Memsim.Enumerate.executions
+
+let sched_for seed =
+  if seed mod 2 = 0 then Sched.adversarial ~seed () else Sched.random ~seed
+
+(* -- prefix-aware SC-explainability ---------------------------------- *)
+
+(* [Exec.same_program_behaviour] needs complete, equal-length runs, so it
+   cannot judge the truncated replays minimization produces.  A partial
+   execution is SC-prefix-explainable when some complete SC execution
+   extends it: per processor, the operations issued so far match an SC
+   prefix in identity, and reads saw the same values.  On complete
+   executions this coincides with [same_program_behaviour]. *)
+let prefix_explainable ~sc (e : Exec.t) =
+  let extends (s : Exec.t) =
+    e.Exec.n_procs = s.Exec.n_procs
+    &&
+    try
+      for p = 0 to e.Exec.n_procs - 1 do
+        let ep = e.Exec.by_proc.(p) and sp = s.Exec.by_proc.(p) in
+        if Array.length ep > Array.length sp then raise Exit;
+        Array.iteri
+          (fun i (o : Op.t) ->
+            let so = sp.(i) in
+            if Op.identity o <> Op.identity so then raise Exit;
+            if o.Op.kind = Op.Read && o.Op.value <> so.Op.value then raise Exit)
+          ep
+      done;
+      true
+    with Exit -> false
+  in
+  List.exists extends sc
+
+let race_free e = Ophb.data_races (Ophb.build e) = []
+
+(* -- witnesses --------------------------------------------------------- *)
+
+let replay ~model mk prefix =
+  let m = Machine.create ~model (mk ()) in
+  List.iter (Machine.perform m) prefix;
+  if not (Machine.finished m) then Machine.set_truncated m;
+  Machine.force_drain m;
+  Machine.to_execution m
+
+(* Greedy minimization, triage-style: the shortest schedule prefix whose
+   drained replay still breaks the property.  For a Condition 3.4
+   (clause 1) witness the prefix must be race-free yet SC-inexplicable;
+   a fence-contract witness only needs inexplicability (the fenced
+   litmus races by design, Condition 3.4 itself is not at stake). *)
+let minimize ~model ~sc ~require_racefree mk sched =
+  let n = List.length sched in
+  let violates e =
+    (not (prefix_explainable ~sc e))
+    && ((not require_racefree) || race_free e)
+  in
+  let rec go k =
+    if k > n then
+      invalid_arg "Vcampaign.minimize: full schedule no longer violates"
+    else
+      let prefix = List.filteri (fun i _ -> i < k) sched in
+      let e = replay ~model mk prefix in
+      if violates e then (prefix, e) else go (k + 1)
+  in
+  go 1
+
+let race_endpoints (trace : Trace.t) (r : Racedetect.Race.t) =
+  let ev e =
+    (trace.Trace.events.(e).Tracing.Event.proc,
+     trace.Trace.events.(e).Tracing.Event.seq)
+  in
+  (ev r.Racedetect.Race.a, ev r.Racedetect.Race.b, r.Racedetect.Race.locs)
+
+(* A witness must replay and survive the file round trip:
+   1. re-performing the minimized schedule yields a byte-identical v2
+      trace (the machine is deterministic in the schedule);
+   2. the written v2 trace decodes, and re-analysis of the decoded copy
+      reports exactly the races of the original (none, for a clause-1
+      witness). *)
+let verify ~model mk ?path (w : Exec.decision list) (exec : Exec.t) =
+  let ( let* ) = Result.bind in
+  let t0 = Trace.of_execution exec in
+  let enc0 = Codec.encode ~version:Codec.version_checksummed t0 in
+  let replayed = replay ~model mk w in
+  let enc1 =
+    Codec.encode ~version:Codec.version_checksummed (Trace.of_execution replayed)
+  in
+  let* () =
+    if enc0 = enc1 then Ok ()
+    else Error "replaying the schedule does not reproduce the trace byte for byte"
+  in
+  let check_decoded decoded =
+    let races t =
+      let a = Postmortem.analyze t in
+      List.map (race_endpoints t) a.Postmortem.races |> List.sort compare
+    in
+    if
+      Codec.encode ~version:Codec.version_checksummed decoded = enc0
+      && races decoded = races t0
+    then Ok ()
+    else Error "decoded witness does not re-analyze identically"
+  in
+  match path with
+  | None -> (
+    (* no file requested: round-trip in memory *)
+    match Codec.decode enc0 with
+    | Ok decoded -> check_decoded decoded
+    | Error e -> Error e)
+  | Some path -> (
+    Codec.write_file ~version:Codec.version_checksummed path t0;
+    match Codec.read_file path with
+    | Ok decoded -> check_decoded decoded
+    | Error e -> Error e)
+
+(* -- the sweep --------------------------------------------------------- *)
+
+type cell = {
+  c_variant : string;
+  c_program : string;
+  c_runs : int;
+  c_violation : (int * Exec.t) option;  (* seed, first violating exec *)
+}
+
+let sweep_cell ~seeds ~pool (vname, model) (p : Minilang.Ast.program) =
+  let mk () = Minilang.Interp.source p in
+  let violation = ref None in
+  for seed = 0 to seeds - 1 do
+    if !violation = None then begin
+      let e = Machine.run ~model ~sched:(sched_for seed) (mk ()) in
+      let v = Condition.check ~sc:pool e in
+      if not v.Condition.holds then violation := Some (seed, e)
+    end
+  done;
+  {
+    c_variant = vname;
+    c_program = p.Minilang.Ast.name;
+    c_runs = seeds;
+    c_violation = !violation;
+  }
+
+let fence_envelope model =
+  let mk () = Minilang.Interp.source fence_litmus in
+  let r = Enumerate.explore_weak ~limit:2_000_000 ~model mk in
+  if not r.Enumerate.complete then
+    invalid_arg "Vcampaign: fence litmus envelope did not enumerate completely";
+  r.Enumerate.executions
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ when Sys.is_directory dir -> ())
+  end
+
+let run ?(seeds = 16) ?jobs ?witness_dir () =
+  Option.iter mkdir_p witness_dir;
+  let pools = List.map (fun p -> (p.Minilang.Ast.name, sc_pool p)) programs in
+  let pool_of p = List.assoc p.Minilang.Ast.name pools in
+  let fence_pool = pool_of fence_litmus in
+  (* variant x program cells, fanned out on the domain pool *)
+  let cells =
+    Engine.Parbatch.map_list ?jobs
+      (fun ((vm, p) : (string * Model.t) * Minilang.Ast.program) ->
+        sweep_cell ~seeds ~pool:(pool_of p) vm p)
+      (List.concat_map (fun vm -> List.map (fun p -> (vm, p)) programs) roster)
+  in
+  (* fence-contract check: the whole envelope of the fenced litmus,
+     exactly — a violation is any behaviour outside the SC set *)
+  let fence_cells =
+    Engine.Parbatch.map_list ?jobs
+      (fun (vname, model) ->
+        let execs = fence_envelope model in
+        let bad =
+          List.find_opt
+            (fun e -> not (prefix_explainable ~sc:fence_pool e))
+            execs
+        in
+        (vname, List.length execs, bad))
+      roster
+  in
+  let witness_path vname check =
+    Option.map
+      (fun dir ->
+        Filename.concat dir
+          (Printf.sprintf "%s-%s.trace" vname
+             (match check with Cond34 -> "cond34" | Fence_contract -> "fence")))
+      witness_dir
+  in
+  let make_witness ~check ~model ~require_racefree ~vname p seed exec =
+    let mk () = Minilang.Interp.source p in
+    let sched, min_exec =
+      minimize ~model ~sc:(pool_of p) ~require_racefree mk
+        exec.Exec.schedule
+    in
+    let path = witness_path vname check in
+    let verified = verify ~model mk ?path sched min_exec in
+    {
+      w_check = check;
+      w_program = p.Minilang.Ast.name;
+      w_seed = seed;
+      w_schedule = sched;
+      w_exec = min_exec;
+      w_path = path;
+      w_verified = verified;
+    }
+  in
+  let verdicts =
+    List.map
+      (fun (vname, model) ->
+        let v = Model.variant model in
+        let predicted =
+          {
+            p_cond34 = Variant.preserves_condition v;
+            p_fence = Variant.honors_fences v;
+          }
+        in
+        let mine =
+          List.filter (fun c -> c.c_variant = vname) cells
+        in
+        let cond34_runs =
+          List.fold_left (fun a c -> a + c.c_runs) 0 mine
+        in
+        let first_violation =
+          List.find_map
+            (fun c ->
+              Option.map
+                (fun (seed, e) -> (c.c_program, seed, e))
+                c.c_violation)
+            mine
+        in
+        let cond34_witness =
+          Option.map
+            (fun (pname, seed, exec) ->
+              let p = Option.get (Minilang.Programs.find pname) in
+              (* clause-1 violations (race-free yet non-SC) minimize to a
+                 race-free inexplicable prefix; a clause-2 violation has
+                 no prefix criterion, so keep its full schedule *)
+              let require_racefree = race_free exec in
+              make_witness ~check:Cond34 ~model ~require_racefree ~vname p
+                (Some seed) exec)
+            first_violation
+        in
+        let vname', fence_runs, fence_bad =
+          List.find (fun (n, _, _) -> n = vname) fence_cells
+        in
+        ignore vname';
+        let fence_witness =
+          Option.map
+            (fun exec ->
+              make_witness ~check:Fence_contract ~model ~require_racefree:false
+                ~vname fence_litmus None exec)
+            fence_bad
+        in
+        {
+          v_name = vname;
+          v_model = model;
+          predicted;
+          cond34_ok = cond34_witness = None;
+          fence_ok = fence_witness = None;
+          cond34_runs;
+          fence_runs;
+          cond34_witness;
+          fence_witness;
+        })
+      roster
+  in
+  let witness_sound = function
+    | None -> true
+    | Some w -> w.w_verified = Ok ()
+  in
+  let as_predicted =
+    List.for_all
+      (fun v ->
+        v.cond34_ok = v.predicted.p_cond34
+        && v.fence_ok = v.predicted.p_fence
+        && witness_sound v.cond34_witness
+        && witness_sound v.fence_witness)
+      verdicts
+  in
+  { verdicts; seeds; as_predicted }
+
+(* -- rendering --------------------------------------------------------- *)
+
+let check_name = function Cond34 -> "cond-3.4" | Fence_contract -> "fence"
+
+let pp_outcome ppf (ok, predicted) =
+  Format.fprintf ppf "%-10s"
+    (match (ok, predicted) with
+    | true, true -> "pass"
+    | false, false -> "VIOLATED*"  (* * = predicted *)
+    | false, true -> "VIOLATED!"
+    | true, false -> "pass!?")
+
+let pp_witness ppf w =
+  Format.fprintf ppf "@,  %s witness: %s, %d-step schedule%s%s"
+    (check_name w.w_check) w.w_program
+    (List.length w.w_schedule)
+    (match w.w_seed with
+    | Some s -> Printf.sprintf " (seed %d)" s
+    | None -> " (envelope)")
+    (match (w.w_verified, w.w_path) with
+    | Ok (), Some p -> Printf.sprintf ", verified v2 trace at %s" p
+    | Ok (), None -> ", replay + round-trip verified"
+    | Error e, _ -> Printf.sprintf ", VERIFICATION FAILED: %s" e)
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%-20s %-22s %a %a %5d+%d runs"
+    v.v_name
+    (Variant.to_spec (Model.variant v.v_model))
+    pp_outcome (v.cond34_ok, v.predicted.p_cond34)
+    pp_outcome (v.fence_ok, v.predicted.p_fence)
+    v.cond34_runs v.fence_runs;
+  (match v.cond34_witness with Some w -> pp_witness ppf w | None -> ());
+  match v.fence_witness with Some w -> pp_witness ppf w | None -> ()
+
+let pp ppf r =
+  Format.pp_open_vbox ppf 0;
+  Format.fprintf ppf
+    "variant campaign: %d lattice points x %d programs x %d seeds"
+    (List.length r.verdicts) (List.length programs) r.seeds;
+  Format.fprintf ppf "@,%-20s %-22s %-10s %-10s@,"
+    "variant" "spec" "cond-3.4" "fence";
+  List.iter (fun v -> Format.fprintf ppf "%a@," pp_verdict v) r.verdicts;
+  Format.fprintf ppf "(VIOLATED* = violation predicted by the lattice theory)";
+  Format.fprintf ppf "@,verdicts %s predictions"
+    (if r.as_predicted then "match" else "DIVERGE FROM");
+  Format.pp_close_box ppf ()
+
+let exit_code r = if r.as_predicted then 0 else 1

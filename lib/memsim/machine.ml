@@ -80,16 +80,65 @@ let record_op t ~proc ~loc ~kind ~cls ~value ~label =
   (match t.on_op with Some f -> f o | None -> ());
   o
 
-let may_issue t p (req : Thread_intf.request) =
-  let drained cls = (not (Model.drains_on t.model cls)) || buffer_empty t p in
+(* -- knob-driven issue rules for Custom variants ----------------------
+
+   Named models go through the original per-model rules below; [Custom]
+   variants through these.  The two must agree on the canonical lattice
+   points — the qcheck differential suite compares them run for run. *)
+
+(* [Drain] waits for an empty buffer; [Partial] only for pending writes
+   to the operation's own location (fences name no location, so every
+   pending write is theirs: Partial = Drain). *)
+let drain_ok t p (d : Variant.drain) ~loc =
+  match d with
+  | Variant.Drain -> buffer_empty t p
+  | Variant.Nop -> true
+  | Variant.Partial -> (
+    match loc with
+    | Some l -> not (has_pending_write_to t p l)
+    | None -> buffer_empty t p)
+
+let variant_may_issue t p v (req : Thread_intf.request) =
+  let drained cls ~loc =
+    match (cls : Op.op_class) with
+    | Op.Data -> true
+    | _ -> drain_ok t p (Variant.drain_on v cls) ~loc
+  in
+  let slot_free () =
+    match v.Variant.depth with
+    | Variant.Unbounded -> true
+    | Variant.Bounded n -> List.length (buffer t p) < n
+  in
   match req with
-  | Thread_intf.Read { cls; _ } -> drained cls
+  | Thread_intf.Read { cls; loc; _ } ->
+    drained cls ~loc:(Some loc)
+    && (match v.Variant.read with
+       | Variant.Stall -> not (has_pending_write_to t p loc)
+       | Variant.Forward | Variant.Bypass -> true)
   | Thread_intf.Write { cls; loc; _ } ->
-    drained cls
-    && (cls = Op.Data || not (has_pending_write_to t p loc))
+    drained cls ~loc:(Some loc)
+    &&
+    if Variant.has_buffer v && cls = Op.Data then slot_free ()
+    else not (has_pending_write_to t p loc)
   | Thread_intf.Rmw { rcls; wcls; loc; _ } ->
-    drained rcls && drained wcls && not (has_pending_write_to t p loc)
-  | Thread_intf.Fence _ -> buffer_empty t p
+    drained rcls ~loc:(Some loc)
+    && drained wcls ~loc:(Some loc)
+    && not (has_pending_write_to t p loc)
+  | Thread_intf.Fence _ -> drain_ok t p v.Variant.on_fence ~loc:None
+
+let may_issue t p (req : Thread_intf.request) =
+  match t.model with
+  | Model.Custom v -> variant_may_issue t p v req
+  | _ ->
+    let drained cls = (not (Model.drains_on t.model cls)) || buffer_empty t p in
+    (match req with
+    | Thread_intf.Read { cls; _ } -> drained cls
+    | Thread_intf.Write { cls; loc; _ } ->
+      drained cls
+      && (cls = Op.Data || not (has_pending_write_to t p loc))
+    | Thread_intf.Rmw { rcls; wcls; loc; _ } ->
+      drained rcls && drained wcls && not (has_pending_write_to t p loc)
+    | Thread_intf.Fence _ -> buffer_empty t p)
 
 let enabled t =
   let issues = ref [] in
@@ -118,6 +167,16 @@ let enabled t =
   done;
   !issues @ List.rev !retires
 
+(* Whether a read issued now would return a buffered value rather than
+   consult memory.  Stall and Bypass variants always read memory (Stall
+   is only enabled once no same-location write is pending; Bypass reads
+   memory even when one is — that is its defect). *)
+let reads_forward t p loc =
+  (match t.model with
+  | Model.Custom v -> v.Variant.read = Variant.Forward
+  | _ -> true)
+  && forwardable t p loc <> None
+
 let footprint t d =
   match d with
   | Exec.Retire (_, loc) -> [ (loc, Op.Write) ]
@@ -127,7 +186,7 @@ let footprint t d =
     | Some (Thread_intf.Read { loc; _ }) ->
       (* a forwarded read returns the processor's own buffered value and
          never consults memory, so it commutes with everything remote *)
-      if forwardable t p loc <> None then [] else [ (loc, Op.Read) ]
+      if reads_forward t p loc then [] else [ (loc, Op.Read) ]
     | Some (Thread_intf.Write { loc; cls; _ }) ->
       if Model.buffers_writes t.model && cls = Op.Data then []
       else [ (loc, Op.Write) ]
@@ -141,28 +200,84 @@ type buffer_footprint =
   | BWrites of Op.loc
   | BAll
 
+(* Custom variants widen the same-processor dependences the explorer
+   must see:
+   - a [Stall] read's enabledness flips when a same-location write
+     retires, and a [Partial] drain waits on exactly those retires, so
+     both are [BReads loc] even though neither touches the buffer's
+     contents ([BReads l] conflicts with [BWrites l]);
+   - a data write into a [Bounded] buffer is enabled only while a slot
+     is free, so a retire of {e any} location can enable it: [BAll]
+     (which conflicts with every [BWrites]);
+   - a [Bypass] read and a [fence=nop] fence ignore the buffer
+     entirely: [BNone]. *)
+let variant_issue_buffer_footprint t p v (req : Thread_intf.request) =
+  let worst a b =
+    match (a, b) with
+    | BAll, _ | _, BAll -> BAll
+    | BReads l, BNone | BNone, BReads l -> BReads l
+    | BReads l, BReads _ -> BReads l
+    | x, BNone -> x
+    | BNone, x -> x
+    | x, _ -> x
+  in
+  let drain_dep cls ~loc =
+    match (cls : Op.op_class) with
+    | Op.Data -> BNone
+    | _ -> (
+      match Variant.drain_on v cls with
+      | Variant.Drain -> BAll
+      | Variant.Partial -> (
+        match loc with Some l -> BReads l | None -> BAll)
+      | Variant.Nop -> BNone)
+  in
+  match req with
+  | Thread_intf.Read { cls; loc; _ } ->
+    let policy_dep =
+      match v.Variant.read with
+      | Variant.Forward -> if forwardable t p loc <> None then BReads loc else BNone
+      | Variant.Stall -> BReads loc
+      | Variant.Bypass -> BNone
+    in
+    worst (drain_dep cls ~loc:(Some loc)) policy_dep
+  | Thread_intf.Write { cls; loc; _ } ->
+    if Variant.has_buffer v && cls = Op.Data then (
+      match v.Variant.depth with
+      | Variant.Unbounded -> BAppends loc
+      | Variant.Bounded _ -> BAll)
+    else BAll
+  | Thread_intf.Rmw _ -> BAll
+  | Thread_intf.Fence _ ->
+    if Variant.has_buffer v && v.Variant.on_fence = Variant.Nop then BNone
+    else BAll
+
 let buffer_footprint t d =
   match d with
   | Exec.Retire (_, loc) -> BWrites loc
   | Exec.Issue p -> (
     match t.src.peek p with
     | None -> BNone
-    | Some (Thread_intf.Read { cls; loc; _ }) ->
-      (* a forwarded read consults the buffer: retiring the forwarding
-         source changes it into a memory read.  A draining read is only
-         enabled once the buffer is empty. *)
-      if forwardable t p loc <> None then BReads loc
-      else if Model.drains_on t.model cls then BAll
-      else BNone
-    | Some (Thread_intf.Write { cls; loc; _ }) ->
-      (* a buffered data write appends the youngest entry; a retire of
-         the same location may only exist because of it (enabling), so
-         they are conservatively dependent.  Unbuffered writes wait for
-         drains. *)
-      if Model.buffers_writes t.model && cls = Op.Data then BAppends loc
-      else BAll
-    | Some (Thread_intf.Rmw _) -> BAll
-    | Some (Thread_intf.Fence _) -> BAll)
+    | Some req -> (
+      match t.model with
+      | Model.Custom v -> variant_issue_buffer_footprint t p v req
+      | _ -> (
+        match req with
+        | Thread_intf.Read { cls; loc; _ } ->
+          (* a forwarded read consults the buffer: retiring the forwarding
+             source changes it into a memory read.  A draining read is only
+             enabled once the buffer is empty. *)
+          if forwardable t p loc <> None then BReads loc
+          else if Model.drains_on t.model cls then BAll
+          else BNone
+        | Thread_intf.Write { cls; loc; _ } ->
+          (* a buffered data write appends the youngest entry; a retire of
+             the same location may only exist because of it (enabling), so
+             they are conservatively dependent.  Unbuffered writes wait for
+             drains. *)
+          if Model.buffers_writes t.model && cls = Op.Data then BAppends loc
+          else BAll
+        | Thread_intf.Rmw _ -> BAll
+        | Thread_intf.Fence _ -> BAll)))
 
 let finished t = enabled t = []
 
@@ -191,9 +306,11 @@ let do_issue t p =
     (match req with
      | Thread_intf.Read { loc; cls; label; k } ->
        let value, writer =
-         match forwardable t p loc with
-         | Some e -> (e.value, e.op_id)
-         | None -> (t.mem.(loc), t.mem_writer.(loc))
+         if reads_forward t p loc then
+           match forwardable t p loc with
+           | Some e -> (e.value, e.op_id)
+           | None -> assert false
+         else (t.mem.(loc), t.mem_writer.(loc))
        in
        let o = record_op t ~proc:p ~loc ~kind:Op.Read ~cls ~value ~label in
        Hashtbl.replace t.rf o.Op.id writer;

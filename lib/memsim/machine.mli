@@ -18,6 +18,17 @@
       of the paper's Figures 1a and 2b possible — while writes to the same
       location retire in program order.
 
+    Named models go through the per-model rules above; [Model.Custom]
+    variants go through knob-driven rules ({!Variant}) that generalize
+    them: bounded buffer depth stalls data writes until a slot frees,
+    [Stall] reads wait for conflicting retires and [Bypass] reads skip
+    the forwarding network entirely, [Partial] drains wait only for
+    same-location writes, and [fence=nop] lets fences issue over a full
+    buffer.  The canonical lattice points must behave exactly like their
+    named models — the qcheck differential suite enforces this — and
+    {!footprint}/{!buffer_footprint} stay conservative for every knob so
+    partial-order-reduced exploration remains sound.
+
     The step-wise API ([enabled]/[perform]) is what the SC-interleaving
     enumerator drives; [run] wraps it with a scheduler. *)
 

@@ -1,4 +1,4 @@
-type t = SC | TSO | WO | RCsc | DRF0 | DRF1
+type t = SC | TSO | WO | RCsc | DRF0 | DRF1 | Custom of Variant.t
 
 let all = [ SC; TSO; WO; RCsc; DRF0; DRF1 ]
 let weak = [ WO; RCsc; DRF0; DRF1 ]
@@ -10,6 +10,7 @@ let name = function
   | RCsc -> "RCsc"
   | DRF0 -> "DRF0"
   | DRF1 -> "DRF1"
+  | Custom v -> Variant.name v
 
 let of_name s =
   match String.lowercase_ascii s with
@@ -21,13 +22,43 @@ let of_name s =
   | "drf1" -> Some DRF1
   | _ -> None
 
-let buffers_writes = function SC -> false | TSO | WO | RCsc | DRF0 | DRF1 -> true
+let variant = function
+  | SC -> Variant.sc
+  | TSO -> Variant.tso
+  | WO | DRF0 -> Variant.wo
+  | RCsc | DRF1 -> Variant.rcsc
+  | Custom v -> v
 
-let fifo_buffer = function TSO -> true | SC | WO | RCsc | DRF0 | DRF1 -> false
+let of_spec s =
+  match of_name s with
+  | Some m -> Ok m
+  | None -> (
+    match Variant.of_spec s with
+    | Ok v -> Ok (Custom v)
+    | Error e ->
+      Error
+        (Printf.sprintf
+           "unknown model %S (%s)\n\
+            named models: SC, TSO, WO, RCsc, DRF0, DRF1\n\
+            named variants: %s\n\
+            variant spec: %s" s e
+           (String.concat ", " (List.map fst Variant.aliases))
+           Variant.grammar))
+
+let buffers_writes = function
+  | SC -> false
+  | TSO | WO | RCsc | DRF0 | DRF1 -> true
+  | Custom v -> Variant.has_buffer v
+
+let fifo_buffer = function
+  | TSO -> true
+  | SC | WO | RCsc | DRF0 | DRF1 -> false
+  | Custom v -> Variant.has_buffer v && v.Variant.retire = Variant.Fifo
 
 let distinguishes_release_acquire = function
   | SC | TSO | WO | DRF0 -> false
   | RCsc | DRF1 -> true
+  | Custom v -> v.Variant.on_acquire <> v.Variant.on_release
 
 let drains_on m (cls : Op.op_class) =
   match cls with
@@ -36,6 +67,7 @@ let drains_on m (cls : Op.op_class) =
     match m with
     | SC -> false (* nothing is ever buffered *)
     | TSO | WO | DRF0 -> true
-    | RCsc | DRF1 -> cls = Op.Release)
+    | RCsc | DRF1 -> cls = Op.Release
+    | Custom v -> Variant.drain_on v cls = Variant.Drain)
 
 let pp ppf m = Format.pp_print_string ppf (name m)

@@ -29,16 +29,43 @@
     execution (no finite tester can).  Every implementation here obeys
     Condition 3.4 — not by a special mechanism, but inherently, which is
     exactly Theorem 3.5; the test suite verifies this on random programs,
-    and exhaustively over whole envelopes for litmus-sized ones. *)
+    and exhaustively over whole envelopes for litmus-sized ones.
 
-type t = SC | TSO | WO | RCsc | DRF0 | DRF1
+    Beyond the named models, [Custom] makes the model first-class
+    configuration: a {!Variant.t} record of store-buffer knobs (depth,
+    read handling, retirement order, per-class drain behaviour).  The
+    named models are canonical points of that lattice ({!variant}), and
+    the [racedet variants] campaign tests, per lattice point, whether
+    Condition 3.4 survives — including deliberately broken hardware such
+    as [sb:fence=nop] that no named model describes. *)
+
+type t = SC | TSO | WO | RCsc | DRF0 | DRF1 | Custom of Variant.t
 
 val all : t list
+(** The named models only (customs are a lattice, not a list). *)
+
 val weak : t list
 (** The paper's four weak models (excludes SC and the TSO comparator). *)
 
 val name : t -> string
+(** For [Custom] variants this is the alias name or canonical spec
+    string — parseable back via {!of_spec}, so it round-trips through
+    traces. *)
+
 val of_name : string -> t option
+(** Named models only; use {!of_spec} to also accept variant specs. *)
+
+val variant : t -> Variant.t
+(** The lattice point a named model canonically occupies (identity on
+    [Custom]).  [Machine] runs [Custom (variant m)] through the
+    knob-driven issue rules and [m] itself through the original
+    per-model rules; the two are behaviour-identical — the qcheck
+    differential suite holds them to that. *)
+
+val of_spec : string -> (t, string) result
+(** Accepts the named models ({!of_name}) and variant specs / aliases
+    ({!Variant.of_spec}, wrapped in [Custom]).  The error message lists
+    the valid names and the spec grammar. *)
 
 val buffers_writes : t -> bool
 (** False only for SC. *)

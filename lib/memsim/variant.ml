@@ -1,0 +1,200 @@
+type depth = Unbounded | Bounded of int
+
+type read_policy = Forward | Stall | Bypass
+
+type retire_order = Fifo | OutOfOrder
+
+type drain = Drain | Nop | Partial
+
+type t = {
+  depth : depth;
+  read : read_policy;
+  retire : retire_order;
+  on_acquire : drain;
+  on_release : drain;
+  on_sync : drain;
+  on_fence : drain;
+}
+
+let has_buffer v = v.depth <> Bounded 0
+
+let sb =
+  {
+    depth = Unbounded;
+    read = Forward;
+    retire = OutOfOrder;
+    on_acquire = Drain;
+    on_release = Drain;
+    on_sync = Drain;
+    on_fence = Drain;
+  }
+
+let sc = { sb with depth = Bounded 0 }
+let tso = { sb with retire = Fifo }
+let wo = sb
+let rcsc = { sb with on_acquire = Nop; on_sync = Nop }
+
+let drain_on v (cls : Op.op_class) =
+  match cls with
+  | Op.Data -> Nop
+  | Op.Acquire -> v.on_acquire
+  | Op.Release -> v.on_release
+  | Op.Plain_sync -> v.on_sync
+
+(* Which knob settings keep Theorem 3.5.  Two knobs are load-bearing:
+   - [read = Bypass] breaks same-processor coherence: a read can miss the
+     processor's own buffered write, so even a race-free (or single
+     processor!) execution matches no SC execution — clause 1 fails.
+   - [on_release <> Drain] publishes the release while earlier data
+     writes are still buffered.  The release/acquire pair still creates
+     the so1 edge, so hb1 declares the execution race-free, yet the
+     consumer reads stale data — again clause 1 fails.
+   Everything else only restricts or reorders buffered data writes, which
+   yields behaviours a drain-honouring unbounded out-of-order buffer (WO)
+   or RCsc already admits; Theorem 3.5 covers those. *)
+let preserves_condition v =
+  (not (has_buffer v)) || (v.read <> Bypass && v.on_release = Drain)
+
+(* A fence must not issue over a non-empty buffer.  [Partial] degenerates
+   to [Drain] for fences: a fence names no location, so every pending
+   write is relevant.  Note [on_fence = Nop] does NOT violate Condition
+   3.4 — fences record no operation, so the detector cannot (and per the
+   paper need not) see them — it violates the hardware's own fence
+   contract, which the campaign checks separately. *)
+let honors_fences v = (not (has_buffer v)) || v.on_fence <> Nop
+
+let equal (a : t) (b : t) = a = b
+
+(* -- spec syntax ------------------------------------------------------- *)
+
+let aliases =
+  [
+    ("sb-fence-nop", { sb with on_fence = Nop });
+    ("sb-release-nop", { sb with on_release = Nop });
+    ("sb-release-partial", { sb with on_release = Partial });
+    ("sb-bypass", { sb with read = Bypass });
+    ("sb-stall", { sb with read = Stall });
+    ("sb-bounded-2", { sb with depth = Bounded 2 });
+  ]
+
+let depth_str = function
+  | Unbounded -> "unbounded"
+  | Bounded n -> string_of_int n
+
+let read_str = function Forward -> "forward" | Stall -> "stall" | Bypass -> "bypass"
+let retire_str = function Fifo -> "fifo" | OutOfOrder -> "ooo"
+let drain_str = function Drain -> "drain" | Nop -> "nop" | Partial -> "partial"
+
+let to_spec v =
+  let knobs =
+    List.filter_map
+      (fun (k, cur, dflt) -> if cur = dflt then None else Some (k ^ "=" ^ cur))
+      [
+        ("depth", depth_str v.depth, depth_str sb.depth);
+        ("read", read_str v.read, read_str sb.read);
+        ("retire", retire_str v.retire, retire_str sb.retire);
+        ("acquire", drain_str v.on_acquire, drain_str sb.on_acquire);
+        ("release", drain_str v.on_release, drain_str sb.on_release);
+        ("sync", drain_str v.on_sync, drain_str sb.on_sync);
+        ("fence", drain_str v.on_fence, drain_str sb.on_fence);
+      ]
+  in
+  match knobs with [] -> "sb" | ks -> "sb:" ^ String.concat "," ks
+
+let name v =
+  match List.find_opt (fun (_, w) -> equal v w) aliases with
+  | Some (n, _) -> n
+  | None -> to_spec v
+
+let grammar =
+  "<base>[:<knob>,...] with <base> one of sb|sc|tso|wo|rcsc|drf0|drf1 and \
+   <knob> one of depth=<n>|unbounded, read=forward|stall|bypass, \
+   retire=fifo|ooo, {acquire|release|sync|fence}=drain|nop|partial"
+
+let base_of_name s =
+  match s with
+  | "sb" -> Some sb
+  | "sc" -> Some sc
+  | "tso" -> Some tso
+  | "wo" | "drf0" -> Some wo
+  | "rcsc" | "drf1" -> Some rcsc
+  | _ -> List.assoc_opt s aliases
+
+let ( let* ) = Result.bind
+
+let parse_depth s =
+  if s = "unbounded" then Ok Unbounded
+  else
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok (Bounded n)
+    | _ -> Error (Printf.sprintf "bad depth %S (expected a non-negative int or 'unbounded')" s)
+
+let parse_read = function
+  | "forward" -> Ok Forward
+  | "stall" -> Ok Stall
+  | "bypass" -> Ok Bypass
+  | s -> Error (Printf.sprintf "bad read policy %S (forward|stall|bypass)" s)
+
+let parse_retire = function
+  | "fifo" -> Ok Fifo
+  | "ooo" | "out-of-order" -> Ok OutOfOrder
+  | s -> Error (Printf.sprintf "bad retire order %S (fifo|ooo)" s)
+
+let parse_drain knob = function
+  | "drain" -> Ok Drain
+  | "nop" -> Ok Nop
+  | "partial" -> Ok Partial
+  | s -> Error (Printf.sprintf "bad %s behaviour %S (drain|nop|partial)" knob s)
+
+let apply_knob v knob value =
+  match knob with
+  | "depth" ->
+    let* d = parse_depth value in
+    Ok { v with depth = d }
+  | "read" ->
+    let* r = parse_read value in
+    Ok { v with read = r }
+  | "retire" ->
+    let* r = parse_retire value in
+    Ok { v with retire = r }
+  | "acquire" ->
+    let* d = parse_drain "acquire" value in
+    Ok { v with on_acquire = d }
+  | "release" ->
+    let* d = parse_drain "release" value in
+    Ok { v with on_release = d }
+  | "sync" ->
+    let* d = parse_drain "sync" value in
+    Ok { v with on_sync = d }
+  | "fence" ->
+    let* d = parse_drain "fence" value in
+    Ok { v with on_fence = d }
+  | _ ->
+    Error
+      (Printf.sprintf "unknown knob %S (depth|read|retire|acquire|release|sync|fence)"
+         knob)
+
+let of_spec s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let base, knobs =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  match base_of_name base with
+  | None -> Error (Printf.sprintf "unknown base model %S" base)
+  | Some v ->
+    let kvs = if knobs = "" then [] else String.split_on_char ',' knobs in
+    List.fold_left
+      (fun acc kv ->
+        let* v = acc in
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "bad knob %S (expected name=value)" kv)
+        | Some i ->
+          apply_knob v
+            (String.sub kv 0 i)
+            (String.sub kv (i + 1) (String.length kv - i - 1)))
+      (Ok v) kvs
+
+let pp ppf v = Format.pp_print_string ppf (name v)

@@ -1,0 +1,102 @@
+(** The hardware-variant lattice: a memory model as first-class
+    configuration of the store-buffer machine rather than a fixed enum.
+
+    Each knob parameterizes one axis along which plausible store-buffer
+    hardware differs:
+
+    - {b depth}: how many data writes the buffer holds.  [Bounded 0]
+      means no buffering at all (SC); [Bounded n] stalls further data
+      writes until a retire frees a slot; [Unbounded] never stalls.
+    - {b read}: what a read does when the processor has a pending write
+      to the same location.  [Forward] returns the newest buffered value
+      (the conventional bypass network); [Stall] refuses to issue until
+      the conflicting writes retire, then reads memory; [Bypass] reads
+      memory {e ignoring} the buffer — deliberately incoherent hardware.
+    - {b retire}: [Fifo] retires strictly oldest-first (TSO); since
+      same-location writes always retire in order, [OutOfOrder] only
+      reorders across locations (WO/RCsc).
+    - {b on_acquire}/{b on_release}/{b on_sync}/{b on_fence}: whether an
+      operation of that class waits for the buffer.  [Drain] waits until
+      empty, [Nop] never waits, [Partial] waits only for pending writes
+      to the operation's own location (for fences, which name no
+      location, [Partial] degenerates to [Drain]).
+
+    The named models are canonical points: SC = [depth=0], TSO =
+    [retire=fifo], WO = everything drains out-of-order, RCsc = only
+    releases (and fences) drain.  The deliberately broken points — e.g.
+    [sb-fence-nop], or [release=nop], which lets a release publish its
+    flag while the data it guards is still buffered — exist so the test
+    campaign can demonstrate which knobs Theorem 3.5 actually needs. *)
+
+type depth = Unbounded | Bounded of int
+(** [Bounded 0] disables buffering entirely. *)
+
+type read_policy = Forward | Stall | Bypass
+
+type retire_order = Fifo | OutOfOrder
+
+type drain = Drain | Nop | Partial
+
+type t = {
+  depth : depth;
+  read : read_policy;
+  retire : retire_order;
+  on_acquire : drain;
+  on_release : drain;
+  on_sync : drain;
+  on_fence : drain;
+}
+
+val has_buffer : t -> bool
+(** False iff [depth = Bounded 0]. *)
+
+val sc : t
+val tso : t
+val wo : t
+val rcsc : t
+
+val sb : t
+(** The generic store-buffer point: unbounded, forwarding, out-of-order,
+    every sync class and fence drains.  Equal to {!wo}. *)
+
+val drain_on : t -> Op.op_class -> drain
+(** [Data] operations never drain ([Nop]); sync classes map to their
+    knob.  Fences are not an {!Op.op_class} — use [v.on_fence]. *)
+
+val preserves_condition : t -> bool
+(** Whether the variant satisfies Condition 3.4 by construction: true
+    iff it does not buffer at all, or reads are coherent ([read <>
+    Bypass]) and releases drain ([on_release = Drain]).  These are
+    exactly the knobs Theorem 3.5's proof leans on; see DESIGN.md. *)
+
+val honors_fences : t -> bool
+(** Whether a fence actually orders buffered writes ([on_fence <> Nop]
+    on buffering variants).  A fence-ignoring variant does {e not}
+    violate Condition 3.4 — fences record no operation, so they are
+    invisible to the detector — it violates the hardware fence contract,
+    which the variants campaign checks separately. *)
+
+val equal : t -> t -> bool
+
+val aliases : (string * t) list
+(** Named off-lattice points for the campaign: [sb-fence-nop],
+    [sb-release-nop], [sb-release-partial], [sb-bypass], [sb-stall],
+    [sb-bounded-2]. *)
+
+val to_spec : t -> string
+(** Canonical spec string ([sb] plus the knobs differing from it);
+    round-trips through {!of_spec}. *)
+
+val name : t -> string
+(** The alias name when the variant is a named point, else {!to_spec}. *)
+
+val grammar : string
+(** One-line description of the spec grammar, for error messages. *)
+
+val of_spec : string -> (t, string) result
+(** Parse [<base>[:<knob>,...]], e.g. ["sb:depth=2,fence=nop"].  Bases
+    are [sb|sc|tso|wo|rcsc|drf0|drf1] and the alias names; knobs are
+    [depth=<n>|unbounded], [read=forward|stall|bypass],
+    [retire=fifo|ooo], and [acquire]/[release]/[sync]/[fence][=drain|nop|partial]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -66,6 +66,29 @@ let dekker =
       [ store "y" (i 1) ~label:"P2:write-y"; load "r2" "x" ~label:"P2:read-x" ];
     ]
 
+let dekker_fenced =
+  program ~name:"dekker_fenced" ~locs:[ "x"; "y" ]
+    [
+      [
+        store "x" (i 1) ~label:"P1:write-x";
+        fence () ~label:"P1:fence";
+        load "r1" "y" ~label:"P1:read-y";
+      ];
+      [
+        store "y" (i 1) ~label:"P2:write-y";
+        fence () ~label:"P2:fence";
+        load "r2" "x" ~label:"P2:read-x";
+      ];
+    ]
+
+(* The smallest coherence probe: one processor stores and immediately
+   reloads the same location.  Race-free (single processor), so every
+   sane variant must return 1 — only read=bypass hardware can lose its
+   own write. *)
+let read_own_write =
+  program ~name:"read_own_write" ~locs:[ "x" ]
+    [ [ store "x" (i 1) ~label:"P1:write-x"; load "r" "x" ~label:"P1:read-x" ] ]
+
 let mp_data_flag =
   program ~name:"mp_data_flag" ~locs:[ "data"; "flag" ]
     [
@@ -243,6 +266,8 @@ let all =
     ("fig1b", fig1b);
     ("queue_bug", queue_bug ());
     ("dekker", dekker);
+    ("dekker_fenced", dekker_fenced);
+    ("read_own_write", read_own_write);
     ("mp_data_flag", mp_data_flag);
     ("mp_release_acquire", mp_release_acquire);
     ("handoff_update", handoff_update);

@@ -27,6 +27,18 @@ val dekker : Ast.program
 (** Store-buffering litmus: P1 writes x, reads y; P2 writes y, reads x.
     Both may read 0 only on weak hardware. *)
 
+val dekker_fenced : Ast.program
+(** {!dekker} with a fence between each processor's store and load.  On
+    fence-honouring hardware the (0,0) outcome disappears; the variants
+    campaign uses it to expose [fence=nop] hardware.  Still racy — the
+    x/y accesses remain unsynchronized data operations (fences record no
+    operation and add no hb1 edges). *)
+
+val read_own_write : Ast.program
+(** One processor stores then reloads the same location.  Race-free; any
+    variant whose read misses its own buffered write ([read=bypass])
+    returns 0 and violates Condition 3.4 clause 1. *)
+
 val mp_data_flag : Ast.program
 (** Message passing with a {e data} flag — the classic bug this line of
     work targets: spinning on an ordinary load races with the flag write,

@@ -5,6 +5,8 @@ The stock program list:
   fig1b                2 procs, 3 locations
   queue_bug            3 procs, 303 locations
   dekker               2 procs, 2 locations
+  dekker_fenced        2 procs, 2 locations
+  read_own_write       1 procs, 1 locations
   mp_data_flag         2 procs, 2 locations
   mp_release_acquire   2 procs, 2 locations
   handoff_update       2 procs, 2 locations

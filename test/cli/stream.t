@@ -16,6 +16,8 @@ every stock program, in both trace layouts:
   fig1b: identical (exit 0)
   queue_bug: identical (exit 2)
   dekker: identical (exit 2)
+  dekker_fenced: identical (exit 2)
+  read_own_write: identical (exit 0)
   mp_data_flag: identical (exit 2)
   mp_release_acquire: identical (exit 0)
   handoff_update: identical (exit 0)

@@ -1,0 +1,342 @@
+(* The hardware-variant lattice test campaign:
+
+   1. differential — each named model's canonical lattice encoding
+      ([Model.Custom (Model.variant m)]) behaves identically to the
+      legacy enum path on 500+ random programs: same operation
+      sequences, same reads-from, same final memories, same race
+      reports, decision for decision;
+   2. exhaustive litmus matrix — the full behaviour envelopes of the
+      sb, lb and mp_partial litmus tests (and fenced sb) under every
+      campaign variant, with exact expected outcome sets derived from
+      the knobs (Dekker (0,0) iff the variant buffers writes; the
+      stale-data mp outcome iff releases do not drain; (1,1) in lb
+      never; (0,0) in fenced sb iff fence=nop);
+   3. Condition 3.4 property — on random programs every conservative
+      variant (per [Variant.preserves_condition]) yields an
+      SC-explainable execution up to the first race, and every witness
+      the campaign emits replays byte-identically from its v2 trace. *)
+
+module Model = Memsim.Model
+module Variant = Memsim.Variant
+module Machine = Memsim.Machine
+module Exec = Memsim.Exec
+module Op = Memsim.Op
+module Sched = Memsim.Sched
+module Enumerate = Memsim.Enumerate
+module Ophb = Racedetect.Ophb
+module Condition = Racedetect.Condition
+module Trace = Tracing.Trace
+module Codec = Tracing.Codec
+module Vcampaign = Explore.Vcampaign
+
+(* ------------------------------------------------------------------ *)
+(* 1. qcheck differential: legacy enum path vs lattice encoding        *)
+(* ------------------------------------------------------------------ *)
+
+let races e = Ophb.data_races (Ophb.build e)
+
+let exec_fingerprint (e : Exec.t) =
+  ( Array.map (fun (o : Op.t) -> (Op.identity o, o.Op.value)) e.Exec.ops,
+    e.Exec.rf,
+    e.Exec.final_mem,
+    e.Exec.schedule )
+
+let identical_behaviour legacy custom =
+  exec_fingerprint legacy = exec_fingerprint custom
+  && races legacy = races custom
+
+let program_of i =
+  match i mod 3 with
+  | 0 -> Minilang.Gen.random_racy ~seed:i ()
+  | 1 -> Minilang.Gen.random_racefree ~seed:i ()
+  | _ -> Minilang.Gen.random_racefree_ra ~seed:i ()
+
+let test_differential () =
+  let n_programs = 510 in
+  for i = 0 to n_programs - 1 do
+    let p = program_of i in
+    let named = List.nth Model.all (i mod List.length Model.all) in
+    let custom = Model.Custom (Model.variant named) in
+    for seed = 0 to 1 do
+      let sched () =
+        if seed = 0 then Sched.adversarial ~seed:i () else Sched.random ~seed:i
+      in
+      let legacy = Minilang.Interp.run ~model:named ~sched:(sched ()) p in
+      let latt = Minilang.Interp.run ~model:custom ~sched:(sched ()) p in
+      if not (identical_behaviour legacy latt) then
+        Alcotest.failf
+          "lattice encoding of %s diverges from the enum path on program %d \
+           (sched %d)"
+          (Model.name named) i seed
+    done
+  done
+
+let test_differential_qcheck =
+  (* the same law, property-style, over uniformly drawn cases *)
+  QCheck.Test.make ~name:"lattice encoding = enum path" ~count:200
+    QCheck.(pair (int_bound 1_000_000) (int_bound 5))
+    (fun (seed, mi) ->
+      let p = program_of seed in
+      let named = List.nth Model.all (mi mod List.length Model.all) in
+      let custom = Model.Custom (Model.variant named) in
+      let legacy =
+        Minilang.Interp.run ~model:named ~sched:(Sched.random ~seed) p
+      in
+      let latt =
+        Minilang.Interp.run ~model:custom ~sched:(Sched.random ~seed) p
+      in
+      identical_behaviour legacy latt)
+
+(* ------------------------------------------------------------------ *)
+(* 2. exhaustive litmus matrix                                         *)
+(* ------------------------------------------------------------------ *)
+
+let lb_litmus =
+  let open Minilang.Build in
+  program ~name:"lb" ~locs:[ "x"; "y" ]
+    [
+      [ load "r0" "x" ~label:"P0:read-x"; store "y" (i 1) ~label:"P0:write-y" ];
+      [ load "r1" "y" ~label:"P1:read-y"; store "x" (i 1) ~label:"P1:write-x" ];
+    ]
+
+let mp_partial_litmus =
+  let open Minilang.Build in
+  program ~name:"mp_partial" ~locs:[ "data"; "flag" ]
+    [
+      [
+        store "data" (i 42) ~label:"P:write-data";
+        release_store "flag" (i 1) ~label:"P:release-flag";
+      ];
+      [
+        load "f" "flag" ~label:"C:read-flag";
+        if_ (r "f" =: i 1) [ load "d" "data" ~label:"C:read-data" ] [];
+      ];
+    ]
+
+let envelope ~model p =
+  let r =
+    Enumerate.explore_weak ~limit:2_000_000 ~model (fun () ->
+        Minilang.Interp.source p)
+  in
+  if not r.Enumerate.complete then
+    Alcotest.failf "envelope of %s incomplete under %s" p.Minilang.Ast.name
+      (Model.name model);
+  r.Enumerate.executions
+
+let read_values (e : Exec.t) =
+  Array.to_list e.Exec.by_proc
+  |> List.concat_map (fun ops ->
+         Array.to_list ops
+         |> List.filter_map (fun (o : Op.t) ->
+                if o.Op.kind = Op.Read then Some o.Op.value else None))
+
+let outcomes ~model p =
+  List.map read_values (envelope ~model p) |> List.sort_uniq compare
+
+(* every lattice point the campaign sweeps, plus the legacy enum models *)
+let matrix_models =
+  List.map (fun (n, m) -> (n, m)) Vcampaign.roster
+  @ List.map (fun m -> (Model.name m, m)) Model.all
+
+let check_outcomes name expected got =
+  Alcotest.(check (list (list int))) name expected got
+
+let test_litmus_matrix () =
+  List.iter
+    (fun (name, model) ->
+      let v = Model.variant model in
+      let buffers = Model.buffers_writes model in
+      (* sb (Dekker): (0,0) iff the variant buffers writes *)
+      let sb_expected =
+        List.sort compare
+          (([ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+           @ if buffers then [ [ 0; 0 ] ] else [])
+          : int list list)
+      in
+      check_outcomes (name ^ ": sb outcomes") sb_expected
+        (outcomes ~model Minilang.Programs.dekker);
+      (* lb: loads are never delayed past later stores, so (1,1) is
+         impossible on every variant *)
+      check_outcomes (name ^ ": lb outcomes")
+        [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ] ]
+        (outcomes ~model lb_litmus);
+      (* mp_partial: the stale read (f=1, d=0) iff releases do not drain *)
+      let stale_possible =
+        buffers && v.Variant.on_release <> Variant.Drain
+      in
+      let mp_expected =
+        List.sort compare
+          ([ [ 0 ]; [ 1; 42 ] ] @ if stale_possible then [ [ 1; 0 ] ] else [])
+      in
+      check_outcomes (name ^ ": mp_partial outcomes") mp_expected
+        (outcomes ~model mp_partial_litmus);
+      (* fenced sb: the non-SC outcome survives the fences iff fence=nop *)
+      let fence_broken = buffers && v.Variant.on_fence = Variant.Nop in
+      let fenced_expected =
+        List.sort compare
+          (([ [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+           @ if fence_broken then [ [ 0; 0 ] ] else [])
+          : int list list)
+      in
+      check_outcomes (name ^ ": fenced sb outcomes") fenced_expected
+        (outcomes ~model Minilang.Programs.dekker_fenced))
+    matrix_models
+
+(* ------------------------------------------------------------------ *)
+(* 3. Condition 3.4 property + witness replay                          *)
+(* ------------------------------------------------------------------ *)
+
+let tiny_cfg =
+  { Minilang.Gen.n_procs = 2; n_shared = 2; n_locks = 1; ops_per_proc = 3;
+    sync_freq = 3 }
+
+let conservative_points =
+  List.filter
+    (fun (_, m) -> Variant.preserves_condition (Model.variant m))
+    Vcampaign.roster
+
+let test_condition_34_conservative =
+  QCheck.Test.make ~name:"conservative variants obey Condition 3.4" ~count:60
+    (QCheck.int_bound 1_000_000)
+    (fun seed ->
+      let p =
+        match seed mod 2 with
+        | 0 -> Minilang.Gen.random_racy ~config:tiny_cfg ~seed ()
+        | _ -> Minilang.Gen.random_racefree_ra ~config:tiny_cfg ~seed ()
+      in
+      let r =
+        Enumerate.explore ~limit:100_000 (fun () -> Minilang.Interp.source p)
+      in
+      (not r.Enumerate.complete)
+      ||
+      let pool = r.Enumerate.executions in
+      List.for_all
+        (fun (_, model) ->
+          let e =
+            Minilang.Interp.run ~model ~sched:(Sched.adversarial ~seed ()) p
+          in
+          (Condition.check ~sc:pool e).Condition.holds)
+        conservative_points)
+
+let encode_exec e =
+  Codec.encode ~version:Codec.version_checksummed (Trace.of_execution e)
+
+let replay_schedule ~model p sched =
+  let m = Machine.create ~model (Minilang.Interp.source p) in
+  List.iter (Machine.perform m) sched;
+  if not (Machine.finished m) then Machine.set_truncated m;
+  Machine.force_drain m;
+  Machine.to_execution m
+
+let test_campaign_witnesses () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "vcampaign-test" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let r = Vcampaign.run ~seeds:16 ~jobs:2 ~witness_dir:dir () in
+  Alcotest.(check bool) "verdicts match lattice predictions" true r.Vcampaign.as_predicted;
+  let violators =
+    List.filter
+      (fun v ->
+        v.Vcampaign.cond34_witness <> None || v.Vcampaign.fence_witness <> None)
+      r.Vcampaign.verdicts
+  in
+  Alcotest.(check (list string))
+    "exactly the broken knobs violate"
+    [ "sb-fence-nop"; "sb-release-nop"; "sb-release-partial"; "sb-bypass" ]
+    (List.map (fun v -> v.Vcampaign.v_name) violators);
+  (* all six canonical named-model encodings pass both checks *)
+  List.iter
+    (fun m ->
+      let name = String.lowercase_ascii (Model.name m) in
+      let v =
+        List.find (fun v -> v.Vcampaign.v_name = name) r.Vcampaign.verdicts
+      in
+      Alcotest.(check bool) (name ^ " passes cond-3.4") true v.Vcampaign.cond34_ok;
+      Alcotest.(check bool) (name ^ " passes fence") true v.Vcampaign.fence_ok)
+    Model.all;
+  (* every emitted witness replays byte-identically from its v2 trace *)
+  let check_witness (v : Vcampaign.verdict) (w : Vcampaign.witness) =
+    Alcotest.(check bool)
+      (v.Vcampaign.v_name ^ " witness verified")
+      true
+      (w.Vcampaign.w_verified = Ok ());
+    let path = Option.get w.Vcampaign.w_path in
+    let file_bytes =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    Alcotest.(check bool)
+      (v.Vcampaign.v_name ^ " witness file = encoded trace")
+      true
+      (file_bytes = encode_exec w.Vcampaign.w_exec);
+    let p = Option.get (Minilang.Programs.find w.Vcampaign.w_program) in
+    let replayed =
+      replay_schedule ~model:v.Vcampaign.v_model p w.Vcampaign.w_schedule
+    in
+    Alcotest.(check bool)
+      (v.Vcampaign.v_name ^ " schedule replays byte-identically")
+      true
+      (encode_exec replayed = file_bytes);
+    (* decode + re-analysis: the decoded trace reports the same races *)
+    let decoded =
+      match Codec.read_file path with
+      | Ok t -> t
+      | Error e -> Alcotest.failf "witness decode failed: %s" e
+    in
+    let race_count t =
+      List.length (Racedetect.Postmortem.analyze t).Racedetect.Postmortem.races
+    in
+    Alcotest.(check int)
+      (v.Vcampaign.v_name ^ " decoded re-analysis agrees")
+      (race_count (Trace.of_execution w.Vcampaign.w_exec))
+      (race_count decoded)
+  in
+  List.iter
+    (fun v ->
+      Option.iter (check_witness v) v.Vcampaign.cond34_witness;
+      Option.iter (check_witness v) v.Vcampaign.fence_witness)
+    violators
+
+(* a Condition 3.4 witness demonstrates a race-free yet SC-inexplicable
+   (clause 1) partial execution — spot-check the two semantic claims *)
+let test_witness_semantics () =
+  let r = Vcampaign.run ~seeds:16 ~jobs:2 () in
+  let v =
+    List.find (fun v -> v.Vcampaign.v_name = "sb-release-nop") r.Vcampaign.verdicts
+  in
+  match v.Vcampaign.cond34_witness with
+  | None -> Alcotest.fail "sb-release-nop produced no witness"
+  | Some w ->
+    Alcotest.(check bool) "witness execution is race-free" true
+      (races w.Vcampaign.w_exec = []);
+    let p = Option.get (Minilang.Programs.find w.Vcampaign.w_program) in
+    let pool =
+      (Enumerate.explore ~limit:100_000 (fun () -> Minilang.Interp.source p))
+        .Enumerate.executions
+    in
+    Alcotest.(check bool) "witness is SC-inexplicable" false
+      (Vcampaign.prefix_explainable ~sc:pool w.Vcampaign.w_exec)
+
+let () =
+  Alcotest.run "variants"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "510 random programs, all named models" `Slow
+            test_differential;
+          QCheck_alcotest.to_alcotest test_differential_qcheck;
+        ] );
+      ( "litmus-matrix",
+        [ Alcotest.test_case "exact envelopes on every lattice point" `Slow
+            test_litmus_matrix ] );
+      ( "condition-3.4",
+        [
+          QCheck_alcotest.to_alcotest test_condition_34_conservative;
+          Alcotest.test_case "campaign witnesses replay byte-identically" `Slow
+            test_campaign_witnesses;
+          Alcotest.test_case "witness semantics (race-free, inexplicable)" `Quick
+            test_witness_semantics;
+        ] );
+    ]
