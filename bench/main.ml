@@ -935,6 +935,14 @@ let perf () =
   let hbhugev = Racedetect.Hb.build thuge in
   let hbhugec = Racedetect.Hb.build ~index:`Closure thuge in
   let hbxlv = Racedetect.Hb.build txl in
+  (* fence pipeline inputs: the delay-set rows reuse a precomputed lint
+     report so they time the critical-cycle enumeration alone; the plan
+     rows run the whole synthesis (lint fixpoint + delay set + greedy
+     promotion rounds, each of which re-lints) *)
+  let qb = Minilang.Programs.queue_bug () in
+  let qb_lint = Staticcheck.Lint.analyze qb in
+  let pet = Minilang.Programs.peterson in
+  let pet_lint = Staticcheck.Lint.analyze pet in
   Format.printf
     "hb1 index in use: %s (queue400), %s (random-8x100, %d events); xl trace: %d events@."
     (if Racedetect.Hb.uses_clocks hb400v then "vclock" else "closure")
@@ -1025,6 +1033,17 @@ let perf () =
         (Staged.stage (fun () ->
              ignore
                (Staticcheck.Lint.analyze (Minilang.Programs.barrier_phases ()))));
+      Test.make ~name:"fence/delayset/queue_bug"
+        (Staged.stage (fun () ->
+             ignore (Staticcheck.Delayset.analyze qb qb_lint.Staticcheck.Lint.results)));
+      Test.make ~name:"fence/delayset/peterson"
+        (Staged.stage (fun () ->
+             ignore
+               (Staticcheck.Delayset.analyze pet pet_lint.Staticcheck.Lint.results)));
+      Test.make ~name:"fence/plan/queue_bug"
+        (Staged.stage (fun () -> ignore (Staticcheck.Repair.plan qb)));
+      Test.make ~name:"fence/plan/peterson"
+        (Staged.stage (fun () -> ignore (Staticcheck.Repair.plan pet)));
       (* the knob-driven variant machine against the legacy enum path:
          variants/simulate-wo is the same lattice point as
          simulate/queue100 (WO), dispatched through the per-knob issue

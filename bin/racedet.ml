@@ -208,9 +208,26 @@ let order_arg =
      first-partition report, the verdict, and the exit code are identical \
      under both orders."
   in
+  let parse_order = function
+    | "hb1" -> Ok `Hb1
+    | "shb" -> Ok `Shb
+    | s ->
+      Error
+        (`Msg
+          (Printf.sprintf
+             "unknown order %S\n\
+              named orders: hb1, shb\n\
+              order spec: hb1 (the paper's happens-before-1 with \
+              first-partition suppression) | shb (hb1 plus the observed \
+              reads-from edges)"
+             s))
+  in
+  let print_order ppf o =
+    Format.pp_print_string ppf (match o with `Hb1 -> "hb1" | `Shb -> "shb")
+  in
   Arg.(
     value
-    & opt (enum [ ("hb1", `Hb1); ("shb", `Shb) ]) `Hb1
+    & opt (conv (parse_order, print_order)) `Hb1
     & info [ "order" ] ~docv:"ORDER" ~doc)
 
 let detect_cmd =
@@ -1429,12 +1446,30 @@ let variants_cmd =
 
 (* -- lint -------------------------------------------------------------- *)
 
+let json_flag =
+  let doc =
+    "Emit a machine-readable JSON report instead of the text one (stable \
+     schema, locked by the test suite); exit status is unchanged."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
 let lint_cmd =
-  let run program sync model triage max_steps limit jobs witness_dir =
+  let run program sync model triage json max_steps limit jobs witness_dir =
     let p = or_fail (load_program program) in
     or_fail (Minilang.Ast.validate p);
+    if json && triage then begin
+      Format.eprintf "racedet: --json and --triage are mutually exclusive@.";
+      exit 1
+    end;
     let r = Staticcheck.Lint.analyze p in
-    Format.printf "%a@." (Staticcheck.Lint.pp ?model ~show_sync:sync) r;
+    let delays = Staticcheck.Delayset.analyze p r.Staticcheck.Lint.results in
+    if json then
+      print_endline
+        (Staticcheck.Jsonout.to_string (Staticcheck.Jsonout.lint ~delays r))
+    else
+      Format.printf "%a@."
+        (Staticcheck.Lint.pp ?model ~show_sync:sync ~delays)
+        r;
     if triage then begin
       let jobs = resolve_jobs jobs in
       Format.printf "@.";
@@ -1469,12 +1504,264 @@ let lint_cmd =
        ~doc:
          "Statically check synchronization discipline and list candidate race \
           pairs (a sound over-approximation: exits 2 when data candidates \
-          exist, 0 when the program is statically race-free).  With \
-          $(b,--triage), follow up with the dynamic classification of every \
-          candidate.")
+          exist, 0 when the program is statically race-free).  Every data \
+          candidate carries its delay-set explanation: the critical cycle \
+          witnessing how weak hardware could order it, or a note that no \
+          cycle exists.  With $(b,--triage), follow up with the dynamic \
+          classification of every candidate; with $(b,--json), emit the \
+          machine-readable report.")
     Term.(
       const run $ program_arg $ sync_arg $ model_opt_arg $ triage_arg
-      $ triage_steps_arg $ triage_limit_arg $ jobs_arg $ witness_dir_arg)
+      $ json_flag $ triage_steps_arg $ triage_limit_arg $ jobs_arg
+      $ witness_dir_arg)
+
+(* -- fence ------------------------------------------------------------- *)
+
+let status_str = function
+  | Explore.Triage.Confirmed -> "CONFIRMED"
+  | Explore.Triage.Refuted -> "REFUTED"
+  | Explore.Triage.Unknown -> "UNKNOWN"
+
+let fence_json (plan : Staticcheck.Repair.t)
+    (check : Explore.Repaircheck.t option) =
+  let open Staticcheck.Jsonout in
+  let module R = Staticcheck.Repair in
+  let module D = Staticcheck.Delayset in
+  let p = plan.R.original in
+  let ds = plan.R.delays0 in
+  let access_json i = of_access p (D.access ds i) in
+  let fence_site (f : R.fence_site) =
+    Obj
+      [
+        ("proc", Int f.R.fn_proc);
+        ("after", Str (Minilang.Ast.path_to_string f.R.fn_after));
+        ("covers", Int f.R.fn_covers);
+      ]
+  in
+  let promotion (pr : R.promotion) =
+    Obj
+      [
+        ("proc", Int pr.R.pr_proc);
+        ("path", Str (Minilang.Ast.path_to_string pr.R.pr_path));
+        ("label", match pr.R.pr_label with Some l -> Str l | None -> Null);
+        ("from", Str (if pr.R.pr_store then "store" else "load"));
+        ("to", Str (if pr.R.pr_store then "release" else "acquire"));
+        ("forced", Bool pr.R.pr_forced);
+      ]
+  in
+  let verify_json (c : Explore.Repaircheck.t) =
+    let module RC = Explore.Repaircheck in
+    Obj
+      [
+        ( "models",
+          List (List.map (fun m -> Str (Memsim.Model.name m)) c.RC.models) );
+        ( "candidates",
+          List
+            (List.map
+               (fun (cc : RC.cand_check) ->
+                 Obj
+                   [
+                     ("index", Int cc.RC.cc_index);
+                     ("before", Str (status_str cc.RC.cc_before));
+                     ( "after",
+                       List
+                         (List.map
+                            (fun (mv : RC.model_verdict) ->
+                              Obj
+                                [
+                                  ("model", Str (Memsim.Model.name mv.RC.mv_model));
+                                  ("status", Str (status_str mv.RC.mv_status));
+                                  ("schedules", Int mv.RC.mv_schedules);
+                                ])
+                            cc.RC.cc_after) );
+                   ])
+               c.RC.checks) );
+        ( "cond34",
+          match c.RC.cond34 with
+          | RC.Cond_pass { weak_runs; sc_pool } ->
+            Obj
+              [
+                ("status", Str "pass");
+                ("weak_runs", Int weak_runs);
+                ("sc_pool", Int sc_pool);
+              ]
+          | RC.Cond_fail m -> Obj [ ("status", Str "fail"); ("detail", Str m) ]
+          | RC.Cond_skipped m ->
+            Obj [ ("status", Str "skipped"); ("detail", Str m) ] );
+        ("verified", Bool (RC.verified c));
+      ]
+  in
+  Obj
+    [
+      ("schema", Int 1);
+      ("program", Str p.Minilang.Ast.name);
+      ("model", Str (Memsim.Model.name plan.R.model));
+      ( "delayset",
+        Obj
+          [
+            ("accesses", Int (Array.length ds.D.accesses));
+            ("conflicts", Int (List.length ds.D.conflicts));
+            ("truncated", Bool ds.D.truncated);
+            ("cycles", List (List.map (of_cycle ds) ds.D.cycles));
+            ( "delays",
+              List
+                (List.map
+                   (fun (u, v) ->
+                     Obj [ ("from", access_json u); ("to", access_json v) ])
+                   ds.D.delays) );
+          ] );
+      ( "repair",
+        Obj
+          [
+            ( "fence_only",
+              match plan.R.fence_only with
+              | None -> Null
+              | Some sites -> List (List.map fence_site sites) );
+            ("promotions", List (List.map promotion plan.R.promotions));
+            ("fences", List (List.map fence_site plan.R.fences));
+            ("rounds", Int plan.R.rounds);
+            ("statically_drf", Bool (R.statically_drf plan));
+          ] );
+      ( "verify",
+        match check with Some c -> verify_json c | None -> Null );
+    ]
+
+let fence_cmd =
+  let repair_arg =
+    let doc = "Write the repaired program (concrete syntax) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "repair" ] ~docv:"FILE" ~doc)
+  in
+  let explain_arg =
+    let doc =
+      "List every critical cycle and attach to each data candidate the cycle \
+       that witnesses it (default: the first eight cycles, summary only)."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let verify_arg =
+    let doc =
+      "Close the loop dynamically: re-triage every former data candidate on \
+       the repaired program under every canonical buffering model (expecting \
+       REFUTED everywhere) and check Condition 3.4 on the chosen model."
+    in
+    Arg.(value & flag & info [ "verify" ] ~doc)
+  in
+  let seeds_arg =
+    let doc = "Weak runs for the Condition 3.4 check (with --verify)." in
+    Arg.(value & opt int 16 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let sc_limit_arg =
+    let doc =
+      "SC enumeration budget for the Condition 3.4 check (with --verify); \
+       spinning programs that exceed it skip the check (exit 3)."
+    in
+    Arg.(value & opt int 20_000 & info [ "sc-limit" ] ~docv:"N" ~doc)
+  in
+  let run program model repair_out explain verify json max_steps limit seeds
+      sc_limit jobs =
+    let p = or_fail (load_program program) in
+    or_fail (Minilang.Ast.validate p);
+    let plan = Staticcheck.Repair.plan ~model p in
+    let check =
+      if verify then
+        let jobs = resolve_jobs jobs in
+        Some
+          (Explore.Repaircheck.run ~max_steps ~limit ~seeds ~sc_limit ~jobs
+             plan)
+      else None
+    in
+    (match repair_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Staticcheck.Repair.source plan);
+      close_out oc
+    | None -> ());
+    let module R = Staticcheck.Repair in
+    let module D = Staticcheck.Delayset in
+    if json then print_endline (Staticcheck.Jsonout.to_string (fence_json plan check))
+    else begin
+      let ds = plan.R.delays0 in
+      Format.printf "program %s: %d processors, %d locations@."
+        p.Minilang.Ast.name
+        (Array.length p.Minilang.Ast.procs)
+        p.Minilang.Ast.n_locs;
+      Format.printf "@.delay-set analysis (model %s):@."
+        (Memsim.Model.name model);
+      Format.printf "  %a@." D.pp ds;
+      let n_cycles = List.length ds.D.cycles in
+      let shown = if explain then n_cycles else min 8 n_cycles in
+      List.iteri
+        (fun i c ->
+          if i < shown then
+            Format.printf "  cycle %d: %a@." (i + 1) (D.pp_cycle ds) c)
+        ds.D.cycles;
+      if shown < n_cycles then
+        Format.printf "  ... %d more cycle(s) (use --explain to list all)@."
+          (n_cycles - shown);
+      (match ds.D.delays with
+      | [] -> ()
+      | delays ->
+        Format.printf "  delay pairs:@.";
+        List.iter
+          (fun d -> Format.printf "    %a@." (D.pp_delay ds) d)
+          delays);
+      if explain then begin
+        match plan.R.lint0.Staticcheck.Lint.data_candidates with
+        | [] -> ()
+        | cands ->
+          Format.printf "@.candidate explanations:@.";
+          List.iter
+            (fun c ->
+              Format.printf "  %a@." (Staticcheck.Lint.pp_pair p) c;
+              match D.cycle_for ds c with
+              | Some cy -> Format.printf "    cycle: %a@." (D.pp_cycle ds) cy
+              | None -> Format.printf "    %s@." (D.no_cycle_note ds))
+            cands
+      end;
+      Format.printf "@.@[<v>%a@]@." R.pp plan;
+      (match repair_out with
+      | Some path -> Format.printf "@.repaired program written to %s@." path
+      | None -> ());
+      match check with
+      | Some c -> Format.printf "@.%a@." Explore.Repaircheck.pp c
+      | None -> ()
+    end;
+    match check with
+    | Some c -> exit (Explore.Repaircheck.exit_code c)
+    | None -> if not (R.statically_drf plan) then exit 2
+  in
+  let exits =
+    Cmd.Exit.info 0
+      ~doc:
+        "a repair was synthesized (and, with $(b,--verify), every former \
+         candidate was REFUTED on it and Condition 3.4 held)."
+    :: Cmd.Exit.info 1 ~doc:"usage or I/O error."
+    :: Cmd.Exit.info 2
+         ~doc:
+           "the repair left data candidates, a candidate survived on the \
+            repaired program, or Condition 3.4 failed."
+    :: Cmd.Exit.info 3
+         ~doc:
+           "inconclusive: an exploration bound was hit or the Condition 3.4 \
+            check was skipped."
+    :: List.filter (fun i -> Cmd.Exit.info_code i > 3) Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "fence"
+       ~doc:
+         "Shasha-Snir delay-set analysis and verified repair: enumerate the \
+          critical cycles of the static conflict graph, compute the delay \
+          pairs, and synthesize the minimal variant-aware repair — fence \
+          insertions where the model's fence class drains, release/acquire \
+          promotions for the verified data-race-free program.  With \
+          $(b,--repair) write the repaired program; with $(b,--verify) prove \
+          it dynamically (triage REFUTES every former candidate; Condition \
+          3.4 holds)."
+       ~exits)
+    Term.(
+      const run $ program_arg $ model_arg $ repair_arg $ explain_arg
+      $ verify_arg $ json_flag $ triage_steps_arg $ triage_limit_arg
+      $ seeds_arg $ sc_limit_arg $ jobs_arg)
 
 let () =
   let doc = "dynamic data-race detection on weak memory systems (ISCA 1991)" in
@@ -1484,4 +1771,5 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; detect_cmd; trace_cmd; analyze_cmd;
             faultfuzz_cmd; enumerate_cmd; check_cmd; cost_cmd; replay_cmd;
-            graph_cmd; gen_cmd; sweep_cmd; lint_cmd; triage_cmd; variants_cmd ]))
+            graph_cmd; gen_cmd; sweep_cmd; lint_cmd; fence_cmd; triage_cmd;
+            variants_cmd ]))

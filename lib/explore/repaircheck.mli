@@ -1,0 +1,73 @@
+(** Dynamic verification of a synthesized repair ({!Staticcheck.Repair}).
+
+    Closes the static-repair loop with the dynamic side, in two parts:
+
+    - {b candidate refutation}: every data candidate of the original
+      program is triaged on the original under SC (the canonical
+      verdict, Definition 2.4) and then re-triaged {e on the repaired
+      program} under every canonical model that buffers writes (TSO,
+      WO, RCsc — DRF0/DRF1 behave like WO/RCsc) plus the chosen model
+      when it is a distinct buffering point.  A repair verifies when
+      each former candidate is REFUTED everywhere: DPOR covered the
+      repaired program's full schedule space and no execution races on
+      the pair.  Promoted accesses carry a sync class, so a surviving
+      race would still match the candidate only if the repair failed to
+      reclassify it — class is part of {!Triage.match_race};
+
+    - {b Condition 3.4}: the repaired program's SC executions are
+      enumerated exhaustively and adversarial/uniform weak runs under
+      the plan's model are checked SC-explainable
+      ({!Racedetect.Condition.check}).  Skipped (not failed) when the
+      SC space exceeds the enumeration budget — spinning programs. *)
+
+type model_verdict = {
+  mv_model : Memsim.Model.t;
+  mv_status : Triage.status;
+  mv_schedules : int;
+}
+
+type cand_check = {
+  cc_index : int;  (** position in the original lint's data candidates *)
+  cc_pair : Staticcheck.Candidates.pair;
+  cc_before : Triage.status;  (** original program, SC *)
+  cc_after : model_verdict list;  (** repaired program, per model *)
+}
+
+type cond34 =
+  | Cond_pass of { weak_runs : int; sc_pool : int }
+  | Cond_fail of string
+  | Cond_skipped of string
+
+type t = {
+  plan : Staticcheck.Repair.t;
+  models : Memsim.Model.t list;
+  checks : cand_check list;
+  cond34 : cond34;
+}
+
+val models_for : Memsim.Model.t -> Memsim.Model.t list
+(** TSO, WO, RCsc, plus the given model when it is a buffering point
+    not already behaviourally covered. *)
+
+val run :
+  ?max_steps:int ->
+  ?limit:int ->
+  ?seeds:int ->
+  ?sc_limit:int ->
+  ?jobs:int ->
+  Staticcheck.Repair.t ->
+  t
+(** Defaults: [max_steps] 400 and [limit] 2000 per triage (as
+    {!Triage.triage_pair}), [seeds] 16 weak runs for Condition 3.4,
+    [sc_limit] 20_000 SC executions before the 3.4 check is skipped. *)
+
+val verified : t -> bool
+(** Every former candidate REFUTED under every model, the repaired
+    program is statically DRF, and Condition 3.4 did not fail. *)
+
+val exit_code : t -> int
+(** 0 verified; 2 when a candidate survived on the repaired program or
+    Condition 3.4 failed; 3 when inconclusive (an UNKNOWN verdict or a
+    skipped 3.4 check stands between the repair and a proof). *)
+
+val pp : Format.formatter -> t -> unit

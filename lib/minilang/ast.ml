@@ -49,6 +49,22 @@ let pp_path ppf = function
 
 let path_to_string p = Format.asprintf "%a" pp_path p
 
+(* Source order: a path earlier in the program text compares smaller.
+   Sibling instructions compare by index; a block prefix precedes anything
+   inside it; [Then] arms precede [Else] arms of the same [If]. *)
+let compare_path (p : path) (q : path) =
+  let rank = function Nth i -> i | Then -> 0 | Else -> 1 | Body -> 0 in
+  let rec go p q =
+    match (p, q) with
+    | [], [] -> 0
+    | [], _ -> -1
+    | _, [] -> 1
+    | s :: p', t :: q' ->
+      let c = compare (rank s) (rank t) in
+      if c <> 0 then c else go p' q'
+  in
+  go p q
+
 let loc_name p l =
   match List.find_opt (fun (_, l') -> l' = l) p.symbols with
   | Some (n, _) -> n

@@ -64,6 +64,12 @@ type path = step list
 val pp_path : Format.formatter -> path -> unit
 val path_to_string : path -> string
 
+val compare_path : path -> path -> int
+(** Source order: earlier program text compares smaller.  Siblings
+    compare by index, a block prefix precedes its contents, and [Then]
+    arms precede [Else] arms of the same [If].  Total on the paths of
+    one processor body. *)
+
 val loc_name : program -> int -> string
 (** Symbolic name of a location, or its number when anonymous. *)
 

@@ -77,5 +77,21 @@ let find program dt accesses =
           { p with locs = Absdom.join p.locs q.locs }
       | None -> Hashtbl.add tbl (key p) p)
     !pairs;
-  Hashtbl.fold (fun _ p acc -> p :: acc) tbl []
-  |> List.sort (fun p q -> compare (key p) (key q))
+  (* deterministic report order: data pairs first, then by processor and
+     source position of both sides (node ids are CFG-construction
+     artifacts; paths are what the reader sees) *)
+  let order p q =
+    let cmp_side (a : Absint.access) (b : Absint.access) =
+      let c = compare a.Absint.proc b.Absint.proc in
+      if c <> 0 then c
+      else
+        let c = Minilang.Ast.compare_path a.Absint.path b.Absint.path in
+        if c <> 0 then c else compare a.Absint.kind b.Absint.kind
+    in
+    let c = compare (not p.data) (not q.data) in
+    if c <> 0 then c
+    else
+      let c = cmp_side p.a q.a in
+      if c <> 0 then c else cmp_side p.b q.b
+  in
+  Hashtbl.fold (fun _ p acc -> p :: acc) tbl [] |> List.sort order

@@ -1,0 +1,313 @@
+module Ast = Minilang.Ast
+module Op = Memsim.Op
+
+type cycle = int array
+
+type t = {
+  program : Ast.program;
+  accesses : Absint.access array;
+  conflicts : (int * int) list;
+  cycles : cycle list;
+  delays : (int * int) list;
+  truncated : bool;
+}
+
+let max_cycles = 512
+let step_budget = 200_000
+
+let access t i = t.accesses.(i)
+
+(* two accesses under a common enclosing loop recur: each iteration's
+   instance of one precedes the next iteration's instance of the other,
+   so program order connects them in both directions.  This is the
+   two-iteration unrolling classic delay-set analysis applies to loops —
+   without it, loop-carried critical cycles are silently missed *)
+let loop_carried (a : Absint.access) (b : Absint.access) =
+  let rec common xs ys =
+    match (xs, ys) with
+    | x :: xs', y :: ys' when x = y -> x :: common xs' ys'
+    | _ -> []
+  in
+  List.mem Ast.Body (common a.Absint.path b.Absint.path)
+
+(* program order between two accesses of one processor; accesses sharing
+   a path come from one read-modify-write, whose read precedes its write *)
+let po_within body (a : Absint.access) (b : Absint.access) =
+  let rmw_order =
+    a.Absint.path = b.Absint.path
+    && a.Absint.kind = Op.Read
+    && b.Absint.kind = Op.Write
+  in
+  let structural =
+    a.Absint.path <> b.Absint.path
+    && Cfg.always_before body a.Absint.path b.Absint.path
+    && not (Cfg.always_before body b.Absint.path a.Absint.path)
+  in
+  rmw_order || structural || loop_carried a b
+
+let conflicting (a : Absint.access) (b : Absint.access) =
+  a.Absint.proc <> b.Absint.proc
+  && (a.Absint.kind = Op.Write || b.Absint.kind = Op.Write)
+  && not (Absdom.is_bot (Absdom.meet a.Absint.addr b.Absint.addr))
+
+(* canonical form of a cyclic node sequence: the lexicographically
+   smallest rotation, so every enumeration order of one cycle dedups *)
+let canonical (nodes : int list) =
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  let rot k = List.init n (fun i -> arr.((i + k) mod n)) in
+  let best = ref (rot 0) in
+  for k = 1 to n - 1 do
+    let r = rot k in
+    if r < !best then best := r
+  done;
+  !best
+
+let analyze (p : Ast.program) (results : Absint.proc_result array) =
+  let accesses =
+    Array.to_list results
+    |> List.concat_map (fun r -> r.Absint.accesses)
+    |> Array.of_list
+  in
+  let n = Array.length accesses in
+  let po = Array.make_matrix n n false in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let a = accesses.(i) and b = accesses.(j) in
+      if i <> j && a.Absint.proc = b.Absint.proc then
+        po.(i).(j) <- po_within p.Ast.procs.(a.Absint.proc) a b
+    done
+  done;
+  let conflicts = ref [] in
+  let conf = Array.make n [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if conflicting accesses.(i) accesses.(j) then begin
+        conflicts := (i, j) :: !conflicts;
+        conf.(i) <- j :: conf.(i);
+        conf.(j) <- i :: conf.(j)
+      end
+    done
+  done;
+  let conf = Array.map List.rev conf in
+  (* only nodes inside a non-trivial SCC of the po+conflict graph can
+     lie on any cycle at all — prune the segment enumeration to them *)
+  let eligible =
+    if n = 0 then [||]
+    else begin
+      let g = Graphlib.Digraph.create n in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if po.(i).(j) then Graphlib.Digraph.add_edge g i j
+        done
+      done;
+      List.iter
+        (fun (i, j) ->
+          Graphlib.Digraph.add_edge g i j;
+          Graphlib.Digraph.add_edge g j i)
+        !conflicts;
+      let scc = Graphlib.Scc.compute g in
+      let sizes = Graphlib.Scc.component_sizes scc in
+      Array.init n (fun i -> sizes.(scc.Graphlib.Scc.component.(i)) > 1)
+    end
+  in
+  (* per-processor segments: one access, or a po-ordered pair *)
+  let n_procs = Array.length p.Ast.procs in
+  let segs = Array.make n_procs [] in
+  for i = 0 to n - 1 do
+    if eligible.(i) then begin
+      let pr = accesses.(i).Absint.proc in
+      segs.(pr) <- (i, i) :: segs.(pr);
+      for j = 0 to n - 1 do
+        if eligible.(j) && po.(i).(j) then segs.(pr) <- (i, j) :: segs.(pr)
+      done
+    end
+  done;
+  let segs = Array.map List.rev segs in
+  let seen = Hashtbl.create 64 in
+  let cycles = ref [] in
+  let n_found = ref 0 in
+  let budget = ref step_budget in
+  let truncated = ref false in
+  let close path =
+    (* path is the segment list in reverse discovery order *)
+    let nodes =
+      List.concat_map (fun (f, l) -> if f = l then [ f ] else [ f; l ])
+        (List.rev path)
+    in
+    let key = canonical nodes in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      if !n_found < max_cycles then begin
+        incr n_found;
+        cycles := Array.of_list nodes :: !cycles
+      end
+      else truncated := true
+    end
+  in
+  let rec extend path used ((f0, l0) as s0) (_, lc) =
+    if !budget <= 0 then truncated := true
+    else
+      List.iter
+        (fun w ->
+          let pw = accesses.(w).Absint.proc in
+          if not (List.mem pw used) then
+            List.iter
+              (fun ((f, l) as s) ->
+                if f = w then begin
+                  decr budget;
+                  (* a two-segment cycle of two single accesses would use
+                     one conflict edge twice — not a cycle *)
+                  let degenerate =
+                    List.length path = 1 && f0 = l0 && f = l
+                  in
+                  if List.mem f0 conf.(l) && not degenerate then
+                    close (s :: path);
+                  extend (s :: path) (pw :: used) s0 s
+                end)
+              segs.(pw))
+        conf.(lc)
+  in
+  Array.iter
+    (fun proc_segs ->
+      List.iter
+        (fun ((f, _) as s) -> extend [ s ] [ accesses.(f).Absint.proc ] s s)
+        proc_segs)
+    segs;
+  let cycles =
+    List.sort
+      (fun c1 c2 ->
+        let c = compare (Array.length c1) (Array.length c2) in
+        if c <> 0 then c else compare c1 c2)
+      !cycles
+  in
+  let delay_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let len = Array.length c in
+      for i = 0 to len - 1 do
+        let u = c.(i) and v = c.((i + 1) mod len) in
+        if accesses.(u).Absint.proc = accesses.(v).Absint.proc then
+          Hashtbl.replace delay_tbl (u, v) ()
+      done)
+    cycles;
+  let delays =
+    Hashtbl.fold (fun d () acc -> d :: acc) delay_tbl []
+    |> List.sort (fun (u1, v1) (u2, v2) ->
+           let a1 = accesses.(u1) and a2 = accesses.(u2) in
+           let c = compare a1.Absint.proc a2.Absint.proc in
+           if c <> 0 then c
+           else
+             let c =
+               Ast.compare_path a1.Absint.path a2.Absint.path
+             in
+             if c <> 0 then c
+             else
+               Ast.compare_path accesses.(v1).Absint.path
+                 accesses.(v2).Absint.path)
+  in
+  {
+    program = p;
+    accesses;
+    conflicts = List.rev !conflicts;
+    cycles;
+    delays;
+    truncated = !truncated;
+  }
+
+let same_access (a : Absint.access) (b : Absint.access) =
+  a.Absint.proc = b.Absint.proc
+  && a.Absint.node = b.Absint.node
+  && a.Absint.kind = b.Absint.kind
+
+let index_of t (a : Absint.access) =
+  let found = ref None in
+  Array.iteri
+    (fun i b -> if !found = None && same_access a b then found := Some i)
+    t.accesses;
+  !found
+
+let cycle_for t (pair : Candidates.pair) =
+  match (index_of t pair.Candidates.a, index_of t pair.Candidates.b) with
+  | Some ia, Some ib ->
+    List.find_opt
+      (fun c ->
+        let len = Array.length c in
+        let adj = ref false in
+        for i = 0 to len - 1 do
+          let u = c.(i) and v = c.((i + 1) mod len) in
+          if (u = ia && v = ib) || (u = ib && v = ia) then adj := true
+        done;
+        !adj)
+      t.cycles
+  | _ -> None
+
+let delays_for_proc t proc =
+  List.filter (fun (u, _) -> t.accesses.(u).Absint.proc = proc) t.delays
+
+(* -- rendering --------------------------------------------------------- *)
+
+let pp_locs p ppf (a : Absdom.t) =
+  match Absdom.singleton a with
+  | Some l -> Format.pp_print_string ppf (Ast.loc_name p l)
+  | None -> (
+    match (a : Absdom.t) with
+    | Absdom.Bot -> Format.pp_print_string ppf "mem[]"
+    | Absdom.Itv (lo, hi) when lo <> min_int && hi <> max_int ->
+      Format.fprintf ppf "mem[%d..%d]" lo hi
+    | Absdom.Itv _ -> Format.pp_print_string ppf "mem[*]")
+
+let verb (a : Absint.access) =
+  match (a.Absint.op_name, a.Absint.kind) with
+  | (("test&set" | "fetch&add") as n), Op.Read -> n ^ " (read)"
+  | (("test&set" | "fetch&add") as n), Op.Write -> n ^ " (write)"
+  | n, _ -> n
+
+let pp_access t ppf i =
+  let a = t.accesses.(i) in
+  Format.fprintf ppf "P%d %s %a @%s" a.Absint.proc (verb a)
+    (pp_locs t.program) a.Absint.addr
+    (Ast.path_to_string a.Absint.path)
+
+let pp_cycle t ppf (c : cycle) =
+  let len = Array.length c in
+  Array.iteri
+    (fun i u ->
+      let v = c.((i + 1) mod len) in
+      let sep =
+        if t.accesses.(u).Absint.proc = t.accesses.(v).Absint.proc then
+          " -po-> "
+        else " -cf-> "
+      in
+      Format.fprintf ppf "%a%s" (pp_access t) u sep)
+    c;
+  pp_access t ppf c.(0)
+
+let pp_delay t ppf (u, v) =
+  let a = t.accesses.(u) in
+  Format.fprintf ppf "P%d: %s %a @%s  ->>  %s %a @%s" a.Absint.proc (verb a)
+    (pp_locs t.program) a.Absint.addr
+    (Ast.path_to_string a.Absint.path)
+    (verb t.accesses.(v))
+    (pp_locs t.program) t.accesses.(v).Absint.addr
+    (Ast.path_to_string t.accesses.(v).Absint.path)
+
+(* what a missing cycle means depends on whether the enumeration was
+   complete: only a complete enumeration proves SC-ordering *)
+let no_cycle_note t =
+  if t.truncated then
+    "no critical cycle found, but the enumeration was truncated: ordering \
+     not proven"
+  else
+    "no critical cycle: already SC-ordered — weak buffering adds no \
+     outcomes for this pair"
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d access(es), %d cross-processor conflict edge(s), %d critical \
+     cycle(s)%s, %d delay pair(s)"
+    (Array.length t.accesses)
+    (List.length t.conflicts)
+    (List.length t.cycles)
+    (if t.truncated then " (truncated)" else "")
+    (List.length t.delays)

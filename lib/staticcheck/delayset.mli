@@ -1,0 +1,70 @@
+(** Shasha–Snir delay-set analysis over the static conflict graph.
+
+    Nodes are the reachable abstract accesses of every processor
+    ({!Absint.access}); program-order edges connect accesses of one
+    processor ordered on every execution ({!Cfg.always_before}), plus
+    both directions between accesses sharing an enclosing loop (each
+    iteration's instance of one precedes the next iteration's instance
+    of the other — the classic two-iteration unrolling); conflict edges
+    connect cross-processor accesses whose abstract address sets
+    overlap with at least one write.  A {e critical cycle}
+    alternates program-order segments of at most two accesses with
+    conflict edges, visits each processor at most once, and uses at
+    least two distinct conflict edges (so a lone conflicting pair is not
+    a cycle: reordering cannot produce a non-SC outcome for it).
+
+    The {e delay set} is the set of program-order pairs lying on some
+    critical cycle.  Per Shasha–Snir this is the minimum set of
+    orderings that must be enforced for every execution to be
+    sequentially consistent: enforcing it breaks every critical cycle,
+    and dropping any member leaves some cycle's non-SC witness
+    reachable.  {!Graphlib.Scc} prunes the enumeration to nodes inside
+    a non-trivial strongly connected component of the po+conflict
+    graph. *)
+
+type cycle = int array
+(** Access indices in cycle order; consecutive entries of one processor
+    are a program-order segment, processor changes cross a conflict
+    edge, and the last entry conflicts back to the first. *)
+
+type t = {
+  program : Minilang.Ast.program;
+  accesses : Absint.access array;  (** all reachable accesses, all procs *)
+  conflicts : (int * int) list;  (** cross-proc overlapping pairs, i < j *)
+  cycles : cycle list;  (** critical cycles, shortest first *)
+  delays : (int * int) list;
+      (** program-order pairs [(u, v)] on some critical cycle *)
+  truncated : bool;  (** enumeration hit the cycle or step budget *)
+}
+
+val analyze : Minilang.Ast.program -> Absint.proc_result array -> t
+
+val access : t -> int -> Absint.access
+
+val cycle_for : t -> Candidates.pair -> cycle option
+(** The shortest critical cycle crossing the pair's conflict edge
+    (adjacent endpoints), if any.  [None] means no weak-memory
+    reordering can turn this pair into a non-SC outcome — the pair is
+    delay-set ordered (any race it names already occurs under SC). *)
+
+val delays_for_proc : t -> int -> (int * int) list
+
+val no_cycle_note : t -> string
+(** The sentence to attach to a candidate with no cycle: the SC-ordered
+    guarantee when the enumeration completed, a weaker "not proven" note
+    when it was truncated. *)
+
+(** {1 Rendering} *)
+
+val pp_locs : Minilang.Ast.program -> Format.formatter -> Absdom.t -> unit
+(** ["x"], ["mem[37..99]"], ["mem[*]"] — shared with {!Lint}'s report. *)
+
+val verb : Absint.access -> string
+(** ["store"], ["load"], ["test&set (read)"], ... *)
+
+val pp_access : t -> Format.formatter -> int -> unit
+(** ["P0 store x @0"] *)
+
+val pp_cycle : t -> Format.formatter -> cycle -> unit
+val pp_delay : t -> Format.formatter -> int * int -> unit
+val pp : Format.formatter -> t -> unit

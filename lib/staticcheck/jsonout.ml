@@ -1,0 +1,165 @@
+module Ast = Minilang.Ast
+module Op = Memsim.Op
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_string v =
+  let b = Buffer.create 256 in
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  let rec go indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool x -> Buffer.add_string b (string_of_bool x)
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          go (indent + 2) x)
+        xs;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (indent + 2);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          go (indent + 2) x)
+        kvs;
+      Buffer.add_char b '\n';
+      pad indent;
+      Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
+let of_locs p a = Str (Format.asprintf "%a" (Delayset.pp_locs p) a)
+
+let opt_str = function Some s -> Str s | None -> Null
+
+let kind_str = function Op.Read -> "read" | Op.Write -> "write"
+
+let class_str = function
+  | Op.Data -> "data"
+  | Op.Acquire -> "acquire"
+  | Op.Release -> "release"
+  | Op.Plain_sync -> "sync"
+
+let of_access p (a : Absint.access) =
+  Obj
+    [
+      ("proc", Int a.Absint.proc);
+      ("path", Str (Ast.path_to_string a.Absint.path));
+      ("label", opt_str a.Absint.label);
+      ("op", Str a.Absint.op_name);
+      ("kind", Str (kind_str a.Absint.kind));
+      ("class", Str (class_str a.Absint.cls));
+      ("locs", of_locs p a.Absint.addr);
+    ]
+
+let of_finding (f : Syncdisc.finding) =
+  Obj
+    [
+      ("proc", match f.Syncdisc.w_proc with Some p -> Int p | None -> Null);
+      ( "path",
+        match f.Syncdisc.w_path with
+        | Some p -> Str (Ast.path_to_string p)
+        | None -> Null );
+      ("label", opt_str f.Syncdisc.w_label);
+      ( "models",
+        List (List.map (fun m -> Str (Memsim.Model.name m)) f.Syncdisc.w_models)
+      );
+      ("message", Str f.Syncdisc.w_msg);
+    ]
+
+let of_cycle ds (c : Delayset.cycle) =
+  let len = Array.length c in
+  List
+    (List.init len (fun i ->
+         let u = c.(i) and v = c.((i + 1) mod len) in
+         let a = Delayset.access ds u in
+         let edge =
+           if a.Absint.proc = (Delayset.access ds v).Absint.proc then "po"
+           else "cf"
+         in
+         match of_access ds.Delayset.program a with
+         | Obj kvs -> Obj (kvs @ [ ("edge_to_next", Str edge) ])
+         | j -> j))
+
+let of_pair p ?cycle (c : Candidates.pair) =
+  let base =
+    [
+      ("a", of_access p c.Candidates.a);
+      ("b", of_access p c.Candidates.b);
+      ("locs", of_locs p c.Candidates.locs);
+      ("data", Bool c.Candidates.data);
+    ]
+  in
+  let expl =
+    match cycle with
+    | None -> []
+    | Some (ds, Some cy) ->
+      [ ("cycle", of_cycle ds cy); ("delay_ordered", Bool false) ]
+    | Some (ds, None) ->
+      (* SC-ordering is only proven when the enumeration completed *)
+      [ ("cycle", Null); ("delay_ordered", Bool (not ds.Delayset.truncated)) ]
+  in
+  Obj (base @ expl)
+
+let lint ?delays (r : Lint.report) =
+  let p = r.Lint.program in
+  let pair_json c =
+    match delays with
+    | None -> of_pair p c
+    | Some ds -> of_pair p ~cycle:(ds, Delayset.cycle_for ds c) c
+  in
+  Obj
+    [
+      ("schema", Int 1);
+      ("program", Str p.Ast.name);
+      ("n_procs", Int (Array.length p.Ast.procs));
+      ("n_locs", Int p.Ast.n_locs);
+      ( "truncated",
+        match delays with
+        | Some ds -> Bool ds.Delayset.truncated
+        | None -> Bool false );
+      ("findings", List (List.map of_finding r.Lint.findings));
+      ("data_candidates", List (List.map pair_json r.Lint.data_candidates));
+      ( "sync_candidates",
+        List (List.map (fun c -> of_pair p c) r.Lint.sync_candidates) );
+      ("statically_drf", Bool (r.Lint.data_candidates = []));
+    ]

@@ -1,0 +1,37 @@
+(** Minimal JSON emission for machine-readable reports ([--json]).
+
+    Hand-rolled on purpose: the repo carries no JSON dependency, and the
+    emitters only need objects with a stable, caller-chosen key order —
+    which is what lets the cram tests lock the schema byte-for-byte. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation, keys in the given order,
+    strings escaped per RFC 8259. *)
+
+val of_locs : Minilang.Ast.program -> Absdom.t -> t
+(** The rendering {!Lint}'s reports use: ["x"], ["mem[37..99]"]. *)
+
+val of_access : Minilang.Ast.program -> Absint.access -> t
+
+val of_finding : Syncdisc.finding -> t
+
+val of_pair :
+  Minilang.Ast.program -> ?cycle:Delayset.t * Delayset.cycle option ->
+  Candidates.pair -> t
+(** With [?cycle], adds a ["cycle"] key: the witnessing critical cycle
+    as a node list, or [null] with ["delay_ordered"] true. *)
+
+val of_cycle : Delayset.t -> Delayset.cycle -> t
+
+val lint :
+  ?delays:Delayset.t -> Lint.report -> t
+(** The [racedet lint --json] document.  With [?delays], every data
+    candidate carries its critical-cycle explanation. *)

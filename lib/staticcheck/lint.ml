@@ -75,21 +75,8 @@ let analyze (p : Ast.program) =
 
 (* -- rendering -------------------------------------------------------- *)
 
-let pp_locs p ppf (a : Absdom.t) =
-  match Absdom.singleton a with
-  | Some l -> Format.pp_print_string ppf (Ast.loc_name p l)
-  | None -> (
-    match (a : Absdom.t) with
-    | Absdom.Bot -> Format.pp_print_string ppf "mem[]"
-    | Absdom.Itv (lo, hi) when lo <> min_int && hi <> max_int ->
-      Format.fprintf ppf "mem[%d..%d]" lo hi
-    | Absdom.Itv _ -> Format.pp_print_string ppf "mem[*]")
-
-let verb (a : Absint.access) =
-  match (a.Absint.op_name, a.Absint.kind) with
-  | (("test&set" | "fetch&add") as n), Op.Read -> n ^ " (read)"
-  | (("test&set" | "fetch&add") as n), Op.Write -> n ^ " (write)"
-  | n, _ -> n
+let pp_locs = Delayset.pp_locs
+let verb = Delayset.verb
 
 let pp_side p ppf (a : Absint.access) =
   Format.fprintf ppf "P%d at %s%s: %s %a" a.Absint.proc
@@ -113,7 +100,7 @@ let pp_finding ppf (f : Syncdisc.finding) =
   | ms ->
     Format.fprintf ppf " [%s]" (String.concat ", " (List.map Model.name ms))
 
-let pp ?model ?(show_sync = false) ppf r =
+let pp ?model ?(show_sync = false) ?delays ppf r =
   let p = r.program in
   let lines = ref [] in
   let add fmt = Format.kasprintf (fun s -> lines := s :: !lines) fmt in
@@ -137,7 +124,16 @@ let pp ?model ?(show_sync = false) ppf r =
   (match r.data_candidates with
   | [] -> add "  none: the program is statically data-race-free under every model"
   | cands ->
-    List.iter (fun c -> add "  %a" (pp_pair p) c) cands;
+    List.iter
+      (fun c ->
+        add "  %a" (pp_pair p) c;
+        match delays with
+        | None -> ()
+        | Some ds -> (
+          match Delayset.cycle_for ds c with
+          | Some cy -> add "    cycle: %a" (Delayset.pp_cycle ds) cy
+          | None -> add "    %s" (Delayset.no_cycle_note ds)))
+      cands;
     add
       "  %d candidate pair(s): any data race an execution exhibits is among \
        these"

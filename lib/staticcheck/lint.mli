@@ -22,12 +22,15 @@ val analyze : Minilang.Ast.program -> report
 val pp :
   ?model:Memsim.Model.t ->
   ?show_sync:bool ->
+  ?delays:Delayset.t ->
   Format.formatter ->
   report ->
   unit
 (** [?model] keeps only the findings relevant to that model;
     [?show_sync] (default false) itemizes the sync-sync pairs instead of
-    just counting them. *)
+    just counting them; [?delays] attaches to every data candidate the
+    critical cycle witnessing it ({!Delayset.cycle_for}) or a
+    provably-SC-ordered note when no cycle crosses the pair. *)
 
 (** {1 Rendering pieces}
 

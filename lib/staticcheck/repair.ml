@@ -1,0 +1,405 @@
+module Ast = Minilang.Ast
+module Op = Memsim.Op
+module Model = Memsim.Model
+module Variant = Memsim.Variant
+
+type promotion = {
+  pr_proc : int;
+  pr_path : Ast.path;
+  pr_store : bool;
+  pr_label : string option;
+  pr_loc : Absdom.t;
+  pr_forced : bool;
+}
+
+type fence_site = {
+  fn_proc : int;
+  fn_after : Ast.path;
+  fn_covers : int;
+}
+
+type t = {
+  original : Ast.program;
+  model : Model.t;
+  variant : Variant.t;
+  lint0 : Lint.report;
+  delays0 : Delayset.t;
+  fence_only : fence_site list option;
+  promotions : promotion list;
+  fences : fence_site list;
+  repaired : Ast.program;
+  lint1 : Lint.report;
+  rounds : int;
+}
+
+(* -- AST surgery ------------------------------------------------------- *)
+
+let rec update_at body (path : Ast.path) f =
+  match path with
+  | [ Ast.Nth i ] -> List.mapi (fun j ins -> if j = i then f ins else ins) body
+  | Ast.Nth i :: rest ->
+    List.mapi
+      (fun j ins ->
+        if j <> i then ins
+        else
+          match (ins, rest) with
+          | Ast.If (e, t, e'), Ast.Then :: rest' ->
+            Ast.If (e, update_at t rest' f, e')
+          | Ast.If (e, t, e'), Ast.Else :: rest' ->
+            Ast.If (e, t, update_at e' rest' f)
+          | Ast.While (e, b), Ast.Body :: rest' ->
+            Ast.While (e, update_at b rest' f)
+          | _ -> ins)
+      body
+  | _ -> body
+
+let rec insert_after body (path : Ast.path) ins_new =
+  match path with
+  | [ Ast.Nth i ] ->
+    List.concat
+      (List.mapi (fun j ins -> if j = i then [ ins; ins_new ] else [ ins ]) body)
+  | Ast.Nth i :: rest ->
+    List.mapi
+      (fun j ins ->
+        if j <> i then ins
+        else
+          match (ins, rest) with
+          | Ast.If (e, t, e'), Ast.Then :: rest' ->
+            Ast.If (e, insert_after t rest' ins_new, e')
+          | Ast.If (e, t, e'), Ast.Else :: rest' ->
+            Ast.If (e, t, insert_after e' rest' ins_new)
+          | Ast.While (e, b), Ast.Body :: rest' ->
+            Ast.While (e, insert_after b rest' ins_new)
+          | _ -> ins)
+      body
+  | _ -> body
+
+let promote_instr = function
+  | Ast.Load { reg; addr; label } -> Ast.Sync_load { reg; addr; label }
+  | Ast.Store { addr; value; label } -> Ast.Sync_store { addr; value; label }
+  | i -> i
+
+let apply_promotions (p : Ast.program) promos =
+  {
+    p with
+    Ast.procs =
+      Array.mapi
+        (fun pi body ->
+          List.fold_left
+            (fun b pr ->
+              if pr.pr_proc = pi then update_at b pr.pr_path promote_instr
+              else b)
+            body promos)
+        p.Ast.procs;
+  }
+
+let apply_fences (p : Ast.program) sites =
+  {
+    p with
+    Ast.procs =
+      Array.mapi
+        (fun pi body ->
+          (* apply in reverse source order so sibling indices stay valid *)
+          List.filter (fun s -> s.fn_proc = pi) sites
+          |> List.sort (fun s1 s2 ->
+                 Ast.compare_path s2.fn_after s1.fn_after)
+          |> List.fold_left
+               (fun b s ->
+                 insert_after b s.fn_after (Ast.Fence { label = None }))
+               body)
+        p.Ast.procs;
+  }
+
+(* -- which delay pairs the variant already enforces -------------------- *)
+
+let singleton_same (u : Absint.access) (v : Absint.access) =
+  match (Absdom.singleton u.Absint.addr, Absdom.singleton v.Absint.addr) with
+  | Some x, Some y -> x = y
+  | _ -> false
+
+(* A delay (u, v) asks that u performs globally before v.  Reads and
+   sync operations perform at issue on every lattice point, so only a
+   buffered data write as u can be delayed past v; v then re-orders
+   unless something makes u's retirement precede v's issue. *)
+let enforced var (u : Absint.access) (v : Absint.access) =
+  (not (Variant.has_buffer var))
+  || u.Absint.kind = Op.Read
+  || u.Absint.cls <> Op.Data
+  ||
+  match v.Absint.cls with
+  | Op.Data ->
+    (v.Absint.kind = Op.Write && var.Variant.retire = Variant.Fifo)
+    || v.Absint.kind = Op.Read
+       && singleton_same u v
+       && var.Variant.read <> Variant.Bypass
+  | cls -> (
+    match Variant.drain_on var cls with
+    | Variant.Drain -> true
+    | Variant.Partial -> singleton_same u v
+    | Variant.Nop -> false)
+
+let unenforced (ds : Delayset.t) var =
+  List.filter
+    (fun (u, v) -> not (enforced var ds.Delayset.accesses.(u) ds.Delayset.accesses.(v)))
+    ds.Delayset.delays
+
+(* -- minimal fence placement ------------------------------------------- *)
+
+(* strict, really-executes-both ordering (exclusive If arms are
+   vacuously always_before in both directions — never place on those) *)
+let strictly_before body p q =
+  Cfg.always_before body p q && not (Cfg.always_before body q p)
+
+(* One fence right after a delay's source covers every delay whose open
+   interval (source, sink) contains that point; greedy over delays in
+   sink order is the classic interval-point cover. *)
+let place (ds : Delayset.t) delays =
+  let acc i = ds.Delayset.accesses.(i) in
+  let by_proc = Hashtbl.create 4 in
+  List.iter
+    (fun (u, v) ->
+      let p = (acc u).Absint.proc in
+      Hashtbl.replace by_proc p ((u, v) :: (try Hashtbl.find by_proc p with Not_found -> []))
+    )
+    delays;
+  Hashtbl.fold (fun proc ds_p sites -> (proc, ds_p) :: sites) by_proc []
+  |> List.sort (fun (p1, _) (p2, _) -> compare p1 p2)
+  |> List.concat_map (fun (proc, ds_p) ->
+         let body = ds.Delayset.program.Ast.procs.(proc) in
+         let ds_p =
+           List.sort
+             (fun (u1, v1) (u2, v2) ->
+               let c =
+                 Ast.compare_path (acc v1).Absint.path (acc v2).Absint.path
+               in
+               if c <> 0 then c
+               else
+                 Ast.compare_path (acc u1).Absint.path (acc u2).Absint.path)
+             ds_p
+         in
+         let placed = ref [] in
+         List.iter
+           (fun (u, v) ->
+             let up = (acc u).Absint.path and vp = (acc v).Absint.path in
+             let covered =
+               List.exists
+                 (fun (w, _) ->
+                   (w = up || strictly_before body up w)
+                   && strictly_before body w vp)
+                 !placed
+             in
+             if covered then
+               placed :=
+                 List.map
+                   (fun (w, n) ->
+                     if
+                       (w = up || strictly_before body up w)
+                       && strictly_before body w vp
+                     then (w, n + 1)
+                     else (w, n))
+                   !placed
+             else placed := !placed @ [ (up, 1) ])
+           ds_p;
+         List.map
+           (fun (w, n) -> { fn_proc = proc; fn_after = w; fn_covers = n })
+           !placed)
+
+(* -- promotion fixpoint ------------------------------------------------ *)
+
+let endpoints (c : Candidates.pair) =
+  List.filter_map
+    (fun (a : Absint.access) ->
+      if a.Absint.cls = Op.Data then
+        Some
+          {
+            pr_proc = a.Absint.proc;
+            pr_path = a.Absint.path;
+            pr_store = a.Absint.kind = Op.Write;
+            pr_label = a.Absint.label;
+            pr_loc = a.Absint.addr;
+            pr_forced = false;
+          }
+      else None)
+    [ c.Candidates.a; c.Candidates.b ]
+
+let dedup_against promos news =
+  List.filter
+    (fun pr ->
+      not
+        (List.exists
+           (fun q -> q.pr_proc = pr.pr_proc && q.pr_path = pr.pr_path)
+           promos))
+    news
+  |> List.fold_left
+       (fun acc pr ->
+         if
+           List.exists
+             (fun q -> q.pr_proc = pr.pr_proc && q.pr_path = pr.pr_path)
+             acc
+         then acc
+         else acc @ [ pr ])
+       []
+
+let rec fix_candidates prog promos rounds =
+  let r = Lint.analyze prog in
+  match r.Lint.data_candidates with
+  | [] -> (prog, r, promos, rounds)
+  | data ->
+    let chosen =
+      if List.length data > 12 || rounds >= 8 then List.concat_map endpoints data
+      else begin
+        (* trial-promote each candidate; keep the one leaving the least *)
+        let scored =
+          List.map
+            (fun c ->
+              let eps = endpoints c in
+              let trial = apply_promotions prog eps in
+              ( List.length (Lint.analyze trial).Lint.data_candidates, eps ))
+            data
+        in
+        let best, eps =
+          List.fold_left
+            (fun (bs, be) (s, e) -> if s < bs then (s, e) else (bs, be))
+            (List.hd scored) (List.tl scored)
+        in
+        ignore best;
+        eps
+      end
+    in
+    let fresh = dedup_against promos chosen in
+    if fresh = [] then (prog, r, promos, rounds)
+    else
+      fix_candidates (apply_promotions prog fresh) (promos @ fresh) (rounds + 1)
+
+(* -- the plan ---------------------------------------------------------- *)
+
+let plan ?(model = Model.WO) (p0 : Ast.program) =
+  let var = Model.variant model in
+  let lint0 = Lint.analyze p0 in
+  let delays0 = Delayset.analyze p0 lint0.Lint.results in
+  (* On a variant that preserves Condition 3.4, a data-race-free program
+     is already SC (Theorem 3.5) — only the candidate-breaking promotions
+     are needed, and a DRF program needs no fence at all.  Only on
+     non-conforming lattice points (release=nop, bypass reads, ...) must
+     delay pairs be enforced mechanically. *)
+  let conforming = Variant.preserves_condition var in
+  let fence_only =
+    if conforming && lint0.Lint.data_candidates = [] then Some []
+    else
+      match unenforced delays0 var with
+      | [] -> Some []
+      | unenf ->
+        if Variant.honors_fences var then Some (place delays0 unenf) else None
+  in
+  let rec outer prog promos rounds guard =
+    let prog, lint, promos, rounds = fix_candidates prog promos rounds in
+    if conforming then (prog, lint, promos, [], rounds)
+    else
+    let ds = Delayset.analyze prog lint.Lint.results in
+    match unenforced ds var with
+    | [] -> (prog, lint, promos, [], rounds)
+    | unenf when Variant.honors_fences var ->
+      let sites = place ds unenf in
+      let prog' = apply_fences prog sites in
+      (prog', Lint.analyze prog', promos, sites, rounds)
+    | unenf ->
+      (* the variant ignores fences: a release write performs at issue
+         on every point, so promote each delayed data write instead *)
+      let forced =
+        List.filter_map
+          (fun (u, _) ->
+            let a = ds.Delayset.accesses.(u) in
+            if a.Absint.cls = Op.Data && a.Absint.kind = Op.Write then
+              Some
+                {
+                  pr_proc = a.Absint.proc;
+                  pr_path = a.Absint.path;
+                  pr_store = true;
+                  pr_label = a.Absint.label;
+                  pr_loc = a.Absint.addr;
+                  pr_forced = true;
+                }
+            else None)
+          unenf
+        |> dedup_against promos
+      in
+      if forced = [] || guard = 0 then (prog, lint, promos, [], rounds)
+      else outer (apply_promotions prog forced) (promos @ forced) (rounds + 1) (guard - 1)
+  in
+  let repaired, lint1, promotions, fences, rounds = outer p0 [] 0 4 in
+  {
+    original = p0;
+    model;
+    variant = var;
+    lint0;
+    delays0;
+    fence_only;
+    promotions;
+    fences;
+    repaired;
+    lint1;
+    rounds;
+  }
+
+let statically_drf t = t.lint1.Lint.data_candidates = []
+
+let source t = Minilang.Parser.to_source t.repaired
+
+(* -- rendering --------------------------------------------------------- *)
+
+let pp_promotion p ppf pr =
+  Format.fprintf ppf "P%d @%s%s: %s %a -> %s%s" pr.pr_proc
+    (Ast.path_to_string pr.pr_path)
+    (match pr.pr_label with Some l -> " (" ^ l ^ ")" | None -> "")
+    (if pr.pr_store then "store" else "load")
+    (Delayset.pp_locs p) pr.pr_loc
+    (if pr.pr_store then "release write" else "acquire read")
+    (if pr.pr_forced then "  [forced: delay pair unenforced, variant ignores fences]"
+     else "")
+
+let pp_fence ppf f =
+  Format.fprintf ppf "P%d: fence after @%s  [enforces %d delay pair(s)]"
+    f.fn_proc
+    (Ast.path_to_string f.fn_after)
+    f.fn_covers
+
+let pp ppf t =
+  let p = t.original in
+  Format.fprintf ppf "repair (model %s):@," (Model.name t.model);
+  (match t.fence_only with
+  | Some [] ->
+    Format.fprintf ppf
+      "  fence-only: no fence needed under this model@,"
+  | Some sites ->
+    Format.fprintf ppf
+      "  fence-only: %d fence(s) make every execution SC, but leave the \
+       races in place:@,"
+      (List.length sites);
+    List.iter (fun f -> Format.fprintf ppf "    %a@," pp_fence f) sites
+  | None ->
+    Format.fprintf ppf
+      "  fence-only: unavailable — the variant ignores fences \
+       (on_fence=nop)@,");
+  (match t.promotions with
+  | [] -> Format.fprintf ppf "  promotions: none needed@,"
+  | promos ->
+    Format.fprintf ppf "  promotions (%d):@," (List.length promos);
+    List.iter
+      (fun pr -> Format.fprintf ppf "    %a@," (pp_promotion p) pr)
+      promos);
+  (match t.fences with
+  | [] ->
+    if t.promotions <> [] then
+      Format.fprintf ppf
+        "  residual fences: none — promoted synchronization enforces every \
+         remaining delay pair@,"
+  | sites ->
+    Format.fprintf ppf "  residual fences (%d):@," (List.length sites);
+    List.iter (fun f -> Format.fprintf ppf "    %a@," pp_fence f) sites);
+  if statically_drf t then
+    Format.fprintf ppf
+      "  repaired program is statically data-race-free under every model"
+  else
+    Format.fprintf ppf
+      "  WARNING: %d data candidate(s) remain in the repaired program"
+      (List.length t.lint1.Lint.data_candidates)

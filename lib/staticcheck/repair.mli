@@ -1,0 +1,73 @@
+(** Synthesis of a verified repair from the delay-set analysis.
+
+    Two repairs are derived per {!Memsim.Variant} point:
+
+    - the {e fence-only} repair places the fewest fences that enforce
+      every delay pair of {!Delayset} the variant does not already
+      enforce (a fence after the delay's source drains the buffered
+      write before the sink can issue).  It makes every execution
+      sequentially consistent on fence-honouring hardware, but fences
+      record no operation, so the hb1 races themselves remain — the
+      detector still reports them;
+    - the {e verified} repair promotes data accesses to release writes /
+      acquire reads until the static analysis proves the program
+      data-race-free ({!Lint} reports no data candidate), then enforces
+      any delay the promoted synchronization still leaves open under the
+      variant — with a fence when the variant honours them, by promoting
+      the delayed write to a release otherwise (sync operations perform
+      at issue on every lattice point).  The result is emitted as a
+      [.race] program; {!Explore}'s repair check closes the loop
+      dynamically.
+
+    Promotions are chosen greedily: each round trial-promotes every
+    remaining data candidate and keeps the one whose promotion leaves
+    the fewest data candidates, so a flag protocol is completed at the
+    flag (as in [mp_fixed]) rather than by promoting every access.
+    Large candidate sets fall back to promoting every data endpoint at
+    once.  Each round promotes at least one access that was data before
+    it, so the fixpoint terminates. *)
+
+type promotion = {
+  pr_proc : int;
+  pr_path : Minilang.Ast.path;
+  pr_store : bool;  (** [Store] to release write, else [Load] to acquire *)
+  pr_label : string option;
+  pr_loc : Absdom.t;
+  pr_forced : bool;
+      (** added to enforce a residual delay pair on a variant that
+          ignores fences, not to break a candidate pair *)
+}
+
+type fence_site = {
+  fn_proc : int;
+  fn_after : Minilang.Ast.path;  (** fence inserted right after this *)
+  fn_covers : int;  (** delay pairs this fence enforces *)
+}
+
+type t = {
+  original : Minilang.Ast.program;
+  model : Memsim.Model.t;
+  variant : Memsim.Variant.t;
+  lint0 : Lint.report;  (** analysis of the original program *)
+  delays0 : Delayset.t;  (** its critical cycles and delay set *)
+  fence_only : fence_site list option;
+      (** [None] when the variant ignores fences, or no delay needs one *)
+  promotions : promotion list;
+  fences : fence_site list;  (** residual enforcement, in the repaired program *)
+  repaired : Minilang.Ast.program;
+  lint1 : Lint.report;  (** analysis of the repaired program *)
+  rounds : int;
+}
+
+val plan : ?model:Memsim.Model.t -> Minilang.Ast.program -> t
+(** Default model: WO (the paper's weakest canonical point). *)
+
+val statically_drf : t -> bool
+(** The repaired program has no data candidate: by the soundness of the
+    static analysis, no execution of any model exhibits a data race, so
+    Condition 3.4(1) promises SC executions on conforming variants. *)
+
+val source : t -> string
+(** The repaired program in concrete syntax ({!Minilang.Parser.to_source}). *)
+
+val pp : Format.formatter -> t -> unit

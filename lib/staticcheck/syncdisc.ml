@@ -157,4 +157,19 @@ let check program dt (results : Absint.proc_result array) =
                 name;
           })
     (Disctab.sync_locs dt);
-  List.rev !out
+  (* deterministic report order: per-processor findings by source
+     position, program-level findings last; stable within one site *)
+  let finding_key (f : finding) =
+    match f.w_proc with
+    | Some p -> (0, p, Option.value ~default:[] f.w_path)
+    | None -> (1, Option.value ~default:0 f.w_loc, [])
+  in
+  List.stable_sort
+    (fun f1 f2 ->
+      let (k1, p1, pa1) = finding_key f1 and (k2, p2, pa2) = finding_key f2 in
+      let c = compare k1 k2 in
+      if c <> 0 then c
+      else
+        let c = compare p1 p2 in
+        if c <> 0 then c else Ast.compare_path pa1 pa2)
+    (List.rev !out)

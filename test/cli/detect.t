@@ -38,3 +38,15 @@ Parse errors carry line and column numbers:
   $ racedet detect broken.race
   racedet: line 4, column 10: memory cannot appear inside an expression; load it into a register first
   [1]
+
+An unknown --order value fails with the grammar of valid names, the
+same shape as an unknown --model:
+
+  $ racedet detect fig1a --order bogus
+  racedet: option '--order': unknown order "bogus"
+           named orders: hb1, shb
+           order spec: hb1 (the paper's happens-before-1 with first-partition
+           suppression) | shb (hb1 plus the observed reads-from edges)
+  Usage: racedet detect [OPTION]… PROGRAM
+  Try 'racedet detect --help' or 'racedet --help' for more information.
+  [124]

@@ -1,0 +1,362 @@
+The machine-readable reports.  Both `lint --json` and `fence --json`
+emit a stable schema (version 1) that this test locks byte for byte:
+keys in fixed order, two-space indent, accesses rendered with the same
+proc/path/label triple as the text report.
+
+  $ cat > sb.race <<'EOF'
+  > program sb
+  > loc x
+  > loc y
+  > proc P0 {
+  >   x := 1
+  >   r0 := y
+  > }
+  > proc P1 {
+  >   y := 1
+  >   r1 := x
+  > }
+  > EOF
+
+  $ racedet lint sb.race --json
+  {
+    "schema": 1,
+    "program": "sb",
+    "n_procs": 2,
+    "n_locs": 2,
+    "truncated": false,
+    "findings": [],
+    "data_candidates": [
+      {
+        "a": {
+          "proc": 0,
+          "path": "0",
+          "label": "P0:L5",
+          "op": "store",
+          "kind": "write",
+          "class": "data",
+          "locs": "x"
+        },
+        "b": {
+          "proc": 1,
+          "path": "1",
+          "label": "P1:L10",
+          "op": "load",
+          "kind": "read",
+          "class": "data",
+          "locs": "x"
+        },
+        "locs": "x",
+        "data": true,
+        "cycle": [
+          {
+            "proc": 0,
+            "path": "0",
+            "label": "P0:L5",
+            "op": "store",
+            "kind": "write",
+            "class": "data",
+            "locs": "x",
+            "edge_to_next": "po"
+          },
+          {
+            "proc": 0,
+            "path": "1",
+            "label": "P0:L6",
+            "op": "load",
+            "kind": "read",
+            "class": "data",
+            "locs": "y",
+            "edge_to_next": "cf"
+          },
+          {
+            "proc": 1,
+            "path": "0",
+            "label": "P1:L9",
+            "op": "store",
+            "kind": "write",
+            "class": "data",
+            "locs": "y",
+            "edge_to_next": "po"
+          },
+          {
+            "proc": 1,
+            "path": "1",
+            "label": "P1:L10",
+            "op": "load",
+            "kind": "read",
+            "class": "data",
+            "locs": "x",
+            "edge_to_next": "cf"
+          }
+        ],
+        "delay_ordered": false
+      },
+      {
+        "a": {
+          "proc": 0,
+          "path": "1",
+          "label": "P0:L6",
+          "op": "load",
+          "kind": "read",
+          "class": "data",
+          "locs": "y"
+        },
+        "b": {
+          "proc": 1,
+          "path": "0",
+          "label": "P1:L9",
+          "op": "store",
+          "kind": "write",
+          "class": "data",
+          "locs": "y"
+        },
+        "locs": "y",
+        "data": true,
+        "cycle": [
+          {
+            "proc": 0,
+            "path": "0",
+            "label": "P0:L5",
+            "op": "store",
+            "kind": "write",
+            "class": "data",
+            "locs": "x",
+            "edge_to_next": "po"
+          },
+          {
+            "proc": 0,
+            "path": "1",
+            "label": "P0:L6",
+            "op": "load",
+            "kind": "read",
+            "class": "data",
+            "locs": "y",
+            "edge_to_next": "cf"
+          },
+          {
+            "proc": 1,
+            "path": "0",
+            "label": "P1:L9",
+            "op": "store",
+            "kind": "write",
+            "class": "data",
+            "locs": "y",
+            "edge_to_next": "po"
+          },
+          {
+            "proc": 1,
+            "path": "1",
+            "label": "P1:L10",
+            "op": "load",
+            "kind": "read",
+            "class": "data",
+            "locs": "x",
+            "edge_to_next": "cf"
+          }
+        ],
+        "delay_ordered": false
+      }
+    ],
+    "sync_candidates": [],
+    "statically_drf": false
+  }
+  [2]
+
+  $ cat > mp_partial.race <<'EOF'
+  > program mp_partial
+  > loc data
+  > loc flag
+  > proc Producer {
+  >   data := 42
+  >   release flag := 1
+  > }
+  > proc Consumer {
+  >   f := flag
+  >   if f == 1 {
+  >     d := data
+  >   }
+  > }
+  > EOF
+
+  $ racedet fence mp_partial.race --json
+  {
+    "schema": 1,
+    "program": "mp_partial",
+    "model": "WO",
+    "delayset": {
+      "accesses": 4,
+      "conflicts": 2,
+      "truncated": false,
+      "cycles": [
+        [
+          {
+            "proc": 0,
+            "path": "0",
+            "label": "Producer:L5",
+            "op": "store",
+            "kind": "write",
+            "class": "data",
+            "locs": "data",
+            "edge_to_next": "po"
+          },
+          {
+            "proc": 0,
+            "path": "1",
+            "label": "Producer:L6",
+            "op": "release",
+            "kind": "write",
+            "class": "release",
+            "locs": "flag",
+            "edge_to_next": "cf"
+          },
+          {
+            "proc": 1,
+            "path": "0",
+            "label": "Consumer:L9",
+            "op": "load",
+            "kind": "read",
+            "class": "data",
+            "locs": "flag",
+            "edge_to_next": "po"
+          },
+          {
+            "proc": 1,
+            "path": "1.then.0",
+            "label": "Consumer:L11",
+            "op": "load",
+            "kind": "read",
+            "class": "data",
+            "locs": "data",
+            "edge_to_next": "cf"
+          }
+        ]
+      ],
+      "delays": [
+        {
+          "from": {
+            "proc": 0,
+            "path": "0",
+            "label": "Producer:L5",
+            "op": "store",
+            "kind": "write",
+            "class": "data",
+            "locs": "data"
+          },
+          "to": {
+            "proc": 0,
+            "path": "1",
+            "label": "Producer:L6",
+            "op": "release",
+            "kind": "write",
+            "class": "release",
+            "locs": "flag"
+          }
+        },
+        {
+          "from": {
+            "proc": 1,
+            "path": "0",
+            "label": "Consumer:L9",
+            "op": "load",
+            "kind": "read",
+            "class": "data",
+            "locs": "flag"
+          },
+          "to": {
+            "proc": 1,
+            "path": "1.then.0",
+            "label": "Consumer:L11",
+            "op": "load",
+            "kind": "read",
+            "class": "data",
+            "locs": "data"
+          }
+        }
+      ]
+    },
+    "repair": {
+      "fence_only": [],
+      "promotions": [
+        {
+          "proc": 1,
+          "path": "0",
+          "label": "Consumer:L9",
+          "from": "load",
+          "to": "acquire",
+          "forced": false
+        }
+      ],
+      "fences": [],
+      "rounds": 1,
+      "statically_drf": true
+    },
+    "verify": null
+  }
+
+A statically clean program keeps the same shape with empty candidate
+lists, so consumers need no special case:
+
+  $ racedet lint fig1b --json
+  {
+    "schema": 1,
+    "program": "fig1b",
+    "n_procs": 2,
+    "n_locs": 3,
+    "truncated": false,
+    "findings": [],
+    "data_candidates": [],
+    "sync_candidates": [
+      {
+        "a": {
+          "proc": 0,
+          "path": "2",
+          "label": "P1:unset-s",
+          "op": "unset",
+          "kind": "write",
+          "class": "release",
+          "locs": "s"
+        },
+        "b": {
+          "proc": 1,
+          "path": "1.body.0",
+          "label": "P2:test&set-s",
+          "op": "test&set",
+          "kind": "read",
+          "class": "acquire",
+          "locs": "s"
+        },
+        "locs": "s",
+        "data": false
+      },
+      {
+        "a": {
+          "proc": 0,
+          "path": "2",
+          "label": "P1:unset-s",
+          "op": "unset",
+          "kind": "write",
+          "class": "release",
+          "locs": "s"
+        },
+        "b": {
+          "proc": 1,
+          "path": "1.body.0",
+          "label": "P2:test&set-s",
+          "op": "test&set",
+          "kind": "write",
+          "class": "sync",
+          "locs": "s"
+        },
+        "locs": "s",
+        "data": false
+      }
+    ],
+    "statically_drf": true
+  }
+
+--json and --triage are mutually exclusive (triage output is a
+streaming report):
+
+  $ racedet lint sb.race --json --triage
+  racedet: --json and --triage are mutually exclusive
+  [1]

@@ -36,9 +36,13 @@ regions overlap exactly where the stale dequeue tramples P3 (exit 2):
   
   data race candidates:
     P0 at 1 (P1:enqueue): store Q  <->  P1 at 1.then.0 (P2:dequeue): load Q  on Q
+      cycle: P0 store Q @1 -po-> P0 store QEmpty @2 -cf-> P1 load QEmpty @0 -po-> P1 load Q @1.then.0 -cf-> P0 store Q @1
     P0 at 2 (P1:clear-qempty): store QEmpty  <->  P1 at 0 (P2:read-qempty): load QEmpty  on QEmpty
+      cycle: P0 store Q @1 -po-> P0 store QEmpty @2 -cf-> P1 load QEmpty @0 -po-> P1 load Q @1.then.0 -cf-> P0 store Q @1
     P1 at 1.then.3.body.0 (P2:work-read): load mem[37..199]  <->  P2 at 1.body.0 (P3:work-write): store mem[0..99]  on mem[37..99]
+      cycle: P1 load mem[37..199] @1.then.3.body.0 -po-> P1 store mem[37..199] @1.then.3.body.1 -cf-> P2 store mem[0..99] @1.body.0 -cf-> P1 load mem[37..199] @1.then.3.body.0
     P1 at 1.then.3.body.1 (P2:work-write): store mem[37..199]  <->  P2 at 1.body.0 (P3:work-write): store mem[0..99]  on mem[37..99]
+      cycle: P1 load mem[37..199] @1.then.3.body.0 -po-> P1 store mem[37..199] @1.then.3.body.1 -cf-> P2 store mem[0..99] @1.body.0 -cf-> P1 load mem[37..199] @1.then.3.body.0
     4 candidate pair(s): any data race an execution exhibits is among these
   
   unordered sync-sync pairs (informational): 1
@@ -52,12 +56,13 @@ with model-specific findings tagged:
   
   sync discipline:
     P0 at 0 (P0:L8): fence drains nothing: no data store can be buffered here
-    P0 at 3 (P0:L11): release of l orders nothing: no acquire of l in any other processor
     P0 at 1 (P0:L9): acquires of m can only observe Test&Set/Fetch&Add writes, which are not releases: no so1 pairing under DRF1 (DRF0's symmetric synchronization still orders them) [DRF1]
     P0 at 1 (P0:L9): the result of test&set(m) never guards anything: no later instruction is conditional on it having read 0
+    P0 at 3 (P0:L11): release of l orders nothing: no acquire of l in any other processor
   
   data race candidates:
     P0 at 2 (P0:L10): store x  <->  P1 at 0 (P1:L14): load x  on x
+      no critical cycle: already SC-ordered — weak buffering adds no outcomes for this pair
     1 candidate pair(s): any data race an execution exhibits is among these
   [2]
 
@@ -68,11 +73,12 @@ Restricting to one model drops findings tagged for other models:
   
   sync discipline:
     P0 at 0 (P0:L8): fence drains nothing: no data store can be buffered here
-    P0 at 3 (P0:L11): release of l orders nothing: no acquire of l in any other processor
     P0 at 1 (P0:L9): the result of test&set(m) never guards anything: no later instruction is conditional on it having read 0
+    P0 at 3 (P0:L11): release of l orders nothing: no acquire of l in any other processor
   
   data race candidates:
     P0 at 2 (P0:L10): store x  <->  P1 at 0 (P1:L14): load x  on x
+      no critical cycle: already SC-ordered — weak buffering adds no outcomes for this pair
     1 candidate pair(s): any data race an execution exhibits is among these
   [2]
 

@@ -108,7 +108,9 @@ report first, then the dynamic verdict on its candidates.
   
   data race candidates:
     P0 at 0 (Producer:L5): store data  <->  P1 at 1.then.0 (Consumer:L11): load data  on data
+      cycle: P0 store data @0 -po-> P0 store flag @1 -cf-> P1 load flag @0 -po-> P1 load data @1.then.0 -cf-> P0 store data @0
     P0 at 1 (Producer:L6): store flag  <->  P1 at 0 (Consumer:L9): load flag  on flag
+      cycle: P0 store data @0 -po-> P0 store flag @1 -cf-> P1 load flag @0 -po-> P1 load data @1.then.0 -cf-> P0 store data @0
     2 candidate pair(s): any data race an execution exhibits is among these
   
   triage of mp under SC: 2 data candidate(s), 0 sync-sync candidate(s)

@@ -362,6 +362,201 @@ let absdom_soundness =
       let aenv = List.map (fun (r, _, lo, hi) -> (r, A.interval lo hi)) regs in
       A.contains (aeval aenv e) (ceval cenv e))
 
+(* -- delay-set analysis and repair ------------------------------------ *)
+
+module Delayset = Staticcheck.Delayset
+module Repair = Staticcheck.Repair
+
+let delays_of p =
+  let r = lint p in
+  Delayset.analyze p r.Lint.results
+
+(* the four classic litmus shapes, built inline so the test does not
+   depend on the example files' location *)
+let litmus_sb =
+  let open Minilang.Build in
+  program ~name:"sb_t" ~locs:[ "x"; "y" ]
+    [ [ store "x" (i 1); load "r" "y" ]; [ store "y" (i 1); load "r" "x" ] ]
+
+let litmus_mp =
+  let open Minilang.Build in
+  program ~name:"mp_t" ~locs:[ "data"; "flag" ]
+    [
+      [ store "data" (i 42); store "flag" (i 1) ];
+      [ load "f" "flag"; if_ (r "f" =: i 1) [ load "d" "data" ] [] ];
+    ]
+
+let litmus_mp_partial =
+  let open Minilang.Build in
+  program ~name:"mp_partial_t" ~locs:[ "data"; "flag" ]
+    [
+      [ store "data" (i 42); release_store "flag" (i 1) ];
+      [ load "f" "flag"; if_ (r "f" =: i 1) [ load "d" "data" ] [] ];
+    ]
+
+let litmus_lb =
+  let open Minilang.Build in
+  program ~name:"lb_t" ~locs:[ "x"; "y" ]
+    [ [ load "r" "y"; store "x" (i 1) ]; [ load "r" "x"; store "y" (i 1) ] ]
+
+let test_delayset_litmus () =
+  let check name p exp_cycles exp_delays =
+    let ds = delays_of p in
+    Alcotest.(check int)
+      (name ^ " cycles") exp_cycles
+      (List.length ds.Delayset.cycles);
+    Alcotest.(check int)
+      (name ^ " delays") exp_delays
+      (List.length ds.Delayset.delays)
+  in
+  (* each classic litmus test has exactly one critical cycle through all
+     four accesses, giving one delay pair per processor *)
+  check "sb" litmus_sb 1 2;
+  check "mp" litmus_mp 1 2;
+  check "lb" litmus_lb 1 2;
+  (* mp_partial's release already splits P0, but the consumer side still
+     cycles through the plain flag load *)
+  let ds = delays_of litmus_mp_partial in
+  Alcotest.(check bool) "mp_partial has a cycle" true (ds.Delayset.cycles <> []);
+  (* classic delay-set analysis sees only po and conflicts, so even the
+     properly synchronized mp_release_acquire keeps its cycle — the
+     repair layer, not the cycle enumeration, credits the sync ordering *)
+  let p = Option.get (Programs.find "mp_release_acquire") in
+  Alcotest.(check bool) "mp_release_acquire keeps its cycle" true
+    ((delays_of p).Delayset.cycles <> []);
+  (* but a program whose processors share nothing has no conflict edge,
+     hence no cycle *)
+  let p = Option.get (Programs.find "disjoint") in
+  let ds = delays_of p in
+  Alcotest.(check int) "disjoint conflicts" 0 (List.length ds.Delayset.conflicts);
+  Alcotest.(check int) "disjoint cycles" 0 (List.length ds.Delayset.cycles)
+
+let test_repair_shapes () =
+  (* sb: both pairs promote — four promotions, or two fences if one only
+     wants SC without DRF *)
+  let plan = Repair.plan ~model:Model.WO litmus_sb in
+  Alcotest.(check int) "sb promotions" 4 (List.length plan.Repair.promotions);
+  Alcotest.(check int) "sb residual fences" 0 (List.length plan.Repair.fences);
+  (match plan.Repair.fence_only with
+  | Some sites -> Alcotest.(check int) "sb fence-only sites" 2 (List.length sites)
+  | None -> Alcotest.fail "sb: expected a fence-only alternative");
+  Alcotest.(check bool) "sb repaired statically DRF" true
+    (Repair.statically_drf plan);
+  (* mp: the greedy step finds the flag handoff — exactly one pair
+     promoted, reproducing mp's hand-fixed variant *)
+  let plan = Repair.plan ~model:Model.WO litmus_mp in
+  Alcotest.(check int) "mp promotions" 2 (List.length plan.Repair.promotions);
+  Alcotest.(check bool) "mp repaired statically DRF" true
+    (Repair.statically_drf plan);
+  (* mp_partial: only the consumer's flag load is missing — one promotion *)
+  let plan = Repair.plan ~model:Model.WO litmus_mp_partial in
+  Alcotest.(check int) "mp_partial promotions" 1
+    (List.length plan.Repair.promotions);
+  Alcotest.(check bool) "mp_partial repaired statically DRF" true
+    (Repair.statically_drf plan);
+  (* lb: all four accesses promote, no fences *)
+  let plan = Repair.plan ~model:Model.WO litmus_lb in
+  Alcotest.(check int) "lb promotions" 4 (List.length plan.Repair.promotions);
+  Alcotest.(check int) "lb residual fences" 0 (List.length plan.Repair.fences);
+  (* an already-DRF program needs nothing *)
+  let p = Option.get (Programs.find "mp_release_acquire") in
+  let plan = Repair.plan ~model:Model.WO p in
+  Alcotest.(check int) "clean program promotions" 0
+    (List.length plan.Repair.promotions);
+  Alcotest.(check int) "clean program fences" 0 (List.length plan.Repair.fences)
+
+(* every stock program must reach a statically data-race-free repair: the
+   forced-promotion fallback guarantees the fixpoint terminates with a
+   conforming program, whatever the discipline violations were *)
+let test_repair_stock_converges () =
+  List.iter
+    (fun (name, p) ->
+      let plan = Repair.plan ~model:Model.WO p in
+      if not (Repair.statically_drf plan) then
+        Alcotest.failf "%s: repair did not converge to statically DRF" name)
+    Programs.all
+
+(* the dynamic closing of the loop, in-process: the repaired sb must
+   REFUTE both former candidates under every canonical buffering model
+   and pass Condition 3.4 *)
+let test_repaircheck_sb () =
+  let plan = Repair.plan ~model:Model.WO litmus_sb in
+  let c = Explore.Repaircheck.run ~seeds:8 ~jobs:1 plan in
+  Alcotest.(check int) "exit code" 0 (Explore.Repaircheck.exit_code c);
+  Alcotest.(check bool) "verified" true (Explore.Repaircheck.verified c)
+
+(* -- qcheck: the repair property over random programs ----------------- *)
+
+(* Over random racy programs and every canonical buffering model:
+
+   1. the repair converges to a statically data-race-free program, so
+      (by the soundness differential above) no execution of any model
+      exhibits a dynamic hb1 race;
+   2. spot-check 1 dynamically: adversarial runs of the repaired program
+      under the repairing model are hb1-race-free;
+   3. the repair never invents behaviour: promotions keep every value
+      and branch, so each SC final memory of the repaired program is an
+      SC final memory of the original. *)
+
+let final_mems ?(limit = 4_000) p =
+  let r = Memsim.Enumerate.explore ~limit (fun () -> Interp.source p) in
+  if not r.Memsim.Enumerate.complete then None
+  else
+    Some
+      (List.map
+         (fun e -> Array.to_list e.Memsim.Exec.final_mem)
+         r.Memsim.Enumerate.executions)
+
+let repair_property =
+  QCheck.Test.make ~count:300
+    ~name:"repair: statically DRF, dynamically race-free, SC-preserving"
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let config =
+        {
+          Gen.default_config with
+          Gen.n_procs = 2 + (seed mod 2);
+          ops_per_proc = 3 + (seed mod 3);
+        }
+      in
+      let p = Gen.random_racy ~config ~seed () in
+      let originals = final_mems p in
+      List.for_all
+        (fun model ->
+          let plan = Repair.plan ~model p in
+          if not (Repair.statically_drf plan) then
+            QCheck.Test.fail_reportf "seed %d, %s: repair not statically DRF"
+              seed (Model.name model);
+          let q = plan.Repair.repaired in
+          (* dynamic spot check: no hb1 race materializes *)
+          List.iter
+            (fun s ->
+              let e =
+                Interp.run ~max_steps:20_000 ~model
+                  ~sched:(Memsim.Sched.adversarial ~seed:s ())
+                  q
+              in
+              if Postmortem.data_races (Postmortem.analyze_execution e) <> []
+              then
+                QCheck.Test.fail_reportf
+                  "seed %d, %s: repaired program races dynamically" seed
+                  (Model.name model))
+            [ 0; 1; 2 ];
+          (* SC preservation: promotions add ordering, never outcomes *)
+          (match (originals, final_mems plan.Repair.repaired) with
+          | Some orig, Some rep ->
+            List.iter
+              (fun m ->
+                if not (List.mem m orig) then
+                  QCheck.Test.fail_reportf
+                    "seed %d, %s: repaired SC final memory not reachable by \
+                     the original"
+                    seed (Model.name model))
+              rep
+          | _ -> ());
+          true)
+        [ Model.TSO; Model.WO; Model.RCsc ])
+
 (* -- driver ------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
@@ -382,6 +577,16 @@ let () =
             test_queue_bug_overlap;
         ] );
       ("discipline", [ Alcotest.test_case "findings" `Quick test_discipline_findings ]);
+      ( "delayset",
+        [
+          Alcotest.test_case "litmus cycle counts" `Quick test_delayset_litmus;
+          Alcotest.test_case "repair shapes" `Quick test_repair_shapes;
+          Alcotest.test_case "stock repairs converge" `Quick
+            test_repair_stock_converges;
+          Alcotest.test_case "sb repair verifies dynamically" `Quick
+            test_repaircheck_sb;
+        ]
+        @ qsuite [ repair_property ] );
       ( "lockset-vs-lint",
         [ Alcotest.test_case "complementary failures" `Quick test_lockset_vs_lint ]
       );
