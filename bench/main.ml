@@ -778,10 +778,10 @@ let json_escape s =
 let json_float v = if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
 
 let write_bench_json ~micro ~speedups ~streaming ~parallel ~exploration ~triage
-    path =
+    ~serve path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": 3,\n  \"microbench_ns_per_run\": [\n";
+  out "{\n  \"schema\": 4,\n  \"microbench_ns_per_run\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
       out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
@@ -830,6 +830,18 @@ let write_bench_json ~micro ~speedups ~streaming ~parallel ~exploration ~triage
         (json_escape name) data confirmed refuted unknown (json_float wall_s)
         (if i = List.length triage - 1 then "" else ","))
     triage;
+  out "  ],\n  \"serve\": [\n";
+  let agg, lag, resume = serve in
+  let sessions, events, wall_s, eps = agg in
+  out
+    "    {\"name\": \"serve/agg-throughput\", \"sessions\": %d, \"events\": %d, \
+     \"wall_s\": %s, \"events_per_sec\": %s},\n"
+    sessions events (json_float wall_s) (json_float eps);
+  out "    {\"name\": \"serve/checkpoint-lag\", \"events_hwm\": %d},\n" lag;
+  let resumed_from, resume_s = resume in
+  out
+    "    {\"name\": \"serve/resume-cost\", \"resumed_from_bytes\": %d, \"wall_s\": %s}\n"
+    resumed_from (json_float resume_s);
   out "  ],\n";
   let batch, njobs, serial_s, parallel_s = parallel in
   out "  \"parallel_montecarlo\": {\"batch\": %d, \"jobs\": %d, \"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s}\n}\n"
@@ -1332,10 +1344,116 @@ let perf () =
         ("counter_racy", Minilang.Programs.counter_racy);
       ]
   in
+  (* the serve daemon end to end, in process: aggregate session
+     throughput, the worst events-behind-checkpoint window (what a
+     SIGKILL could cost), and the cost of resuming a parked session *)
+  Format.printf "@.serve daemon (in-process, unix socket, checkpointing on):@.";
+  let serve_dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "weakrace-bench-serve-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  let serve_fixtures =
+    let config =
+      { Minilang.Gen.n_procs = 4; n_shared = 6; n_locks = 2; ops_per_proc = 80;
+        sync_freq = 4 }
+    in
+    match
+      Serve.Harness.fixtures ~seeds_per_program:2
+        [ ("gen_racy", Minilang.Gen.random_racy ~config ~seed:7 ());
+          ("gen_racefree", Minilang.Gen.random_racefree ~config ~seed:11 ()) ]
+    with
+    | Ok fx -> fx
+    | Error msg -> failwith ("serve bench fixtures: " ^ msg)
+  in
+  let ckdir = Filename.concat serve_dir "ck" in
+  let start_server () =
+    let addr = Serve.Server.Unix_sock (Filename.concat serve_dir "s.sock") in
+    let stop = Atomic.make false in
+    let ready = Atomic.make false in
+    let cfg =
+      { (Serve.Server.default_config addr) with
+        Serve.Server.shards = max 2 !jobs;
+        checkpoint_dir = Some ckdir;
+        checkpoint_every = 64;
+        resume = true;
+        ready = (fun _ -> Atomic.set ready true) }
+    in
+    let dom = Domain.spawn (fun () -> Serve.Server.run ~stop cfg) in
+    while not (Atomic.get ready) do Unix.sleepf 0.005 done;
+    (addr, stop, dom)
+  in
+  let stop_server (stop, dom) =
+    Atomic.set stop true;
+    match Domain.join dom with
+    | Ok () -> ()
+    | Error msg -> failwith ("serve bench: " ^ msg)
+  in
+  let addr, stop, dom = start_server () in
+  let serve_sessions = if !quick then 50 else 400 in
+  let lr =
+    Serve.Harness.load ~concurrency:8 ~sessions:serve_sessions
+      ~fixtures:serve_fixtures addr
+  in
+  if lr.Serve.Harness.l_failures <> [] then
+    failwith
+      ("serve bench: " ^ String.concat "; " lr.Serve.Harness.l_failures);
+  Format.printf "  %a@." Serve.Harness.pp_load lr;
+  let ckpt_lag =
+    match Serve.Client.metrics addr with
+    | Error msg -> failwith ("serve bench metrics: " ^ msg)
+    | Ok snap ->
+      Option.value ~default:0
+        (Serve.Client.metric_value snap "checkpoint_lag_hwm")
+  in
+  Format.printf "  checkpoint lag high-water mark: %d events@." ckpt_lag;
+  (* park a session three quarters in, stop, restart, and time the
+     resumed completion (restore + tail feed + final analysis) *)
+  let rf = serve_fixtures.(0) in
+  let resume_row =
+    match Serve.Client.raw_open addr ~id:"bench-resume" with
+    | Error msg -> failwith ("serve bench resume: " ^ msg)
+    | Ok (fd, _) ->
+      let cut = String.length rf.Serve.Harness.f_trace * 3 / 4 in
+      (match
+         Serve.Client.raw_send fd (String.sub rf.Serve.Harness.f_trace 0 cut)
+       with
+       | Ok () -> ()
+       | Error msg -> failwith ("serve bench resume: " ^ msg));
+      Unix.sleepf 0.3 (* let the bytes land before the graceful stop parks *);
+      stop_server (stop, dom);
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let addr2, stop2, dom2 = start_server () in
+      let t0 = Unix.gettimeofday () in
+      let o =
+        match
+          Serve.Client.session addr2 ~id:"bench-resume"
+            ~trace:rf.Serve.Harness.f_trace
+        with
+        | Ok o -> o
+        | Error msg -> failwith ("serve bench resume: " ^ msg)
+      in
+      let resume_s = Unix.gettimeofday () -. t0 in
+      if o.Serve.Client.report <> rf.Serve.Harness.f_report then
+        failwith "serve bench: resumed report differs from reference";
+      Format.printf
+        "  resume cost: %.1f ms (resumed from byte %d of %d, report identical)@."
+        (resume_s *. 1e3) o.Serve.Client.resumed_from
+        (String.length rf.Serve.Harness.f_trace);
+      stop_server (stop2, dom2);
+      (o.Serve.Client.resumed_from, resume_s)
+  in
+  let serve_agg =
+    ( lr.Serve.Harness.l_sessions, lr.Serve.Harness.l_events,
+      lr.Serve.Harness.l_wall, lr.Serve.Harness.l_events_per_sec )
+  in
   let path = "BENCH_perf.json" in
   write_bench_json ~micro ~speedups ~streaming:(stream_rows, hwm)
     ~parallel:(batch, njobs, serial_s, par_s) ~exploration:explore_rows
-    ~triage:triage_rows path;
+    ~triage:triage_rows ~serve:(serve_agg, ckpt_lag, resume_row) path;
   Format.printf "wrote %s@." path
 
 (* ================================================================== *)

@@ -489,19 +489,10 @@ let stream_drive ?max_live ~salvage ~follow ~idle ~ckpt ~ckpt_every file =
         | _ -> ());
        r)
 
+(* The rendering lives in Serve.Protocol so the daemon's reports are
+   byte-identical to this command's stdout. *)
 let print_verdict v =
-  let a = Racedetect.Postmortem.verdict_analysis v in
-  let pp =
-    match v with
-    | Racedetect.Postmortem.Degraded _ ->
-      Racedetect.Report.pp_analysis_degraded ?loc_name:None
-    | _ -> Racedetect.Report.pp_analysis ?loc_name:None
-  in
-  Format.printf "%a@." pp a;
-  (match v with
-   | Racedetect.Postmortem.Degraded { loss; _ } ->
-     Format.printf "@.@[<v>%a@]@." Racedetect.Postmortem.pp_loss loss
-   | _ -> ());
+  print_string (Serve.Protocol.render_verdict_report v);
   Racedetect.Postmortem.verdict_exit_code v
 
 let analysis_exits =
@@ -1763,6 +1754,361 @@ let fence_cmd =
       $ verify_arg $ json_flag $ triage_steps_arg $ triage_limit_arg
       $ seeds_arg $ sc_limit_arg $ jobs_arg)
 
+(* -- serve / client / loadgen / chaos --------------------------------- *)
+
+let addr_conv =
+  let parse s =
+    match Serve.Server.parse_addr s with Ok a -> Ok a | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Serve.Server.pp_addr)
+
+let connect_arg =
+  let doc = "Daemon address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or $(b,tcp:PORT)." in
+  Arg.(
+    required
+    & opt (some addr_conv) None
+    & info [ "c"; "connect" ] ~docv:"ADDR" ~doc)
+
+let harness_programs_arg =
+  let doc =
+    "Programs to build traces from (stock names or files); repeatable.  \
+     Defaults to a mixed racy/race-free stock set."
+  in
+  Arg.(value & pos_all string [] & info [] ~docv:"PROGRAM" ~doc)
+
+(* Default fixture set: stock programs of both verdicts plus two larger
+   generated ones, so the corpus spans several v2 epoch marks (the
+   checkpoint/resume scenarios need cut points well before the end). *)
+let default_harness_programs () =
+  let stock =
+    List.map
+      (fun n -> (n, or_fail (load_program n)))
+      [ "fig1b"; "barrier_phases"; "lazy_init"; "counter_racy" ]
+  in
+  let config =
+    { Minilang.Gen.n_procs = 4; n_shared = 6; n_locks = 2; ops_per_proc = 80;
+      sync_freq = 4 }
+  in
+  stock
+  @ [ ("gen_racy", Minilang.Gen.random_racy ~config ~seed:7 ());
+      ("gen_racefree", Minilang.Gen.random_racefree ~config ~seed:11 ()) ]
+
+let harness_fixtures ?seeds_per_program programs =
+  let progs =
+    if programs = [] then default_harness_programs ()
+    else
+      List.map (fun n -> (Filename.basename n, or_fail (load_program n))) programs
+  in
+  or_fail (Serve.Harness.fixtures ?seeds_per_program progs)
+
+let serve_cmd =
+  let listen_arg =
+    let doc =
+      "Address to listen on: $(b,unix:PATH), $(b,tcp:HOST:PORT), or \
+       $(b,tcp:PORT) (port 0 binds an ephemeral port, printed on stdout)."
+    in
+    Arg.(value & opt addr_conv (Serve.Server.Tcp ("", 0)) & info [ "listen" ] ~docv:"ADDR" ~doc)
+  in
+  let shards_arg =
+    let doc = "Worker domains; sessions are sharded round-robin (0 = one per core)." in
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let max_sessions_arg =
+    let doc =
+      "Streaming-session budget: beyond it, the least-recently-active session \
+       is shed with $(b,verdict shed reason max-sessions)."
+    in
+    Arg.(value & opt int 64 & info [ "max-sessions" ] ~docv:"N" ~doc)
+  in
+  let global_live_arg =
+    let doc = "Global resident-event budget across all sessions (sheds when over)." in
+    Arg.(value & opt (some int) None & info [ "global-live" ] ~docv:"EVENTS" ~doc)
+  in
+  let max_live_arg =
+    let doc = "Per-session live-set cap (forced retirement above it, as in analyze)." in
+    Arg.(value & opt (some int) None & info [ "max-live" ] ~docv:"EVENTS" ~doc)
+  in
+  let idle_timeout_arg =
+    let doc = "Disconnect sessions silent for $(docv) seconds (0 disables)." in
+    Arg.(value & opt float 30. & info [ "idle-timeout" ] ~docv:"SEC" ~doc)
+  in
+  let session_timeout_arg =
+    let doc =
+      "Abort sessions older than $(docv) seconds regardless of activity — the \
+       slowloris guard (0 disables)."
+    in
+    Arg.(value & opt float 0. & info [ "session-timeout" ] ~docv:"SEC" ~doc)
+  in
+  let finish_timeout_arg =
+    let doc =
+      "Run each session's final analysis under a $(docv)-second wall-clock \
+       budget; a wedged analysis yields $(b,verdict aborted reason \
+       analysis-timeout) instead of stalling its shard (0 runs inline)."
+    in
+    Arg.(value & opt float 30. & info [ "finish-timeout" ] ~docv:"SEC" ~doc)
+  in
+  let checkpoint_dir_arg =
+    let doc =
+      "Checkpoint sessions into $(docv) at v2 epoch marks, making them \
+       SIGKILL-safe; see $(b,--resume)."
+    in
+    Arg.(value & opt (some string) None & info [ "checkpoint-dir" ] ~docv:"DIR" ~doc)
+  in
+  let checkpoint_every_arg =
+    let doc = "Minimum events between two checkpoints of one session." in
+    Arg.(value & opt int 64 & info [ "checkpoint-every" ] ~docv:"EVENTS" ~doc)
+  in
+  let resume_arg =
+    let doc =
+      "Adopt the checkpoints already in $(b,--checkpoint-dir): reconnecting \
+       clients are told the byte offset to resend from and final verdicts are \
+       byte-identical to an uninterrupted session."
+    in
+    Arg.(value & flag & info [ "resume" ] ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress the per-event log lines on stderr." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run listen shards max_sessions global_live max_live idle_timeout
+      session_timeout finish_timeout checkpoint_dir checkpoint_every resume
+      quiet =
+    let stop = Atomic.make false in
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    let cfg =
+      {
+        (Serve.Server.default_config listen) with
+        shards = resolve_jobs shards;
+        max_sessions;
+        global_live;
+        session_max_live = max_live;
+        idle_timeout;
+        session_timeout;
+        finish_timeout;
+        checkpoint_dir;
+        checkpoint_every;
+        resume;
+        log =
+          (if quiet then ignore
+           else fun line -> Printf.eprintf "racedet-serve: %s\n%!" line);
+        ready =
+          (fun bound ->
+            Printf.printf "serving on %s\n%!" bound);
+      }
+    in
+    match Serve.Server.run ~stop cfg with
+    | Ok () -> ()
+    | Error msg ->
+      Format.eprintf "racedet: %s@." msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis daemon: many concurrent trace sessions over \
+          Unix/TCP sockets, one streaming engine per connection, sharded \
+          across a domain pool — with per-session fault isolation, load \
+          shedding, idle/slowloris timeouts, and SIGKILL-safe checkpoints \
+          ($(b,--checkpoint-dir) + $(b,--resume))."
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"the daemon stopped gracefully."
+          :: Cmd.Exit.info 1 ~doc:"startup failed (bad address, bind error)."
+          :: List.filter (fun i -> Cmd.Exit.info_code i > 3) Cmd.Exit.defaults))
+    Term.(
+      const run $ listen_arg $ shards_arg $ max_sessions_arg $ global_live_arg
+      $ max_live_arg $ idle_timeout_arg $ session_timeout_arg
+      $ finish_timeout_arg $ checkpoint_dir_arg $ checkpoint_every_arg
+      $ resume_arg $ quiet_arg)
+
+let client_cmd =
+  let trace_arg =
+    let doc = "Trace file to stream (required unless --metrics or --stop)." in
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let session_arg =
+    let doc = "Session id (default: the trace's basename, sanitized)." in
+    Arg.(value & opt (some string) None & info [ "session" ] ~docv:"ID" ~doc)
+  in
+  let chunk_arg =
+    let doc = "Bytes per socket write." in
+    Arg.(value & opt int 65536 & info [ "chunk" ] ~docv:"BYTES" ~doc)
+  in
+  let delay_arg =
+    let doc = "Seconds to sleep between chunks (a deliberately slow writer)." in
+    Arg.(value & opt float 0. & info [ "delay" ] ~docv:"SEC" ~doc)
+  in
+  let abort_after_arg =
+    let doc =
+      "Drop the connection after sending $(docv) bytes — a simulated client \
+       crash (exits 1)."
+    in
+    Arg.(value & opt (some int) None & info [ "abort-after" ] ~docv:"BYTES" ~doc)
+  in
+  let metrics_flag =
+    let doc = "Print the daemon's plaintext metrics snapshot and exit." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let stop_flag =
+    let doc = "Ask the daemon to shut down gracefully and exit." in
+    Arg.(value & flag & info [ "stop" ] ~doc)
+  in
+  let sanitize_id s =
+    let s =
+      String.map
+        (fun c ->
+          if
+            (c >= 'a' && c <= 'z')
+            || (c >= 'A' && c <= 'Z')
+            || (c >= '0' && c <= '9')
+            || c = '.' || c = '_' || c = '-'
+          then c
+          else '-')
+        s
+    in
+    let s = if s = "" then "cli" else s in
+    String.sub s 0 (min 64 (String.length s))
+  in
+  let run addr trace session chunk delay abort_after metrics stop =
+    if metrics then print_string (or_fail (Serve.Client.metrics addr))
+    else if stop then or_fail (Serve.Client.stop addr)
+    else
+      match trace with
+      | None ->
+        Format.eprintf "racedet: a TRACE argument is required (or --metrics/--stop)@.";
+        exit 1
+      | Some file ->
+        let text =
+          try In_channel.with_open_bin file In_channel.input_all
+          with Sys_error msg -> or_fail (Error msg)
+        in
+        let id =
+          match session with Some s -> s | None -> sanitize_id (Filename.basename file)
+        in
+        let o =
+          or_fail
+            (Serve.Client.session ~chunk ~delay ?abort_after addr ~id ~trace:text)
+        in
+        print_string o.Serve.Client.report;
+        let code = Serve.Protocol.exit_code o.Serve.Client.cls in
+        if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Stream a trace to a $(b,racedet serve) daemon and print the verdict \
+          report — byte-identical to $(b,racedet analyze) on the same trace.  \
+          If the server offers a resume offset (it holds a checkpoint for this \
+          session id), only the tail is resent."
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"the session was analyzed and is race-free."
+          :: Cmd.Exit.info 1 ~doc:"transport/usage error, or the server refused the session."
+          :: Cmd.Exit.info 2 ~doc:"data races were reported."
+          :: Cmd.Exit.info 3 ~doc:"the session was lossy: the analysis is degraded."
+          :: Cmd.Exit.info 4 ~doc:"the session was shed by the server (over budget)."
+          :: Cmd.Exit.info 5 ~doc:"the session was aborted by the server (timeout/shutdown)."
+          :: List.filter (fun i -> Cmd.Exit.info_code i > 5) Cmd.Exit.defaults))
+    Term.(
+      const run $ connect_arg $ trace_arg $ session_arg $ chunk_arg $ delay_arg
+      $ abort_after_arg $ metrics_flag $ stop_flag)
+
+let loadgen_cmd =
+  let sessions_arg =
+    let doc = "Total sessions to replay." in
+    Arg.(value & opt int 200 & info [ "n"; "sessions" ] ~docv:"N" ~doc)
+  in
+  let concurrency_arg =
+    let doc = "Concurrent client connections." in
+    Arg.(value & opt int 8 & info [ "concurrency" ] ~docv:"N" ~doc)
+  in
+  let chunk_arg =
+    let doc = "Bytes per socket write." in
+    Arg.(value & opt int 65536 & info [ "chunk" ] ~docv:"BYTES" ~doc)
+  in
+  let seeds_arg =
+    let doc = "Distinct executions (seeds) per program." in
+    Arg.(value & opt int 2 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let min_throughput_arg =
+    let doc = "Fail (exit 1) below $(docv) aggregate events/sec." in
+    Arg.(value & opt float 0. & info [ "min-throughput" ] ~docv:"EPS" ~doc)
+  in
+  let run addr programs sessions concurrency chunk seeds min_throughput =
+    let fx = harness_fixtures ~seeds_per_program:seeds programs in
+    let r = Serve.Harness.load ~concurrency ~chunk ~sessions ~fixtures:fx addr in
+    List.iter (fun m -> Format.eprintf "racedet-loadgen: %s@." m)
+      r.Serve.Harness.l_failures;
+    Format.printf "%a@." Serve.Harness.pp_load r;
+    if r.Serve.Harness.l_failures <> [] then exit 1;
+    if min_throughput > 0. && r.Serve.Harness.l_events_per_sec < min_throughput
+    then begin
+      Format.eprintf
+        "racedet-loadgen: throughput %.0f events/sec below the %.0f floor@."
+        r.Serve.Harness.l_events_per_sec min_throughput;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running daemon with many interleaved trace sessions and \
+          assert every verdict and report byte-identical to a local reference \
+          analysis; prints aggregate throughput."
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"every session matched its reference."
+          :: Cmd.Exit.info 1
+               ~doc:"a verdict mismatched, a session failed, or throughput was below the floor."
+          :: List.filter (fun i -> Cmd.Exit.info_code i > 3) Cmd.Exit.defaults))
+    Term.(
+      const run $ connect_arg $ harness_programs_arg $ sessions_arg
+      $ concurrency_arg $ chunk_arg $ seeds_arg $ min_throughput_arg)
+
+let chaos_cmd =
+  let seeds_arg =
+    let doc = "Fault seeds per scenario (scales the corrupt and kill sweeps)." in
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let log_dir_arg =
+    let doc = "On violations, copy server logs and offending traces into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "log-dir" ] ~docv:"DIR" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress scenario progress lines on stderr." in
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+  in
+  let run programs seeds log_dir quiet =
+    let fx = harness_fixtures programs in
+    let log =
+      if quiet then ignore else fun m -> Printf.eprintf "racedet-chaos: %s\n%!" m
+    in
+    let r =
+      or_fail
+        (Serve.Harness.chaos ~exe:Sys.executable_name ~seeds ~log_dir ~log
+           ~fixtures:fx ())
+    in
+    List.iter
+      (fun v -> Format.eprintf "racedet-chaos: violation: %s@." v)
+      r.Serve.Harness.c_violations;
+    Format.printf "%a@." Serve.Harness.pp_chaos r;
+    let code = Serve.Harness.chaos_exit_code r in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Fault-injection campaign against real $(b,racedet serve) daemons: \
+          concurrent baseline sessions (cross-talk check), corrupted frames, \
+          mid-stream connection kills, slowloris writers, duplicate session \
+          ids, and SIGKILL-then-$(b,--resume) — asserting lossy sessions are \
+          never certified race-free, resumed verdicts are byte-identical, and \
+          the server stays live throughout."
+       ~exits:
+         (Cmd.Exit.info 0 ~doc:"every invariant held."
+          :: Cmd.Exit.info 1 ~doc:"an invariant was violated (or the campaign could not run)."
+          :: List.filter (fun i -> Cmd.Exit.info_code i > 3) Cmd.Exit.defaults))
+    Term.(const run $ harness_programs_arg $ seeds_arg $ log_dir_arg $ quiet_arg)
+
 let () =
   let doc = "dynamic data-race detection on weak memory systems (ISCA 1991)" in
   let info = Cmd.info "racedet" ~version:"1.0.0" ~doc in
@@ -1772,4 +2118,4 @@ let () =
           [ list_cmd; show_cmd; run_cmd; detect_cmd; trace_cmd; analyze_cmd;
             faultfuzz_cmd; enumerate_cmd; check_cmd; cost_cmd; replay_cmd;
             graph_cmd; gen_cmd; sweep_cmd; lint_cmd; fence_cmd; triage_cmd;
-            variants_cmd ]))
+            variants_cmd; serve_cmd; client_cmd; loadgen_cmd; chaos_cmd ]))

@@ -108,6 +108,7 @@ let create ?max_live ?(tolerant = false) () =
 
 let saw_end t = t.ended
 let seen_events t = t.seen_events
+let live_events t = t.live
 
 let sizes_exn t what =
   match t.sizes with
@@ -717,26 +718,42 @@ let finish_salvaged t ~decode_losses =
 
 (* -- checkpoint / restore -------------------------------------------- *)
 
-(* A checkpoint is one header line — magic, payload length, payload
-   CRC-32 — followed by the marshalled (engine, extra) pair.  The write
-   goes through a temporary file and a rename, so a kill mid-write
-   leaves either the previous checkpoint or a complete new one, and the
-   CRC rejects torn or doctored payloads on restore. *)
-let ckpt_magic = "weakrace-ckpt 1"
+(* A checkpoint is one header line — magic, format version, kind token,
+   payload length, payload CRC-32 — followed by the marshalled
+   (engine, extra) pair.  The Marshal payload is untyped, so the header
+   carries everything needed to refuse a file we would otherwise
+   misread: a version bump (the [extra] shape changed), a kind mismatch
+   (an [analyze --checkpoint] file fed to [serve --resume], whose
+   [extra] has a different type), truncation, or corruption all come
+   back as structured [Error]s naming the file.  The write goes through
+   a temporary file and a rename, so a kill mid-write leaves either the
+   previous checkpoint or a complete new one. *)
+let ckpt_magic = "weakrace-ckpt"
+let ckpt_version = 2
 
-let checkpoint path t ~extra =
+let valid_kind k =
+  k <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-' || c = '_')
+       k
+
+let checkpoint ?(kind = "stream") path t ~extra =
+  if not (valid_kind kind) then
+    invalid_arg "Stream.checkpoint: kind must be a lowercase token";
   let payload = Marshal.to_string (t, extra) [] in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
-     Printf.fprintf oc "%s %d %08x\n" ckpt_magic (String.length payload)
+     Printf.fprintf oc "%s %d %s %d %08x\n" ckpt_magic ckpt_version kind
+       (String.length payload)
        (Tracing.Crc32.string payload);
      output_string oc payload
    with exn -> close_out_noerr oc; raise exn);
   close_out oc;
   Sys.rename tmp path
 
-let restore path =
+let restore ?(kind = "stream") path =
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error msg -> Error msg
   | data ->
@@ -746,24 +763,33 @@ let restore path =
        let header = String.sub data 0 i in
        let payload = String.sub data (i + 1) (String.length data - i - 1) in
        (match String.split_on_char ' ' header with
-        | [ "weakrace-ckpt"; "1"; len; crc ] ->
-          (match int_of_string_opt len, int_of_string_opt ("0x" ^ crc) with
-           | Some l, Some c ->
-             if String.length payload < l then
-               Error
-                 (Printf.sprintf "%s: checkpoint truncated (%d of %d payload bytes)"
-                    path (String.length payload) l)
-             else if String.length payload > l then
-               Error
-                 (Printf.sprintf
-                    "%s: checkpoint payload is %d bytes but the header announces %d"
-                    path (String.length payload) l)
-             else if Tracing.Crc32.string payload <> c then
-               Error (Printf.sprintf "%s: checkpoint checksum mismatch" path)
-             else
-               (try Ok (Marshal.from_string payload 0)
-                with _ -> Error (Printf.sprintf "%s: corrupt checkpoint payload" path))
-           | _ -> Error (Printf.sprintf "%s: not a checkpoint file" path))
+        | [ "weakrace-ckpt"; "2"; k; len; crc ] ->
+          if k <> kind then
+            Error
+              (Printf.sprintf "%s: checkpoint kind is %S, expected %S" path k kind)
+          else
+            (match int_of_string_opt len, int_of_string_opt ("0x" ^ crc) with
+             | Some l, Some c ->
+               if String.length payload < l then
+                 Error
+                   (Printf.sprintf "%s: checkpoint truncated (%d of %d payload bytes)"
+                      path (String.length payload) l)
+               else if String.length payload > l then
+                 Error
+                   (Printf.sprintf
+                      "%s: checkpoint payload is %d bytes but the header announces %d"
+                      path (String.length payload) l)
+               else if Tracing.Crc32.string payload <> c then
+                 Error (Printf.sprintf "%s: checkpoint checksum mismatch" path)
+               else
+                 (try Ok (Marshal.from_string payload 0)
+                  with _ -> Error (Printf.sprintf "%s: corrupt checkpoint payload" path))
+             | _ -> Error (Printf.sprintf "%s: not a checkpoint file" path))
+        | "weakrace-ckpt" :: v :: _ when int_of_string_opt v <> None ->
+          Error
+            (Printf.sprintf
+               "%s: unsupported checkpoint format version %s (this build writes %d)"
+               path v ckpt_version)
         | _ -> Error (Printf.sprintf "%s: not a checkpoint file" path)))
 
 let analyze_fold fold ?max_live () =

@@ -68,6 +68,11 @@ val saw_end : t -> bool
 
 val seen_events : t -> int
 
+val live_events : t -> int
+(** Resident event payloads right now (pending + live race candidates) —
+    the engine's memory footprint in events.  The serve daemon sums this
+    across sessions to enforce its global live-event budget. *)
+
 val finish : t -> (Postmortem.analysis * stats, string) result
 (** End of input: resolve acquires still waiting for so1 (batch-layout
     files), verify completeness, and run the partition/report stage.
@@ -93,17 +98,26 @@ val finish_salvaged :
     races among survivors but never under-reports them — and race
     freedom is never claimed. *)
 
-val checkpoint : string -> t -> extra:'a -> unit
+val checkpoint : ?kind:string -> string -> t -> extra:'a -> unit
 (** Atomically persist the engine plus caller state [extra] (codec
     decoder, input offset, …) to a file: marshalled payload behind a
-    header carrying its length and CRC-32, written to a temporary file
-    and renamed, so a crash mid-write never leaves a half checkpoint in
-    place.  [extra] must be marshallable (no closures). *)
+    header carrying the format version, a [kind] token (default
+    ["stream"]; lowercase [a-z0-9_-]), the payload length and its
+    CRC-32, written to a temporary file and renamed, so a crash
+    mid-write never leaves a half checkpoint in place.  [extra] must be
+    marshallable (no closures).  Distinct producers should use distinct
+    kinds so each other's files are refused on {!restore} instead of
+    being unmarshalled at the wrong type.
 
-val restore : string -> (t * 'a, string) result
+    @raise Invalid_argument if [kind] is not a valid token. *)
+
+val restore : ?kind:string -> string -> (t * 'a, string) result
 (** Load a {!checkpoint}.  Truncated, doctored, or torn files are
-    rejected via the header CRC.  The caller must request the same
-    [extra] type it saved — marshalling is untyped, as usual. *)
+    rejected via the header CRC; files written by another format version
+    or another [kind] (default ["stream"]) are refused with a structured
+    error naming the file.  The caller must request the same [extra]
+    type it saved — marshalling is untyped beyond the kind check, as
+    usual. *)
 
 val analyze_file :
   ?chunk_size:int -> ?max_live:int -> string ->

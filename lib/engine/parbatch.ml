@@ -51,6 +51,138 @@ let map ?jobs f arr =
       results
   end
 
+(* --- wall-clock-bounded evaluation ------------------------------------
+
+   OCaml 5 gives us no [Domain.join] with a timeout and no
+   [Condition.timedwait], so a bounded wait has to go through the file
+   descriptor layer: each timed task runs on its own domain, publishes
+   its outcome through an atomic slot, and then writes one byte to a
+   pipe.  The caller waits for readability with [Unix.select] under a
+   deadline.  On timeout the task's domain keeps running (a domain
+   cannot be cancelled) — we abandon it along with the read end of its
+   pipe and move on.  The write end is always closed by the worker
+   itself, and the caller never closes the read end before the worker
+   has written, so no SIGPIPE can arise.  An abandoned spinning domain
+   is safe (the runtime's poll points keep stop-the-world working); it
+   just burns a core until process exit, which is exactly the damage a
+   wedged task would have done anyway. *)
+
+type 'b outcome =
+  | Pending
+  | Value of 'b
+  | Raised of exn * Printexc.raw_backtrace
+
+type 'b timed = {
+  rd : Unix.file_descr;
+  slot : 'b outcome Atomic.t;
+  dom : unit Domain.t;
+  deadline : float;
+}
+
+let spawn_timed ~timeout f =
+  let rd, wr = Unix.pipe ~cloexec:true () in
+  let slot = Atomic.make Pending in
+  let dom =
+    Domain.spawn (fun () ->
+        (match f () with
+        | v -> Atomic.set slot (Value v)
+        | exception e -> Atomic.set slot (Raised (e, Printexc.get_raw_backtrace ())));
+        (try ignore (Unix.write wr (Bytes.make 1 '\000') 0 1) with _ -> ());
+        (try Unix.close wr with _ -> ()))
+  in
+  { rd; slot; dom; deadline = Unix.gettimeofday () +. timeout }
+
+(* The byte is written after the atomic store, so readability implies the
+   slot is filled; join is then immediate. *)
+let collect t =
+  (try Unix.close t.rd with _ -> ());
+  Domain.join t.dom;
+  match Atomic.get t.slot with
+  | Value v -> Ok v
+  | Raised (e, bt) -> Error (e, bt)
+  | Pending -> assert false (* the completion byte was observed *)
+
+let select_readable fds wait =
+  match Unix.select fds [] [] wait with
+  | rs, _, _ -> rs
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+let run_timeout ~timeout f =
+  if timeout <= 0. then Ok (f ())
+  else begin
+    let t = spawn_timed ~timeout f in
+    let rec wait () =
+      let left = t.deadline -. Unix.gettimeofday () in
+      if select_readable [ t.rd ] (Float.max 0. left) <> [] then
+        match collect t with
+        | Ok v -> Ok v
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+      else if left <= 0. then Error `Timeout (* abandon domain and pipe *)
+      else wait ()
+    in
+    wait ()
+  end
+
+let map_timeout ?jobs ~timeout f arr =
+  let n = Array.length arr in
+  let jobs =
+    match jobs with
+    | Some j when j < 1 -> invalid_arg "Parbatch.map_timeout: jobs must be >= 1"
+    | Some j -> min j (max n 1)
+    | None -> min (default_jobs ()) (max n 1)
+  in
+  if n = 0 then [||]
+  else if timeout <= 0. then Array.map (fun x -> Ok (f x)) arr
+  else begin
+    let out = Array.make n None in
+    let errors = Array.make n None in
+    let next = ref 0 in
+    let live = ref [] in
+    let spawn i =
+      let t = spawn_timed ~timeout (fun () -> f arr.(i)) in
+      live := (i, t) :: !live
+    in
+    while !next < n || !live <> [] do
+      while !next < n && List.length !live < jobs do
+        spawn !next;
+        incr next
+      done;
+      let now = Unix.gettimeofday () in
+      let earliest =
+        List.fold_left (fun a (_, t) -> Float.min a t.deadline) infinity !live
+      in
+      let rs =
+        select_readable (List.map (fun (_, t) -> t.rd) !live)
+          (Float.max 0. (earliest -. now))
+      in
+      (* Collect completions first so a task finishing right at its
+         deadline is reported as a result, not a timeout. *)
+      let finished, rest = List.partition (fun (_, t) -> List.mem t.rd rs) !live in
+      List.iter
+        (fun (i, t) ->
+          match collect t with
+          | Ok v -> out.(i) <- Some (Ok v)
+          | Error (e, bt) ->
+              errors.(i) <- Some (e, bt);
+              out.(i) <- Some (Error `Timeout))
+        finished;
+      let now = Unix.gettimeofday () in
+      let expired, rest = List.partition (fun (_, t) -> t.deadline <= now) rest in
+      List.iter (fun (i, _) -> out.(i) <- Some (Error `Timeout)) expired;
+      live := rest
+    done;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ())
+      errors;
+    Array.map
+      (function
+        | Some r -> r
+        | None -> assert false (* every index completed, expired, or errored *))
+      out
+  end
+
 let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
 
 let map_seeds ?jobs n f = map ?jobs f (Array.init n (fun s -> s))

@@ -24,6 +24,30 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
     @raise Invalid_argument if [jobs < 1]. *)
 
+val run_timeout : timeout:float -> (unit -> 'b) -> ('b, [ `Timeout ]) result
+(** [run_timeout ~timeout f] evaluates [f ()] on a fresh domain and waits
+    at most [timeout] seconds (wall clock) for it to finish.  On timeout
+    the domain cannot be cancelled: it is abandoned together with the
+    read end of its completion pipe and keeps burning a core until it
+    returns or the process exits — the budget bounds the {e caller}, not
+    the task.  [timeout <= 0.] disables the budget and runs [f] inline.
+    If [f] raises, the exception is re-raised here with its backtrace. *)
+
+val map_timeout :
+  ?jobs:int -> timeout:float -> ('a -> 'b) -> 'a array -> ('b, [ `Timeout ]) result array
+(** [map_timeout ~jobs ~timeout f arr] is {!map} with a per-item
+    wall-clock budget: each item runs on its own domain (at most [jobs]
+    in flight, default {!default_jobs}) and an item still running
+    [timeout] seconds after it was started yields [Error `Timeout] in
+    its slot while the rest of the batch proceeds — one wedged item can
+    no longer stall the whole batch.  Timed-out domains are abandoned as
+    in {!run_timeout}.  Results are in index order; if any [f] raises,
+    the exception of the smallest failing index is re-raised after the
+    batch drains, matching {!map}.  [timeout <= 0.] disables the budget
+    and evaluates serially inline.
+
+    @raise Invalid_argument if [jobs < 1]. *)
+
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val map_seeds : ?jobs:int -> int -> (int -> 'b) -> 'b array

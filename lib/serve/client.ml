@@ -1,0 +1,271 @@
+type outcome = {
+  cls : Protocol.outcome_class;
+  events : int option;
+  reason : string option;
+  report : string;
+  resumed_from : int;
+}
+
+let sockaddr_of = function
+  | Server.Unix_sock path -> Ok (Unix.ADDR_UNIX path)
+  | Server.Tcp (host, port) ->
+    if host = "" then Ok (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+    else
+      (match Unix.inet_addr_of_string host with
+       | a -> Ok (Unix.ADDR_INET (a, port))
+       | exception Failure _ ->
+         (match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ ->
+            Ok (Unix.ADDR_INET (a, port))
+          | _ -> Error (Printf.sprintf "cannot resolve host %S" host)))
+
+let connect ?(attempts = 1) ?(delay = 0.1) addr =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match sockaddr_of addr with
+  | Error _ as e -> e
+  | Ok sa ->
+    let domain = match sa with Unix.ADDR_UNIX _ -> Unix.PF_UNIX | _ -> Unix.PF_INET in
+    let rec go n =
+      let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+      match Unix.connect fd sa with
+      | () -> Ok fd
+      | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n > 1 then begin
+          Unix.sleepf delay;
+          go (n - 1)
+        end
+        else
+          Error
+            (Format.asprintf "connect %a: %s" Server.pp_addr addr
+               (Unix.error_message e))
+    in
+    go (max 1 attempts)
+
+let write_all fd s pos len =
+  let rec go pos len =
+    if len = 0 then Ok ()
+    else
+      match Unix.write_substring fd s pos len with
+      | 0 -> Error "connection closed while writing"
+      | n -> go (pos + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go pos len
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go pos len
+
+let read_all fd =
+  let buf = Bytes.create 65536 in
+  let b = Buffer.create 1024 in
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> Ok (Buffer.contents b)
+    | n ->
+      Buffer.add_subbytes b buf 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go ()
+
+let read_line fd =
+  let b = Buffer.create 64 in
+  let one = Bytes.create 1 in
+  let rec go () =
+    match Unix.read fd one 0 1 with
+    | 0 -> if Buffer.length b = 0 then Error "connection closed" else Ok (Buffer.contents b)
+    | _ ->
+      if Bytes.get one 0 = '\n' then Ok (Buffer.contents b)
+      else begin
+        Buffer.add_char b (Bytes.get one 0);
+        if Buffer.length b > 4096 then Error "oversized reply line" else go ()
+      end
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  in
+  go ()
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let finally fd f =
+  Fun.protect ~finally:(fun () -> close_noerr fd) f
+
+(* The response tail: "verdict ...\nreport <len>\n<len bytes>". *)
+let read_response fd =
+  match read_line fd with
+  | Error _ as e -> e
+  | Ok vline ->
+    if String.length vline >= 4 && String.sub vline 0 4 = "err " then
+      Error (String.sub vline 4 (String.length vline - 4))
+    else
+      (match Protocol.parse_verdict_line vline with
+       | Error _ as e -> e
+       | Ok (cls, events, reason) ->
+         (match read_line fd with
+          | Error _ as e -> e
+          | Ok rline ->
+            (match String.split_on_char ' ' rline with
+             | [ "report"; n ] ->
+               (match int_of_string_opt n with
+                | None -> Error ("bad report header: " ^ rline)
+                | Some want ->
+                  (match read_all fd with
+                   | Error _ as e -> e
+                   | Ok body ->
+                     if String.length body < want then
+                       Error
+                         (Printf.sprintf "report truncated (%d of %d bytes)"
+                            (String.length body) want)
+                     else Ok (cls, events, reason, String.sub body 0 want)))
+             | _ -> Error ("bad report header: " ^ rline))))
+
+let hello fd h =
+  let line = Protocol.hello_line h ^ "\n" in
+  write_all fd line 0 (String.length line)
+
+let session ?(chunk = 65536) ?(delay = 0.) ?abort_after addr ~id ~trace =
+  match connect addr with
+  | Error msg -> Error msg
+  | Ok fd ->
+    finally fd (fun () ->
+        match hello fd (Protocol.Session id) with
+        | Error _ as e -> e
+        | Ok () ->
+          (match read_line fd with
+           | Error _ as e -> e
+           | Ok ack ->
+             (match String.split_on_char ' ' ack with
+              | [ "ok"; off ] ->
+                (match int_of_string_opt off with
+                 | None -> Error ("bad ack: " ^ ack)
+                 | Some resumed_from ->
+                   if resumed_from > String.length trace then
+                     Error
+                       (Printf.sprintf
+                          "server resume offset %d exceeds trace length %d"
+                          resumed_from (String.length trace))
+                   else begin
+                     let budget =
+                       match abort_after with Some n -> n | None -> max_int
+                     in
+                     let pos = ref resumed_from in
+                     let sent = ref 0 in
+                     let err = ref None in
+                     let aborted = ref false in
+                     while
+                       !err = None && (not !aborted) && !pos < String.length trace
+                     do
+                       let n = min chunk (String.length trace - !pos) in
+                       let n = min n (budget - !sent) in
+                       if n <= 0 then aborted := true
+                       else begin
+                         (match write_all fd trace !pos n with
+                          | Ok () ->
+                            pos := !pos + n;
+                            sent := !sent + n;
+                            if delay > 0. then Unix.sleepf delay
+                          | Error e -> err := Some e)
+                       end
+                     done;
+                     match !err with
+                     | Some e -> Error e
+                     | None ->
+                       if !aborted then Error "aborted"
+                       else begin
+                         (* half-close: our trace is fully sent *)
+                         (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+                          with Unix.Unix_error _ -> ());
+                         match read_response fd with
+                         | Error _ as e -> e
+                         | Ok (cls, events, reason, report) ->
+                           Ok { cls; events; reason; report; resumed_from }
+                       end
+                   end)
+              | "err" :: rest -> Error (String.concat " " rest)
+              | _ -> Error ("bad ack: " ^ ack))))
+
+let raw_open addr ~id =
+  match connect addr with
+  | Error msg -> Error msg
+  | Ok fd ->
+    (match hello fd (Protocol.Session id) with
+     | Error e ->
+       close_noerr fd;
+       Error e
+     | Ok () ->
+       (match read_line fd with
+        | Error e ->
+          close_noerr fd;
+          Error e
+        | Ok ack ->
+          (match String.split_on_char ' ' ack with
+           | [ "ok"; off ] ->
+             (match int_of_string_opt off with
+              | Some n -> Ok (fd, n)
+              | None ->
+                close_noerr fd;
+                Error ("bad ack: " ^ ack))
+           | "err" :: rest ->
+             close_noerr fd;
+             Error (String.concat " " rest)
+           | _ ->
+             close_noerr fd;
+             Error ("bad ack: " ^ ack))))
+
+let raw_send fd s = write_all fd s 0 (String.length s)
+
+let metrics addr =
+  match connect addr with
+  | Error msg -> Error msg
+  | Ok fd ->
+    finally fd (fun () ->
+        match hello fd Protocol.Metrics with
+        | Error _ as e -> e
+        | Ok () -> read_all fd)
+
+let stop addr =
+  match connect addr with
+  | Error msg -> Error msg
+  | Ok fd ->
+    finally fd (fun () ->
+        match hello fd Protocol.Stop with
+        | Error _ as e -> e
+        | Ok () ->
+          (match read_line fd with
+           | Ok "ok stopping" -> Ok ()
+           | Ok other -> Error ("unexpected reply: " ^ other)
+           | Error _ as e -> e))
+
+let metric_value snapshot name =
+  let prefix = "serve_" ^ name ^ " " in
+  String.split_on_char '\n' snapshot
+  |> List.find_map (fun l ->
+         if String.length l > String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix
+         then
+           int_of_string_opt
+             (String.sub l (String.length prefix)
+                (String.length l - String.length prefix))
+         else None)
+
+let session_row snapshot id =
+  let prefix = "session " ^ id ^ " " in
+  String.split_on_char '\n' snapshot
+  |> List.find_map (fun l ->
+         if String.length l > String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix
+         then
+           Some (String.sub l (String.length prefix) (String.length l - String.length prefix))
+         else None)
+  |> Option.map (fun rest ->
+         match String.split_on_char ' ' rest with
+         | [ "state"; "parked" ] -> [ ("parked", 1) ]
+         | toks ->
+           let rec pairs = function
+             | k :: v :: tl ->
+               (match int_of_string_opt v with
+                | Some n -> (k, n) :: pairs tl
+                | None -> pairs tl)
+             | _ -> []
+           in
+           pairs toks)

@@ -1,0 +1,55 @@
+(** Blocking client for the [racedet serve] daemon — used by the
+    [racedet client] CLI, the load generator, and the chaos harness. *)
+
+type outcome = {
+  cls : Protocol.outcome_class;
+  events : int option;       (** events analyzed, for analyzed classes *)
+  reason : string option;    (** shed/aborted/error reason token *)
+  report : string;           (** report body, byte-identical to analyze *)
+  resumed_from : int;        (** byte offset the server asked us to resend from *)
+}
+
+val connect :
+  ?attempts:int -> ?delay:float -> Server.addr -> (Unix.file_descr, string) result
+(** Connect, retrying [attempts] times (default 1) every [delay] seconds
+    (default 0.1) — the retry loop lets callers race a daemon that is
+    still binding its socket. *)
+
+val session :
+  ?chunk:int ->
+  ?delay:float ->
+  ?abort_after:int ->
+  Server.addr ->
+  id:string ->
+  trace:string ->
+  (outcome, string) result
+(** Open session [id], stream [trace] (resending from the server's
+    resume offset when it is non-zero) in [chunk]-byte writes (default
+    65536) sleeping [delay] seconds between chunks (default 0), then
+    half-close and read the verdict.  [abort_after n] drops the
+    connection after [n] bytes without half-closing — a simulated client
+    crash — and returns [Error "aborted"]. *)
+
+val raw_open : Server.addr -> id:string -> (Unix.file_descr * int, string) result
+(** Open a session and return the raw socket plus the server's resume
+    offset, without streaming anything — the chaos harness uses this to
+    hold half-fed sessions open, trickle bytes, or drop the connection
+    at a precise byte.  Close the fd with {!Unix.close}. *)
+
+val raw_send : Unix.file_descr -> string -> (unit, string) result
+(** Write all given bytes to a {!raw_open} socket. *)
+
+val metrics : Server.addr -> (string, string) result
+(** Fetch the plaintext metrics snapshot. *)
+
+val metric_value : string -> string -> int option
+(** [metric_value snapshot name] extracts [serve_<name> <int>]. *)
+
+val session_row : string -> string -> (string * int) list option
+(** [session_row snapshot id]: the per-session row as key/value pairs
+    ([shard], [events], [live], [consumed], [ckpt_events],
+    [ckpt_consumed]) — [None] if the session has no row; a parked
+    session yields [[("parked", 1)]]. *)
+
+val stop : Server.addr -> (unit, string) result
+(** Ask the daemon to shut down gracefully. *)

@@ -1,0 +1,631 @@
+type fixture = {
+  f_name : string;
+  f_trace : string;
+  f_report : string;
+  f_cls : Protocol.outcome_class;
+  f_events : int;
+}
+
+(* Local reference: the exact pipeline a serve session runs — salvage
+   decode into a tolerant engine — rendered with the shared renderer. *)
+let reference text =
+  match Racedetect.Stream.analyze_salvage_string text with
+  | exception e -> Error (Printf.sprintf "salvage raised %s" (Printexc.to_string e))
+  | Error _ as e -> e
+  | Ok (v, st) ->
+    let races a = List.length (Racedetect.Postmortem.reported_races a) in
+    let cls =
+      match v with
+      | Racedetect.Postmortem.Race_free _ -> Protocol.Race_free
+      | Racedetect.Postmortem.Races a -> Protocol.Races (races a)
+      | Racedetect.Postmortem.Degraded { analysis; _ } ->
+        Protocol.Degraded (races analysis)
+    in
+    Ok (cls, Protocol.render_verdict_report v, st.Racedetect.Stream.total_events)
+
+let fixtures ?(seeds_per_program = 2) programs =
+  if programs = [] then Error "no programs to build fixtures from"
+  else begin
+    let out = ref [] in
+    let err = ref None in
+    List.iter
+      (fun (name, p) ->
+        for seed = 0 to seeds_per_program - 1 do
+          if !err = None then begin
+            match
+              Minilang.Interp.run ~max_steps:4_000 ~model:Memsim.Model.WO
+                ~sched:(Memsim.Sched.adversarial ~seed ()) p
+            with
+            | exception e ->
+              err :=
+                Some
+                  (Printf.sprintf "%s seed %d: simulation raised %s" name seed
+                     (Printexc.to_string e))
+            | e ->
+              let t = Tracing.Trace.of_execution e in
+              let text =
+                Tracing.Codec.encode_stream
+                  ~version:Tracing.Codec.version_checksummed t
+              in
+              (match reference text with
+               | Error m ->
+                 err := Some (Printf.sprintf "%s seed %d: reference failed: %s" name seed m)
+               | Ok (cls, report, events) ->
+                 out :=
+                   {
+                     f_name = Printf.sprintf "%s/%d" name seed;
+                     f_trace = text;
+                     f_report = report;
+                     f_cls = cls;
+                     f_events = events;
+                   }
+                   :: !out)
+          end
+        done)
+      programs;
+    match !err with
+    | Some m -> Error m
+    | None -> Ok (Array.of_list (List.rev !out))
+  end
+
+(* -- load generation -------------------------------------------------- *)
+
+type load_report = {
+  l_sessions : int;
+  l_events : int;
+  l_bytes : int;
+  l_wall : float;
+  l_events_per_sec : float;
+  l_failures : string list;
+}
+
+let check_outcome ~what (f : fixture) (o : Client.outcome) =
+  if o.Client.cls <> f.f_cls then
+    Error
+      (Printf.sprintf
+         "%s (%s): verdict class mismatch (got exit %d, want exit %d)" what
+         f.f_name
+         (Protocol.exit_code o.Client.cls)
+         (Protocol.exit_code f.f_cls))
+  else if o.Client.report <> f.f_report then
+    Error (Printf.sprintf "%s (%s): report bytes differ from reference" what f.f_name)
+  else if o.Client.events <> Some f.f_events then
+    Error
+      (Printf.sprintf "%s (%s): event count %s, want %d" what f.f_name
+         (match o.Client.events with None -> "missing" | Some n -> string_of_int n)
+         f.f_events)
+  else Ok ()
+
+let load ?(concurrency = 8) ?(chunk = 65536) ~sessions ~fixtures:fx addr =
+  let n = max 1 sessions in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Engine.Parbatch.map ~jobs:(max 1 concurrency)
+      (fun i ->
+        let f = fx.(i mod Array.length fx) in
+        match Client.session ~chunk addr ~id:(Printf.sprintf "load-%d" i) ~trace:f.f_trace with
+        | Ok o ->
+          (match check_outcome ~what:(Printf.sprintf "load-%d" i) f o with
+           | Ok () -> Ok (f.f_events, String.length f.f_trace)
+           | Error m -> Error m)
+        | Error e -> Error (Printf.sprintf "load-%d (%s): %s" i f.f_name e))
+      (Array.init n Fun.id)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events = ref 0 and bytes = ref 0 and failures = ref [] in
+  Array.iter
+    (function
+      | Ok (e, b) ->
+        events := !events + e;
+        bytes := !bytes + b
+      | Error m -> failures := m :: !failures)
+    results;
+  {
+    l_sessions = n;
+    l_events = !events;
+    l_bytes = !bytes;
+    l_wall = wall;
+    l_events_per_sec = (if wall > 0. then float_of_int !events /. wall else 0.);
+    l_failures = List.rev !failures;
+  }
+
+let pp_load ppf r =
+  Format.fprintf ppf
+    "loadgen: %d session(s), %d event(s), %d byte(s) in %.2fs — %.0f events/sec, %d failure(s)"
+    r.l_sessions r.l_events r.l_bytes r.l_wall r.l_events_per_sec
+    (List.length r.l_failures)
+
+(* -- chaos campaign --------------------------------------------------- *)
+
+type chaos_report = {
+  c_cases : int;
+  c_baseline : int;
+  c_corrupt : int;
+  c_corrupt_degraded : int;
+  c_corrupt_refused : int;
+  c_kill_conn : int;
+  c_slowloris : int;
+  c_dup_id : int;
+  c_kill_resume : int;
+  c_violations : string list;
+}
+
+let pp_chaos ppf r =
+  Format.fprintf ppf
+    "chaos: %d case(s) — baseline %d, corrupt %d (%d degraded, %d refused), \
+     kill-conn %d, slowloris %d, dup-id %d, kill-resume %d, %d invariant violation(s)"
+    r.c_cases r.c_baseline r.c_corrupt r.c_corrupt_degraded r.c_corrupt_refused
+    r.c_kill_conn r.c_slowloris r.c_dup_id r.c_kill_resume
+    (List.length r.c_violations)
+
+let chaos_exit_code r = if r.c_violations = [] then 0 else 1
+
+type daemon = { d_pid : int; d_addr : Server.addr; d_log : string }
+
+let fresh_dir prefix =
+  let base = Filename.get_temp_dir_name () in
+  let rec go i =
+    let d = Filename.concat base (Printf.sprintf "%s-%d-%d" prefix (Unix.getpid ()) i) in
+    match Unix.mkdir d 0o700 with
+    | () -> d
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (i + 1)
+  in
+  go 0
+
+let start_daemon ~exe ~sock ~logf args =
+  let fd = Unix.openfile logf [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let argv = Array.of_list ((exe :: [ "serve"; "--listen"; "unix:" ^ sock ]) @ args) in
+  let pid = Unix.create_process exe argv Unix.stdin fd fd in
+  Unix.close fd;
+  let addr = Server.Unix_sock sock in
+  match Client.connect ~attempts:100 ~delay:0.05 addr with
+  | Ok fd ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Ok { d_pid = pid; d_addr = addr; d_log = logf }
+  | Error e ->
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "daemon did not come up: %s" e)
+
+let wait_daemon d = try ignore (Unix.waitpid [] d.d_pid) with Unix.Unix_error _ -> ()
+
+let sigkill_daemon d =
+  (try Unix.kill d.d_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  wait_daemon d
+
+let stop_daemon d =
+  match Client.stop d.d_addr with
+  | Ok () ->
+    wait_daemon d;
+    Ok ()
+  | Error e ->
+    sigkill_daemon d;
+    Error e
+
+(* Byte offsets just past each v2 epoch-mark line. *)
+let mark_offsets text =
+  let res = ref [] in
+  let pos = ref 0 in
+  List.iter
+    (fun line ->
+      let next = !pos + String.length line + 1 in
+      if String.length line >= 5 && String.sub line 0 5 = "mark " then
+        res := next :: !res;
+      pos := next)
+    (String.split_on_char '\n' text);
+  List.rev !res
+
+let poll ?(attempts = 50) ?(delay = 0.1) f =
+  let rec go n = if f () then true else if n <= 1 then false else (Unix.sleepf delay; go (n - 1)) in
+  go attempts
+
+let copy_file src dst =
+  try
+    let data = In_channel.with_open_bin src In_channel.input_all in
+    Out_channel.with_open_bin dst (fun oc -> Out_channel.output_string oc data)
+  with Sys_error _ -> ()
+
+let write_file path data =
+  try Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc data)
+  with Sys_error _ -> ()
+
+let chaos ~exe ?(seeds = 5) ?(log_dir = None) ?(log = ignore) ~fixtures:fx () =
+  if Array.length fx = 0 then Error "chaos: no fixtures"
+  else begin
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let tmp = fresh_dir "racedet-chaos" in
+    let violations = ref [] in
+    let artifacts = ref [] in
+    let violate f fmt =
+      Printf.ksprintf
+        (fun m ->
+          violations := m :: !violations;
+          (match f with
+           | Some (fix : fixture) -> artifacts := (fix.f_name, fix.f_trace) :: !artifacts
+           | None -> ());
+          log ("violation: " ^ m))
+        fmt
+    in
+    let cases = ref 0 in
+    let baseline = ref 0 and corrupt = ref 0 and corrupt_degraded = ref 0 in
+    let corrupt_refused = ref 0 and kill_conn = ref 0 and slowloris = ref 0 in
+    let dup_id = ref 0 and kill_resume = ref 0 in
+    let logs = ref [] in
+    let daemon name args =
+      let sock = Filename.concat tmp (name ^ ".sock") in
+      let logf = Filename.concat tmp (name ^ ".log") in
+      logs := logf :: !logs;
+      start_daemon ~exe ~sock ~logf args
+    in
+    let result =
+      match
+        daemon "main"
+          [ "--shards"; "2"; "--max-sessions"; "64"; "--idle-timeout"; "30";
+            "--checkpoint-dir"; Filename.concat tmp "main-ckpt";
+            "--checkpoint-every"; "16" ]
+      with
+      | Error _ as e -> e
+      | Ok d ->
+        (* --- baseline / interleave: everything concurrent, byte-exact --- *)
+        log "chaos: baseline interleave";
+        let res =
+          Engine.Parbatch.map ~jobs:4
+            (fun i ->
+              let f = fx.(i) in
+              Client.session d.d_addr ~id:(Printf.sprintf "base-%d" i)
+                ~trace:f.f_trace)
+            (Array.init (Array.length fx) Fun.id)
+        in
+        Array.iteri
+          (fun i r ->
+            incr cases;
+            incr baseline;
+            let f = fx.(i) in
+            match r with
+            | Error e -> violate (Some f) "baseline %s: %s" f.f_name e
+            | Ok o ->
+              (match check_outcome ~what:"baseline" f o with
+               | Ok () -> ()
+               | Error m -> violate (Some f) "%s" m))
+          res;
+        (* --- corrupt frames: server must equal the local salvage --- *)
+        log "chaos: corrupt frames";
+        let corrupt_cases =
+          Array.of_list
+            (List.concat_map
+               (fun seed ->
+                 Array.to_list fx
+                 |> List.mapi (fun i f ->
+                        let open Tracing.Corrupt in
+                        let kind =
+                          match (seed + i) mod 4 with
+                          | 0 -> Flip_bits (1 + (seed mod 5))
+                          | 1 -> Garble_bytes (1 + (seed mod 7))
+                          | 2 -> Drop_lines (1 + (seed mod 3))
+                          | _ -> Truncate_tail (1 + (seed * 13 mod 160))
+                        in
+                        (seed, f, Tracing.Corrupt.apply ~seed kind f.f_trace)))
+               (List.init seeds Fun.id))
+        in
+        let cres =
+          Engine.Parbatch.map ~jobs:4
+            (fun (seed, (f : fixture), damaged) ->
+              ( seed, f, damaged,
+                reference damaged,
+                Client.session d.d_addr
+                  ~id:(Printf.sprintf "corrupt-%d-%s" seed
+                         (String.map (fun c -> if c = '/' then '.' else c) f.f_name))
+                  ~trace:damaged ))
+            corrupt_cases
+        in
+        Array.iter
+          (fun (seed, f, damaged, local, served) ->
+            incr cases;
+            incr corrupt;
+            let name = Printf.sprintf "corrupt seed %d %s" seed f.f_name in
+            match (local, served) with
+            | Ok (cls, report, _events), Ok o ->
+              (match cls with
+               | Protocol.Degraded _ -> incr corrupt_degraded
+               | _ -> ());
+              if o.Client.cls <> cls then begin
+                violate (Some f) "%s: class differs from local salvage" name;
+                artifacts := (f.f_name ^ ".damaged", damaged) :: !artifacts
+              end
+              else if o.Client.report <> report then begin
+                violate (Some f) "%s: report differs from local salvage" name;
+                artifacts := (f.f_name ^ ".damaged", damaged) :: !artifacts
+              end
+              else if
+                (match cls with Protocol.Race_free -> false | _ -> true)
+                && o.Client.cls = Protocol.Race_free
+              then violate (Some f) "%s: lossy session certified race-free" name
+            | Error _, Ok o ->
+              incr corrupt_refused;
+              if o.Client.cls <> Protocol.Error_c then
+                violate (Some f)
+                  "%s: local salvage refused but the server said %d" name
+                  (Protocol.exit_code o.Client.cls)
+            | Error _, Error _ -> incr corrupt_refused
+            | Ok _, Error e ->
+              violate (Some f) "%s: server failed a case local salvage handles: %s"
+                name e)
+          cres;
+        (match Client.metrics d.d_addr with
+         | Ok _ -> ()
+         | Error e -> violate None "server dead after corrupt sweep: %s" e);
+        (* --- connection kills mid-stream --- *)
+        log "chaos: connection kills";
+        for seed = 0 to seeds - 1 do
+          incr cases;
+          incr kill_conn;
+          let f = fx.(seed mod Array.length fx) in
+          let cut = 1 + (seed * 37) mod (max 2 (String.length f.f_trace - 1)) in
+          (match
+             Client.session d.d_addr ~abort_after:cut
+               ~id:(Printf.sprintf "killconn-%d" seed) ~trace:f.f_trace
+           with
+           | Error _ -> ()
+           | Ok _ -> violate (Some f) "kill-conn %d: aborted client got a verdict" seed);
+          (* the server must survive and still verify fresh sessions *)
+          match
+            Client.session d.d_addr ~id:(Printf.sprintf "postkill-%d" seed)
+              ~trace:f.f_trace
+          with
+          | Error e -> violate (Some f) "kill-conn %d: server unusable after kill: %s" seed e
+          | Ok o ->
+            (match check_outcome ~what:(Printf.sprintf "post-kill-%d" seed) f o with
+             | Ok () -> ()
+             | Error m -> violate (Some f) "%s" m)
+        done;
+        (* --- duplicate session ids --- *)
+        log "chaos: duplicate session ids";
+        incr cases;
+        incr dup_id;
+        let fdup = fx.(0) in
+        (match Client.raw_open d.d_addr ~id:"dup-0" with
+         | Error e -> violate (Some fdup) "dup-id: open failed: %s" e
+         | Ok (fd, _off) ->
+           let half = String.length fdup.f_trace / 2 in
+           (match Client.raw_send fd (String.sub fdup.f_trace 0 half) with
+            | Error e ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              violate (Some fdup) "dup-id: send failed: %s" e
+            | Ok () ->
+              (* second claimant must be refused while the first holds the id *)
+              (match
+                 Client.session d.d_addr ~id:"dup-0" ~trace:fdup.f_trace
+               with
+               | Error e
+                 when String.length e >= 9 && String.sub e 0 9 = "duplicate" ->
+                 ()
+               | Error e -> violate (Some fdup) "dup-id: unexpected refusal: %s" e
+               | Ok _ -> violate (Some fdup) "dup-id: second claimant was accepted");
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              (* once released, the id must be reusable with no leaked state *)
+              (match
+                 poll ~attempts:50 ~delay:0.1 (fun () ->
+                     match
+                       Client.session d.d_addr ~id:"dup-0" ~trace:fdup.f_trace
+                     with
+                     | Ok o -> check_outcome ~what:"dup-id reuse" fdup o = Ok ()
+                     | Error _ -> false)
+               with
+               | true -> ()
+               | false ->
+                 violate (Some fdup)
+                   "dup-id: id not reusable with an exact verdict after release")))
+        ;
+        (* --- slowloris against a tight-deadline daemon --- *)
+        log "chaos: slowloris";
+        incr cases;
+        incr slowloris;
+        (match
+           daemon "slow"
+             [ "--shards"; "1"; "--session-timeout"; "1"; "--idle-timeout"; "5" ]
+         with
+         | Error e -> violate None "slowloris daemon: %s" e
+         | Ok ds ->
+           let f = fx.(Array.length fx - 1) in
+           (match Client.raw_open ds.d_addr ~id:"slow-0" with
+            | Error e -> violate (Some f) "slowloris open: %s" e
+            | Ok (fd, _) ->
+              let stopd = ref false in
+              let pos = ref 0 in
+              let t0 = Unix.gettimeofday () in
+              while (not !stopd) && Unix.gettimeofday () -. t0 < 4. do
+                let n = min 16 (String.length f.f_trace - !pos) in
+                if n <= 0 then stopd := true
+                else
+                  match Client.raw_send fd (String.sub f.f_trace !pos n) with
+                  | Ok () ->
+                    pos := !pos + n;
+                    Unix.sleepf 0.1
+                  | Error _ -> stopd := true
+              done;
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              (match Client.metrics ds.d_addr with
+               | Error e -> violate None "slowloris: daemon dead: %s" e
+               | Ok snap ->
+                 let aborted =
+                   Option.value ~default:0 (Client.metric_value snap "aborted")
+                 in
+                 let rf =
+                   Option.value ~default:0 (Client.metric_value snap "race_free")
+                 in
+                 if aborted < 1 then
+                   violate (Some f)
+                     "slowloris: trickle session was not aborted (aborted=%d)"
+                     aborted;
+                 if rf > 0 then
+                   violate (Some f) "slowloris: a trickled session was certified race-free");
+              (match stop_daemon ds with
+               | Ok () -> ()
+               | Error e ->
+                 violate None "slowloris: graceful stop failed: %s" e)));
+        (* --- SIGKILL the daemon, restart with --resume --- *)
+        log "chaos: SIGKILL + resume";
+        let resumable =
+          Array.to_list fx
+          |> List.filter (fun f ->
+                 match mark_offsets f.f_trace with
+                 | [] -> false
+                 | offs ->
+                   (* need a mark well before the end so a resend tail exists *)
+                   List.exists
+                     (fun o -> o * 10 < String.length f.f_trace * 8)
+                     offs)
+        in
+        List.iteri
+          (fun i (f : fixture) ->
+            List.iter
+              (fun between ->
+                incr cases;
+                incr kill_resume;
+                let label =
+                  Printf.sprintf "kill-resume %s (%s marks)" f.f_name
+                    (if between then "between" else "at")
+                in
+                let offs = mark_offsets f.f_trace in
+                let usable =
+                  List.filter (fun o -> o * 10 < String.length f.f_trace * 8) offs
+                in
+                let mark = List.nth usable (List.length usable / 2) in
+                let cut =
+                  if between then
+                    (* halfway into the line after the mark *)
+                    let rest = String.length f.f_trace - mark in
+                    let next_nl =
+                      match String.index_from_opt f.f_trace mark '\n' with
+                      | Some j -> j - mark + 1
+                      | None -> rest
+                    in
+                    min (String.length f.f_trace - 1) (mark + max 1 (next_nl / 2))
+                  else mark
+                in
+                let name = Printf.sprintf "kr-%d-%b" i between in
+                let ckdir = Filename.concat tmp (name ^ "-ckpt") in
+                match
+                  daemon name
+                    [ "--shards"; "1"; "--checkpoint-dir"; ckdir;
+                      "--checkpoint-every"; "16"; "--resume" ]
+                with
+                | Error e -> violate (Some f) "%s: daemon: %s" label e
+                | Ok dk ->
+                  let id = "resume-" ^ name in
+                  (match Client.raw_open dk.d_addr ~id with
+                   | Error e ->
+                     violate (Some f) "%s: open: %s" label e;
+                     sigkill_daemon dk
+                   | Ok (fd, off0) ->
+                     if off0 <> 0 then
+                       violate (Some f) "%s: fresh session offered offset %d" label off0;
+                     (match Client.raw_send fd (String.sub f.f_trace 0 cut) with
+                      | Error e ->
+                        violate (Some f) "%s: prefix send: %s" label e;
+                        (try Unix.close fd with Unix.Unix_error _ -> ());
+                        sigkill_daemon dk
+                      | Ok () ->
+                        (* wait for a checkpoint covering (part of) the prefix *)
+                        let got_ckpt =
+                          poll ~attempts:60 ~delay:0.1 (fun () ->
+                              match Client.metrics dk.d_addr with
+                              | Error _ -> false
+                              | Ok snap ->
+                                (match Client.session_row snap id with
+                                 | Some kv ->
+                                   (match List.assoc_opt "ckpt_consumed" kv with
+                                    | Some n -> n > 0
+                                    | None -> false)
+                                 | None -> false))
+                        in
+                        if not got_ckpt then
+                          violate (Some f) "%s: no checkpoint observed before the kill"
+                            label;
+                        (* let a trailing checkpoint land, then murder it *)
+                        Unix.sleepf 0.2;
+                        sigkill_daemon dk;
+                        (try Unix.close fd with Unix.Unix_error _ -> ());
+                        (match
+                           daemon (name ^ "-2")
+                             [ "--shards"; "1"; "--checkpoint-dir"; ckdir;
+                               "--checkpoint-every"; "16"; "--resume" ]
+                         with
+                         | Error e -> violate (Some f) "%s: restart: %s" label e
+                         | Ok dk2 ->
+                           (match
+                              Client.session dk2.d_addr ~id ~trace:f.f_trace
+                            with
+                            | Error e -> violate (Some f) "%s: resumed session: %s" label e
+                            | Ok o ->
+                              if got_ckpt && o.Client.resumed_from = 0 then
+                                violate (Some f)
+                                  "%s: checkpointed session resumed from offset 0"
+                                  label;
+                              if o.Client.resumed_from > cut then
+                                violate (Some f)
+                                  "%s: resume offset %d beyond the %d bytes ever sent"
+                                  label o.Client.resumed_from cut;
+                              (match
+                                 check_outcome ~what:label f o
+                               with
+                               | Ok () -> ()
+                               | Error m ->
+                                 violate (Some f) "%s (after resume)" m);
+                              let ck =
+                                Filename.concat ckdir (id ^ ".ckpt")
+                              in
+                              if Sys.file_exists ck then
+                                violate (Some f)
+                                  "%s: checkpoint file survives completion" label);
+                           (match stop_daemon dk2 with
+                            | Ok () -> ()
+                            | Error e ->
+                              violate None "%s: graceful stop failed: %s" label e)))))
+              [ false; true ])
+          (match resumable with
+           | [] -> []
+           | l -> [ List.hd l ] @ (if List.length l > 1 then [ List.nth l (List.length l - 1) ] else []));
+        (* --- graceful stop of the main daemon --- *)
+        (match stop_daemon d with
+         | Ok () -> ()
+         | Error e -> violate None "main daemon: graceful stop failed: %s" e);
+        Ok ()
+    in
+    (* ship artifacts for any violation *)
+    (match (log_dir, !violations) with
+     | Some dir, _ :: _ ->
+       (try
+          (match Unix.mkdir dir 0o755 with
+           | () -> ()
+           | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          List.iter
+            (fun l -> copy_file l (Filename.concat dir (Filename.basename l)))
+            !logs;
+          List.iteri
+            (fun i (n, data) ->
+              write_file
+                (Filename.concat dir
+                   (Printf.sprintf "failing-%d-%s.trace" i
+                      (String.map (fun c -> if c = '/' then '.' else c) n)))
+                data)
+            !artifacts
+        with Unix.Unix_error _ -> ())
+     | _ -> ());
+    match result with
+    | Error _ as e -> e
+    | Ok () ->
+      Ok
+        {
+          c_cases = !cases;
+          c_baseline = !baseline;
+          c_corrupt = !corrupt;
+          c_corrupt_degraded = !corrupt_degraded;
+          c_corrupt_refused = !corrupt_refused;
+          c_kill_conn = !kill_conn;
+          c_slowloris = !slowloris;
+          c_dup_id = !dup_id;
+          c_kill_resume = !kill_resume;
+          c_violations = List.rev !violations;
+        }
+  end

@@ -1,0 +1,101 @@
+(** Load generator and chaos campaign for the serve daemon.
+
+    Both harnesses compare what the server says against a local
+    reference computed with the very same salvage pipeline
+    ([Racedetect.Stream.analyze_salvage_string] rendered through
+    {!Protocol.render_verdict_report}), so every assertion is
+    byte-for-byte, not approximate. *)
+
+type fixture = {
+  f_name : string;     (** program + seed label *)
+  f_trace : string;    (** v2 stream-layout trace text *)
+  f_report : string;   (** reference report bytes *)
+  f_cls : Protocol.outcome_class;
+  f_events : int;
+}
+
+val fixtures :
+  ?seeds_per_program:int ->
+  (string * Minilang.Ast.program) list ->
+  (fixture array, string) result
+(** Simulate each program under the WO model with adversarial schedules
+    (one execution per seed), encode as v2 stream traces, and compute
+    the reference verdicts. *)
+
+(** {2 Load generation} *)
+
+type load_report = {
+  l_sessions : int;
+  l_events : int;
+  l_bytes : int;
+  l_wall : float;
+  l_events_per_sec : float;
+  l_failures : string list;  (** verdict mismatches and transport errors *)
+}
+
+val load :
+  ?concurrency:int ->
+  ?chunk:int ->
+  sessions:int ->
+  fixtures:fixture array ->
+  Server.addr ->
+  load_report
+(** Replay [sessions] interleaved sessions (cycling over the fixtures)
+    against a running daemon with [concurrency] blocking clients
+    (default 8) and assert every verdict and report byte-identical to
+    its reference.  Failures are collected, never raised. *)
+
+val pp_load : Format.formatter -> load_report -> unit
+
+(** {2 Chaos campaign} *)
+
+type chaos_report = {
+  c_cases : int;
+  c_baseline : int;
+  c_corrupt : int;
+  c_corrupt_degraded : int;
+  c_corrupt_refused : int;
+  c_kill_conn : int;
+  c_slowloris : int;
+  c_dup_id : int;
+  c_kill_resume : int;
+  c_violations : string list;
+}
+
+val pp_chaos : Format.formatter -> chaos_report -> unit
+val chaos_exit_code : chaos_report -> int
+
+val chaos :
+  exe:string ->
+  ?seeds:int ->
+  ?log_dir:string option ->
+  ?log:(string -> unit) ->
+  fixtures:fixture array ->
+  unit ->
+  (chaos_report, string) result
+(** Spawn real daemon processes from [exe] (the racedet binary) in a
+    fresh temp directory and drive the full fault matrix against them:
+
+    - {b baseline/interleave}: all fixtures streamed concurrently —
+      every verdict byte-identical to its reference (this is also the
+      cross-talk check: any leakage between engines changes a report).
+    - {b corrupt frames}: per seed and fixture, damaged traces
+      ({!Tracing.Corrupt}) must reproduce the local salvage verdict
+      byte-for-byte — lossy sessions are never certified race-free —
+      and refusals must map to [error], with the server staying live.
+    - {b connection kills}: clients dropped mid-stream; the server must
+      survive and fresh sessions must still verify exactly.
+    - {b slowloris}: a trickle writer against a daemon with a tight
+      session timeout must be aborted with a structured reason, never
+      certified.
+    - {b duplicate session ids}: the second claimant is refused, the
+      first completes exactly.
+    - {b SIGKILL + resume}: sessions cut at and between epoch marks,
+      the daemon SIGKILLed and restarted with [--resume]; reconnecting
+      clients must be offered a non-zero offset (when a mark preceded
+      the cut) and the final report must be byte-identical to the
+      uninterrupted reference, after which the checkpoint file is gone.
+
+    Every broken invariant lands in [c_violations] (and, when [log_dir]
+    is set, the server log and offending traces are copied there).
+    [Error] is returned only when the campaign cannot run at all. *)

@@ -1,0 +1,70 @@
+type t = {
+  started : float;
+  sessions_active : int Atomic.t;
+  sessions_total : int Atomic.t;
+  sessions_resumed : int Atomic.t;
+  completed : int Atomic.t;
+  race_free : int Atomic.t;
+  racy : int Atomic.t;
+  degraded : int Atomic.t;
+  shed : int Atomic.t;
+  aborted : int Atomic.t;
+  errors : int Atomic.t;
+  events_total : int Atomic.t;
+  live_events : int Atomic.t;
+  bytes_in : int Atomic.t;
+  checkpoints : int Atomic.t;
+  ckpt_lag_hwm : int Atomic.t;
+}
+
+let create () =
+  {
+    started = Unix.gettimeofday ();
+    sessions_active = Atomic.make 0;
+    sessions_total = Atomic.make 0;
+    sessions_resumed = Atomic.make 0;
+    completed = Atomic.make 0;
+    race_free = Atomic.make 0;
+    racy = Atomic.make 0;
+    degraded = Atomic.make 0;
+    shed = Atomic.make 0;
+    aborted = Atomic.make 0;
+    errors = Atomic.make 0;
+    events_total = Atomic.make 0;
+    live_events = Atomic.make 0;
+    bytes_in = Atomic.make 0;
+    checkpoints = Atomic.make 0;
+    ckpt_lag_hwm = Atomic.make 0;
+  }
+
+let rec max_hwm a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then max_hwm a v
+
+let render t ~extra =
+  let b = Buffer.create 512 in
+  let line name v = Buffer.add_string b (Printf.sprintf "serve_%s %d\n" name v) in
+  let uptime = Unix.gettimeofday () -. t.started in
+  line "sessions_active" (Atomic.get t.sessions_active);
+  line "sessions_total" (Atomic.get t.sessions_total);
+  line "sessions_resumed" (Atomic.get t.sessions_resumed);
+  line "completed" (Atomic.get t.completed);
+  line "race_free" (Atomic.get t.race_free);
+  line "races" (Atomic.get t.racy);
+  line "degraded" (Atomic.get t.degraded);
+  line "shed" (Atomic.get t.shed);
+  line "aborted" (Atomic.get t.aborted);
+  line "errors" (Atomic.get t.errors);
+  line "events_total" (Atomic.get t.events_total);
+  line "live_events" (Atomic.get t.live_events);
+  line "bytes_in" (Atomic.get t.bytes_in);
+  line "checkpoints" (Atomic.get t.checkpoints);
+  line "checkpoint_lag_hwm" (Atomic.get t.ckpt_lag_hwm);
+  Buffer.add_string b
+    (Printf.sprintf "serve_uptime_sec %.3f\n" (Float.max 0. uptime));
+  Buffer.add_string b
+    (Printf.sprintf "serve_events_per_sec %.1f\n"
+       (if uptime > 0. then float_of_int (Atomic.get t.events_total) /. uptime
+        else 0.));
+  List.iter (fun l -> Buffer.add_string b l; Buffer.add_char b '\n') extra;
+  Buffer.contents b

@@ -1,0 +1,35 @@
+(** Shared counters of the serve daemon, readable over the wire.
+
+    All fields are {!Atomic} so shard domains update them without a
+    lock; the rendered snapshot is therefore approximate across
+    counters (each one is exact).  [render] produces the plaintext
+    [name value] lines the harnesses and operators consume. *)
+
+type t = {
+  started : float;                  (** daemon start, epoch seconds *)
+  sessions_active : int Atomic.t;   (** connections in the streaming phase *)
+  sessions_total : int Atomic.t;    (** sessions ever opened *)
+  sessions_resumed : int Atomic.t;  (** sessions adopted from a checkpoint *)
+  completed : int Atomic.t;         (** sessions that got a verdict line *)
+  race_free : int Atomic.t;
+  racy : int Atomic.t;
+  degraded : int Atomic.t;
+  shed : int Atomic.t;
+  aborted : int Atomic.t;
+  errors : int Atomic.t;
+  events_total : int Atomic.t;      (** events pushed into engines, ever *)
+  live_events : int Atomic.t;       (** resident payloads across sessions *)
+  bytes_in : int Atomic.t;
+  checkpoints : int Atomic.t;       (** checkpoint files written *)
+  ckpt_lag_hwm : int Atomic.t;      (** max events-past-last-checkpoint seen *)
+}
+
+val create : unit -> t
+
+val max_hwm : int Atomic.t -> int -> unit
+(** Raise a high-water-mark atomic to at least the given value. *)
+
+val render : t -> extra:string list -> string
+(** The plaintext snapshot: one [serve_<name> <value>] line per counter,
+    an aggregate [serve_events_per_sec] derived from uptime, then the
+    caller's [extra] lines (per-session rows) verbatim. *)

@@ -1,0 +1,68 @@
+(** The [racedet serve] daemon: many concurrent trace-analysis sessions,
+    sharded over a small pool of OCaml 5 domains.
+
+    Each connection speaks {!Protocol} and owns one tolerant
+    {!Racedetect.Stream} engine fed through a {!Tracing.Codec.Salvage}
+    decoder, so every fault our pipeline models — corrupt frames, torn
+    lines, a writer that dies mid-stream — degrades {e that session's}
+    verdict through the existing salvage path and never takes the server
+    down.  Robustness mechanisms, all per the failure model in DESIGN
+    §10:
+
+    - {b fault isolation}: decode damage and engine errors are confined
+      to their session ([Degraded]/[error] outcomes); an unexpected
+      exception in a session handler closes that session only.
+    - {b load shedding}: beyond [max_sessions] streaming sessions, or a
+      [global_live] resident-event budget, the least-recently-active
+      session is shed with an explicit [verdict shed] (checkpointed to
+      disk first when checkpointing is on, so the client can resume).
+    - {b timeouts}: [idle_timeout] catches silent peers,
+      [session_timeout] bounds total session wall clock (slowloris),
+      [finish_timeout] runs the final analysis under a
+      {!Engine.Parbatch.run_timeout} budget so a wedged analysis cannot
+      stall its shard.
+    - {b crash safety}: with [checkpoint_dir] set, sessions are
+      checkpointed at v2 epoch marks (at least every [checkpoint_every]
+      events); after a SIGKILL, a restart with [resume = true] re-adopts
+      every on-disk session and the reconnecting client is told the
+      byte offset to resend from — final verdicts are byte-identical to
+      an uninterrupted run. *)
+
+type addr =
+  | Unix_sock of string        (** path of a Unix-domain socket *)
+  | Tcp of string * int        (** host (empty = loopback), port (0 = ephemeral) *)
+
+val pp_addr : Format.formatter -> addr -> unit
+val parse_addr : string -> (addr, string) result
+(** [unix:PATH], [tcp:HOST:PORT], [tcp:PORT], or a bare path (unix). *)
+
+type config = {
+  addr : addr;
+  shards : int;                  (** worker domains (>= 1) *)
+  max_sessions : int;            (** streaming-session budget before shedding *)
+  global_live : int option;      (** global resident-event budget *)
+  session_max_live : int option; (** per-session [Stream.create ?max_live] *)
+  idle_timeout : float;          (** seconds without bytes; <= 0 disables *)
+  session_timeout : float;       (** total session wall clock; <= 0 disables *)
+  finish_timeout : float;        (** analysis budget; <= 0 runs inline *)
+  checkpoint_dir : string option;
+  checkpoint_every : int;        (** min events between checkpoints *)
+  resume : bool;                 (** adopt checkpoints already in the dir *)
+  log : string -> unit;          (** one line per noteworthy server event *)
+  ready : string -> unit;        (** called once, with the bound address *)
+}
+
+val default_config : addr -> config
+(** [shards = 2], [max_sessions = 64], no live budgets, 30 s idle
+    timeout, no session timeout, 30 s finish timeout, no checkpointing,
+    [checkpoint_every = 64], silent [log]/[ready]. *)
+
+val run : ?stop:bool Atomic.t -> config -> (unit, string) result
+(** Bind, optionally adopt checkpointed sessions, serve until [stop]
+    flips (or a {!Protocol.Stop} hello arrives), then shut down
+    gracefully: in-flight sessions are checkpointed and parked when
+    checkpointing is on (their files stay for [resume]), otherwise
+    aborted with reason [shutdown].  Returns [Error] only for startup
+    failures (bad address, bind, unreadable checkpoint dir).  The caller
+    is responsible for SIGTERM/SIGINT wiring; SIGPIPE is ignored
+    process-wide on entry. *)

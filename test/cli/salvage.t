@@ -60,10 +60,19 @@ checkpoint is removed:
 
 A corrupt checkpoint is rejected, not trusted:
 
-  $ echo "weakrace-ckpt 1 4 00000000" > broken.ckpt
+  $ echo "weakrace-ckpt 2 stream 4 00000000" > broken.ckpt
   $ echo junk >> broken.ckpt
   $ racedet analyze --checkpoint broken.ckpt v2.trace 2>&1 | head -1
   racedet: broken.ckpt: checkpoint payload is 5 bytes but the header announces 4
+
+So is a checkpoint from an older format version or another producer:
+
+  $ echo "weakrace-ckpt 1 4 00000000" > old.ckpt
+  $ racedet analyze --checkpoint old.ckpt v2.trace 2>&1 | head -1
+  racedet: old.ckpt: unsupported checkpoint format version 1 (this build writes 2)
+  $ echo "weakrace-ckpt 2 serve 4 00000000" > alien.ckpt
+  $ racedet analyze --checkpoint alien.ckpt v2.trace 2>&1 | head -1
+  racedet: alien.ckpt: checkpoint kind is "serve", expected "stream"
 
 The fault-injection campaign asserts the whole contract — no escaping
 exceptions, lossy traces never race-free, clean salvages byte-identical

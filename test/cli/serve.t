@@ -1,0 +1,73 @@
+The serve daemon analyzes many concurrent trace sessions; a client's
+report is byte-identical to racedet analyze on the same file.  Unix
+socket paths have a ~100-byte limit, so the sockets live under /tmp.
+
+  $ D=$(mktemp -d /tmp/rdserve.XXXXXX)
+  $ racedet gen --kind racy --procs 4 --ops 80 -s 7 > prog.race
+  $ racedet trace prog.race --stream --v2 -o t.trace
+  wrote 247 events (79 computation, 168 sync) to t.trace
+
+Start a daemon with checkpointing on; the ready line carries the bound
+address:
+
+  $ racedet serve --listen unix:$D/s.sock --checkpoint-dir $D/ck \
+  >   --checkpoint-every 8 -q > ready.txt 2> serve.log &
+  $ for i in $(seq 50); do test -s ready.txt && break; sleep 0.1; done
+  $ grep -c '^serving on unix:' ready.txt
+  1
+  $ S=$(sed 's/serving on //' ready.txt)
+
+A session's verdict and report match the local analysis, exit code
+included (2 = races):
+
+  $ racedet client -c "$S" t.trace > c.out
+  [2]
+  $ racedet analyze --stream --salvage t.trace > a.out
+  [2]
+  $ cmp c.out a.out && echo same-report
+  same-report
+
+The plaintext metrics stream counts it:
+
+  $ racedet client -c "$S" --metrics | grep -E '^serve_(sessions_total|completed|races) '
+  serve_sessions_total 1
+  serve_completed 1
+  serve_races 1
+
+Kill/resume: stop the daemon gracefully while a slow client is
+mid-stream — the in-flight session is checkpointed and parked:
+
+  $ racedet client -c "$S" --chunk 512 --delay 0.1 --session slow t.trace \
+  >   > /dev/null 2>&1 &
+  $ sleep 0.7
+  $ racedet client -c "$S" --stop
+  $ wait
+  $ ls $D/ck
+  slow.ckpt
+
+A restart with --resume adopts the parked session; the reconnecting
+client resends only the tail, and the final report is byte-identical
+to the uninterrupted analysis.  The checkpoint is gone once the
+session completes:
+
+  $ racedet serve --listen unix:$D/s.sock --checkpoint-dir $D/ck \
+  >   --resume -q > ready2.txt 2>> serve.log &
+  $ for i in $(seq 50); do test -s ready2.txt && break; sleep 0.1; done
+  $ S=$(sed 's/serving on //' ready2.txt)
+  $ racedet client -c "$S" --session slow t.trace > r.out
+  [2]
+  $ cmp r.out a.out && echo resumed-identical
+  resumed-identical
+  $ ls $D/ck | wc -l
+  0
+  $ racedet client -c "$S" --stop
+  $ wait
+
+A bounded chaos campaign against freshly spawned daemons: corrupted
+frames, connection kills, slowloris, duplicate ids, SIGKILL + resume —
+no invariant violations:
+
+  $ racedet chaos -q --seeds 2 prog.race
+  chaos: 14 case(s) — baseline 2, corrupt 4 (4 degraded, 0 refused), kill-conn 2, slowloris 1, dup-id 1, kill-resume 4, 0 invariant violation(s)
+
+  $ rm -rf $D

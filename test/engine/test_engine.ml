@@ -77,6 +77,65 @@ let test_bad_jobs_rejected () =
   Alcotest.check_raises "jobs=0 rejected" (Invalid_argument "Parbatch.map: jobs must be >= 1")
     (fun () -> ignore (Parbatch.map ~jobs:0 (fun x -> x) [| 1 |]))
 
+(* A deliberately wedged task: spins until the [stop] flag flips.  The
+   flag lets the test release the abandoned domain afterwards so the
+   suite does not exit with a runaway spinner still burning a core. *)
+let spin stop () =
+  while not (Atomic.get stop) do
+    Domain.cpu_relax ()
+  done;
+  -1
+
+let test_run_timeout () =
+  Alcotest.(check (result int reject))
+    "fast task completes" (Ok 42)
+    (Parbatch.run_timeout ~timeout:10. (fun () -> 42));
+  Alcotest.(check (result int reject))
+    "timeout <= 0 runs inline" (Ok 7)
+    (Parbatch.run_timeout ~timeout:0. (fun () -> 7));
+  Alcotest.check_raises "exception re-raised" (Boom 9) (fun () ->
+      ignore (Parbatch.run_timeout ~timeout:10. (fun () -> raise (Boom 9))));
+  let stop = Atomic.make false in
+  (match Parbatch.run_timeout ~timeout:0.1 (spin stop) with
+  | Error `Timeout -> ()
+  | Ok _ -> Alcotest.fail "spinning task should have timed out");
+  Atomic.set stop true
+
+let test_map_timeout () =
+  let stop = Atomic.make false in
+  (* item 2 wedges; everything else must still complete with its value *)
+  let r =
+    Parbatch.map_timeout ~jobs:4 ~timeout:0.5
+      (fun i -> if i = 2 then spin stop () else i * 10)
+      [| 0; 1; 2; 3; 4; 5 |]
+  in
+  Atomic.set stop true;
+  Array.iteri
+    (fun i v ->
+      if i = 2 then
+        Alcotest.(check bool) "wedged item timed out" true (v = Error `Timeout)
+      else
+        Alcotest.(check (result int reject)) (Printf.sprintf "item %d" i) (Ok (i * 10)) v)
+    r;
+  Alcotest.(check (array (result int reject)))
+    "empty" [||]
+    (Parbatch.map_timeout ~timeout:1. (fun x -> x) [||]);
+  Alcotest.(check (array (result int reject)))
+    "timeout <= 0 maps inline"
+    [| Ok 2; Ok 4 |]
+    (Parbatch.map_timeout ~timeout:0. (fun x -> 2 * x) [| 1; 2 |])
+
+let test_map_timeout_exception () =
+  (* exceptions still propagate, smallest index first, as in [map] *)
+  Alcotest.check_raises "smallest failing index wins" (Boom 1) (fun () ->
+      ignore
+        (Parbatch.map_timeout ~jobs:2 ~timeout:5.
+           (fun i -> if i mod 2 = 1 then raise (Boom i) else i)
+           [| 0; 1; 2; 3 |]));
+  Alcotest.check_raises "jobs=0 rejected"
+    (Invalid_argument "Parbatch.map_timeout: jobs must be >= 1") (fun () ->
+      ignore (Parbatch.map_timeout ~jobs:0 ~timeout:1. (fun x -> x) [| 1 |]))
+
 let test_pipeline_domain_safe () =
   (* the real workload: simulate + trace + analyze random racy programs on
      several domains and compare against the serial run — exercises
@@ -108,6 +167,10 @@ let () =
           Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
           Alcotest.test_case "first failing index wins" `Quick test_first_failing_index_wins;
           Alcotest.test_case "invalid jobs rejected" `Quick test_bad_jobs_rejected;
+          Alcotest.test_case "run_timeout bounds a wedged task" `Quick test_run_timeout;
+          Alcotest.test_case "map_timeout isolates a wedged item" `Quick test_map_timeout;
+          Alcotest.test_case "map_timeout exception discipline" `Quick
+            test_map_timeout_exception;
           Alcotest.test_case "analysis pipeline is domain-safe" `Quick
             test_pipeline_domain_safe;
         ] );

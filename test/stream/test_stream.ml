@@ -510,6 +510,30 @@ let test_checkpoint_rejects_corruption () =
       expect_reject "truncation" (String.sub blob 0 (String.length blob / 2));
       expect_reject "garbage" "not a checkpoint at all\n";
       expect_reject "empty" "";
+      let expect_substring name needle s =
+        write_all path s;
+        match (Stream.restore path : (Stream.t * (Tracing.Codec.decoder * int), string) result) with
+        | Ok _ -> Alcotest.failf "%s: checkpoint accepted" name
+        | Error msg ->
+          let has =
+            let nl = String.length needle and ml = String.length msg in
+            let rec at i = i + nl <= ml && (String.sub msg i nl = needle || at (i + 1)) in
+            at 0
+          in
+          if not has then Alcotest.failf "%s: error %S lacks %S" name msg needle;
+          if not (has && String.length msg > 0 && String.sub msg 0 (String.length path) = path)
+          then Alcotest.failf "%s: error %S does not name the file" name msg
+      in
+      (* a version-1 header (older builds) is refused with a structured
+         message, never unmarshalled *)
+      let payload = String.sub blob (String.index blob '\n' + 1) (String.length blob - String.index blob '\n' - 1) in
+      expect_substring "old version" "unsupported checkpoint format version 1"
+        (Printf.sprintf "weakrace-ckpt 1 %d %08x\n%s" (String.length payload)
+           (Tracing.Crc32.string payload) payload);
+      (* a checkpoint written by a different producer kind is refused *)
+      expect_substring "wrong kind" "checkpoint kind is \"serve\""
+        (Printf.sprintf "weakrace-ckpt 2 serve %d %08x\n%s" (String.length payload)
+           (Tracing.Crc32.string payload) payload);
       (* and the pristine blob still restores *)
       write_all path blob;
       match (Stream.restore path : (Stream.t * (Tracing.Codec.decoder * int), string) result) with
