@@ -778,10 +778,10 @@ let json_escape s =
 let json_float v = if Float.is_finite v then Printf.sprintf "%.4f" v else "null"
 
 let write_bench_json ~micro ~speedups ~streaming ~parallel ~exploration ~triage
-    ~serve path =
+    ~serve ~robust path =
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"schema\": 4,\n  \"microbench_ns_per_run\": [\n";
+  out "{\n  \"schema\": 5,\n  \"microbench_ns_per_run\": [\n";
   List.iteri
     (fun i (name, ns, r2) ->
       out "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}%s\n"
@@ -842,6 +842,16 @@ let write_bench_json ~micro ~speedups ~streaming ~parallel ~exploration ~triage
   out
     "    {\"name\": \"serve/resume-cost\", \"resumed_from_bytes\": %d, \"wall_s\": %s}\n"
     resumed_from (json_float resume_s);
+  out "  ],\n  \"robust\": [\n";
+  List.iteri
+    (fun i (name, verdict, wall_s, schedules, witness_steps) ->
+      out
+        "    {\"name\": \"robust/%s\", \"verdict\": \"%s\", \"wall_s\": %s, \
+         \"schedules\": %d, \"witness_steps\": %s}%s\n"
+        (json_escape name) (json_escape verdict) (json_float wall_s) schedules
+        (match witness_steps with Some n -> string_of_int n | None -> "null")
+        (if i = List.length robust - 1 then "" else ","))
+    robust;
   out "  ],\n";
   let batch, njobs, serial_s, parallel_s = parallel in
   out "  \"parallel_montecarlo\": {\"batch\": %d, \"jobs\": %d, \"serial_s\": %s, \"parallel_s\": %s, \"speedup\": %s}\n}\n"
@@ -1450,10 +1460,76 @@ let perf () =
     ( lr.Serve.Harness.l_sessions, lr.Serve.Harness.l_events,
       lr.Serve.Harness.l_wall, lr.Serve.Harness.l_events_per_sec )
   in
+  (* robustness certification: the static pass on the paper's queue bug
+     (cycle classification only, delay-set analysis precomputed) and the
+     full static+closure pipeline on the litmus programs whose verdicts
+     the matrix test pins.  In --quick mode a wrong verdict — or an
+     unverified witness — is a CI failure, like the epoch gate above. *)
+  Format.printf "@.robustness certification:@.";
+  let wo = Memsim.Model.WO in
+  let robust_rows, robust_bad =
+    let qb = Minilang.Programs.queue_bug ~region:100 () in
+    let lint = Staticcheck.Lint.analyze qb in
+    let ds = Staticcheck.Delayset.analyze qb lint.Staticcheck.Lint.results in
+    let (sres, static_s) =
+      wall (fun () ->
+          Staticcheck.Robust.check (Memsim.Model.variant wo)
+            lint.Staticcheck.Lint.results ds)
+    in
+    let static_row =
+      ( "static/queue_bug100", Staticcheck.Robust.verdict_str sres, static_s,
+        0, None )
+    in
+    let closure_cases =
+      (* program, model, expected verdict head *)
+      [
+        ("dekker", Minilang.Programs.dekker, wo, `Not_robust);
+        ("dekker_fenced", Minilang.Programs.dekker_fenced, wo, `Robust);
+        ( "read_own_write/sb-bypass", Minilang.Programs.read_own_write,
+          (match Memsim.Model.of_spec "sb-bypass" with
+          | Ok m -> m
+          | Error e -> failwith e),
+          `Not_robust );
+      ]
+    in
+    let bad = ref [] in
+    let rows =
+      List.map
+        (fun (name, p, model, expect) ->
+          let (r, s) = wall (fun () -> Explore.Robustcheck.run ~model p) in
+          let module RC = Explore.Robustcheck in
+          let witness_steps, ok =
+            match (r.RC.verdict, expect) with
+            | RC.Not_robust w, `Not_robust ->
+              (Some (List.length w.RC.w_schedule), w.RC.w_verified = Ok ())
+            | RC.Robust_verdict _, `Robust -> (None, true)
+            | _ -> (None, false)
+          in
+          if not ok then bad := name :: !bad;
+          ( "closure/" ^ name, RC.verdict_str r, s, r.RC.schedules,
+            witness_steps ))
+        closure_cases
+    in
+    (static_row :: rows, List.rev !bad)
+  in
+  List.iter
+    (fun (name, verdict, s, scheds, wsteps) ->
+      Format.printf "  %-32s %-18s %8.1f ms  %d schedule(s)%s@." name verdict
+        (s *. 1e3) scheds
+        (match wsteps with
+        | Some n -> Printf.sprintf ", %d-step witness" n
+        | None -> ""))
+    robust_rows;
+  if robust_bad <> [] then begin
+    Format.eprintf "bench: robust verdict/witness gate failed on: %s@."
+      (String.concat ", " robust_bad);
+    if !quick then exit 1
+  end;
   let path = "BENCH_perf.json" in
   write_bench_json ~micro ~speedups ~streaming:(stream_rows, hwm)
     ~parallel:(batch, njobs, serial_s, par_s) ~exploration:explore_rows
-    ~triage:triage_rows ~serve:(serve_agg, ckpt_lag, resume_row) path;
+    ~triage:triage_rows ~serve:(serve_agg, ckpt_lag, resume_row)
+    ~robust:robust_rows path;
   Format.printf "wrote %s@." path
 
 (* ================================================================== *)

@@ -587,11 +587,29 @@ let analyze_cmd =
     let doc = "With $(b,--checkpoint): events between checkpoint writes." in
     Arg.(value & opt int 1000 & info [ "checkpoint-every" ] ~docv:"N" ~doc)
   in
+  let robust_arg =
+    let doc =
+      "Check the observed trace for SC-explainability against $(docv) (a \
+       stock program name or file): enumerate the program's SC executions \
+       and decide whether some SC interleaving produces this trace's exact \
+       event structure and synchronization values.  Exit 0 when explainable, \
+       2 when the trace is a non-SC observation, 3 when the SC pool does \
+       not enumerate.  Replaces the race report; batch layout only."
+    in
+    Arg.(value & opt (some string) None & info [ "robust" ] ~docv:"PROGRAM" ~doc)
+  in
   let run file reconstruct stream follow max_live stats idle salvage ckpt
-      ckpt_every order =
+      ckpt_every order robust =
     let stream_mode =
       stream || follow || max_live <> None || stats || salvage || ckpt <> None
     in
+    (match robust with
+    | Some _ when stream_mode ->
+      Format.eprintf
+        "racedet: --robust needs the whole trace at once and is not \
+         available with --stream@.";
+      exit 1
+    | _ -> ());
     if not stream_mode then begin
       let result =
         if Sys.file_exists file && Sys.is_directory file then Tracing.Codec.read_dir file
@@ -602,10 +620,35 @@ let analyze_cmd =
         Format.eprintf "racedet: %s@." msg;
         exit 1
       | Ok t ->
-        let so1 = if reconstruct then `Reconstructed else `Recorded in
-        let a = Racedetect.Postmortem.analyze ~so1 ~order t in
-        Format.printf "%a@." (Racedetect.Report.pp_analysis ?loc_name:None) a;
-        if not (Racedetect.Postmortem.race_free a) then exit 2
+        (match robust with
+        | Some prog ->
+          let p = or_fail (load_program prog) in
+          or_fail (Minilang.Ast.validate p);
+          (match Explore.Scpool.build p with
+          | Error msg ->
+            Format.eprintf "racedet: %s@." msg;
+            exit 3
+          | Ok pool ->
+            let n_events =
+              Array.fold_left
+                (fun acc evs -> acc + Array.length evs)
+                0 t.Tracing.Trace.by_proc
+            in
+            let ok = Explore.Scpool.trace_explainable pool t in
+            Format.printf
+              "trace %s: %d event(s) across %d processor(s)@.SC \
+               explainability against %s (%d SC behaviour(s)): %s@."
+              file n_events
+              (Array.length t.Tracing.Trace.by_proc)
+              p.Minilang.Ast.name (Explore.Scpool.size pool)
+              (if ok then "explainable — some SC interleaving produces this trace"
+               else "NOT explainable — no SC interleaving produces this trace");
+            if not ok then exit 2)
+        | None ->
+          let so1 = if reconstruct then `Reconstructed else `Recorded in
+          let a = Racedetect.Postmortem.analyze ~so1 ~order t in
+          Format.printf "%a@." (Racedetect.Report.pp_analysis ?loc_name:None) a;
+          if not (Racedetect.Postmortem.race_free a) then exit 2)
     end
     else begin
       (match max_live with
@@ -660,7 +703,7 @@ let analyze_cmd =
     Term.(
       const run $ file_arg $ reconstruct_arg $ stream_flag $ follow_arg
       $ max_live_arg $ stats_arg $ idle_arg $ salvage_arg $ checkpoint_arg
-      $ checkpoint_every_arg $ order_arg)
+      $ checkpoint_every_arg $ order_arg $ robust_arg)
 
 (* -- faultfuzz --------------------------------------------------------- *)
 
@@ -1754,6 +1797,194 @@ let fence_cmd =
       $ verify_arg $ json_flag $ triage_steps_arg $ triage_limit_arg
       $ seeds_arg $ sc_limit_arg $ jobs_arg)
 
+(* -- robust ------------------------------------------------------------ *)
+
+let robust_json (t : Explore.Robustcheck.t) =
+  let open Staticcheck.Jsonout in
+  let module RB = Staticcheck.Robust in
+  let module RC = Explore.Robustcheck in
+  let module D = Staticcheck.Delayset in
+  let s = t.RC.static_ in
+  let ds = s.RB.ds in
+  let p = t.RC.program in
+  let access_json i = of_access p (D.access ds i) in
+  let kind_str = function
+    | Memsim.Variant.Delay_wr -> "wr"
+    | Memsim.Variant.Delay_ww -> "ww"
+    | Memsim.Variant.Delay_own_read -> "own-read"
+  in
+  let edge_json (e : RB.edge) =
+    Obj
+      [
+        ("from", access_json e.RB.e_u);
+        ("to", access_json e.RB.e_v);
+        ("breakable", Bool e.RB.e_breakable);
+        ( "kind",
+          match e.RB.e_kind with Some k -> Str (kind_str k) | None -> Null );
+        ("reason", Str e.RB.e_reason);
+      ]
+  in
+  let cycle_json (cv : RB.cycle_verdict) =
+    Obj
+      [
+        ("feasible", Bool cv.RB.c_feasible);
+        ("cycle", of_cycle ds cv.RB.c_cycle);
+        ("edges", List (List.map edge_json cv.RB.c_edges));
+      ]
+  in
+  let hazard_json (h : RB.hazard) =
+    Obj
+      [ ("write", access_json h.RB.h_write); ("read", access_json h.RB.h_read) ]
+  in
+  let witness_json (w : RC.witness) =
+    Obj
+      [
+        ("schedule_steps", Int (List.length w.RC.w_schedule));
+        ("operations", Int (Memsim.Exec.n_ops w.RC.w_exec));
+        ("verified", Bool (w.RC.w_verified = Ok ()));
+        ("path", match w.RC.w_path with Some p -> Str p | None -> Null);
+      ]
+  in
+  Obj
+    [
+      ("schema", Int 1);
+      ("program", Str p.Minilang.Ast.name);
+      ("model", Str (Memsim.Model.name t.RC.model));
+      ("verdict", Str (RC.verdict_str t));
+      ("exit", Int (RC.exit_code t));
+      ( "static",
+        Obj
+          [
+            ("robust", Bool s.RB.robust);
+            ("truncated", Bool s.RB.truncated);
+            ( "breakable",
+              Int
+                (List.length
+                   (List.filter (fun e -> e.RB.e_breakable) s.RB.edges)) );
+            ("cycles", List (List.map cycle_json s.RB.cycles));
+            ("hazards", List (List.map hazard_json s.RB.hazards));
+          ] );
+      ( "closure",
+        match t.RC.verdict with
+        | RC.Robust_verdict `Static -> Null
+        | RC.Robust_verdict `Dynamic ->
+          Obj
+            [
+              ("sc_behaviours", Int t.RC.sc_behaviours);
+              ("schedules", Int t.RC.schedules);
+              ("complete", Bool true);
+              ("witness", Null);
+            ]
+        | RC.Not_robust w ->
+          Obj
+            [
+              ("sc_behaviours", Int t.RC.sc_behaviours);
+              ("schedules", Int t.RC.schedules);
+              ("complete", Bool false);
+              ("witness", witness_json w);
+            ]
+        | RC.Unknown msg ->
+          Obj
+            [
+              ("sc_behaviours", Int t.RC.sc_behaviours);
+              ("schedules", Int t.RC.schedules);
+              ("complete", Bool false);
+              ("detail", Str msg);
+            ] );
+      ( "frontier",
+        List
+          (List.map
+             (fun (f : RB.frontier_entry) ->
+               Obj
+                 [
+                   ("point", Str f.RB.f_name);
+                   ("robust", Bool f.RB.f_robust);
+                 ])
+             t.RC.frontier) );
+    ]
+
+let robust_cmd =
+  let explain_arg =
+    let doc =
+      "Attach the full static explanation: every critical cycle's po edges \
+       with the delay kind that breaks them or the knob that enforces them, \
+       and every bypass coherence hazard."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let sc_limit_arg =
+    let doc =
+      "SC enumeration budget for the dynamic closure; spinning programs that \
+       exceed it are UNKNOWN (exit 3)."
+    in
+    Arg.(value & opt int 100_000 & info [ "sc-limit" ] ~docv:"N" ~doc)
+  in
+  let max_steps_arg =
+    let doc = "Machine steps per explored weak schedule." in
+    Arg.(value & opt int 2_000 & info [ "max-steps" ] ~docv:"N" ~doc)
+  in
+  let limit_arg =
+    let doc = "Weak schedules the dynamic closure may explore." in
+    Arg.(value & opt int 100_000 & info [ "limit" ] ~docv:"N" ~doc)
+  in
+  let witness_dir_arg =
+    let doc =
+      "Write the minimized non-SC witness to $(docv)/<program>.robust.trace \
+       (checksummed v2 format, replay + round-trip verified)."
+    in
+    Arg.(value & opt (some string) None & info [ "witness-dir" ] ~docv:"DIR" ~doc)
+  in
+  let run program model explain json witness_dir max_steps limit sc_limit =
+    let p = or_fail (load_program program) in
+    or_fail (Minilang.Ast.validate p);
+    let witness_path =
+      match witness_dir with
+      | None -> None
+      | Some dir ->
+        if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+        Some (Filename.concat dir (p.Minilang.Ast.name ^ ".robust.trace"))
+    in
+    let t =
+      Explore.Robustcheck.run ~max_steps ~limit ~sc_limit ?witness_path ~model
+        p
+    in
+    if json then print_endline (Staticcheck.Jsonout.to_string (robust_json t))
+    else Format.printf "%a@." (Explore.Robustcheck.pp ~explain) t;
+    match Explore.Robustcheck.exit_code t with 0 -> () | c -> exit c
+  in
+  let exits =
+    Cmd.Exit.info 0
+      ~doc:
+        "ROBUST: proved statically (no feasible critical cycle, no coherence \
+         hazard) or dynamically (exhaustive closure, every behaviour \
+         SC-explainable)."
+    :: Cmd.Exit.info 1 ~doc:"usage or I/O error, or a witness failed verification."
+    :: Cmd.Exit.info 2
+         ~doc:"NOT ROBUST: a replay-verified non-SC witness was found."
+    :: Cmd.Exit.info 3
+         ~doc:
+           "UNKNOWN: the exploration budget was hit or the SC pool did not \
+            enumerate."
+    :: List.filter (fun i -> Cmd.Exit.info_code i > 3) Cmd.Exit.defaults
+  in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:
+         "Static robustness certification with a dynamic closure: classify \
+          every Shasha-Snir critical cycle as feasible or infeasible under \
+          the model's hardware variant (mapping each program-order edge to \
+          the store-buffer delay kind that would break it), prove ROBUST \
+          when none is feasible, and otherwise hunt for a minimal non-SC \
+          execution with candidate-directed DPOR, emitted as a \
+          replay-verified v2 witness.  Reports the static verdict at every \
+          lattice point ($(b,racedet variants)).  Robustness is orthogonal \
+          to race-freedom: sb is racy and non-robust, iriw is racy yet \
+          robust everywhere."
+       ~exits)
+    Term.(
+      const run $ program_arg $ model_arg $ explain_arg $ json_flag
+      $ witness_dir_arg $ max_steps_arg $ limit_arg $ sc_limit_arg)
+
 (* -- serve / client / loadgen / chaos --------------------------------- *)
 
 let addr_conv =
@@ -2117,5 +2348,6 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; run_cmd; detect_cmd; trace_cmd; analyze_cmd;
             faultfuzz_cmd; enumerate_cmd; check_cmd; cost_cmd; replay_cmd;
-            graph_cmd; gen_cmd; sweep_cmd; lint_cmd; fence_cmd; triage_cmd;
+            graph_cmd; gen_cmd; sweep_cmd; lint_cmd; fence_cmd; robust_cmd;
+            triage_cmd;
             variants_cmd; serve_cmd; client_cmd; loadgen_cmd; chaos_cmd ]))

@@ -97,17 +97,10 @@ let run ?(max_steps = 400) ?(limit = 2_000) ?(seeds = 16) ?(sc_limit = 20_000)
   in
   (* Condition 3.4 on the repaired program under the plan's model *)
   let cond34 =
-    let r =
-      Memsim.Enumerate.explore ~limit:sc_limit (fun () ->
-          Interp.source repaired)
-    in
-    if not r.Memsim.Enumerate.complete then
-      Cond_skipped
-        (Printf.sprintf
-           "SC enumeration incomplete after %d executions (spinning program?)"
-           (List.length r.Memsim.Enumerate.executions))
-    else begin
-      let pool = r.Memsim.Enumerate.executions in
+    match Scpool.build ~limit:sc_limit repaired with
+    | Error msg -> Cond_skipped msg
+    | Ok sc ->
+      let pool = Scpool.executions sc in
       let verdicts =
         Engine.Parbatch.map_seeds ~jobs seeds (fun seed ->
             let sched =
@@ -120,15 +113,14 @@ let run ?(max_steps = 400) ?(limit = 2_000) ?(seeds = 16) ?(sc_limit = 20_000)
             in
             (seed, Racedetect.Condition.check ~sc:pool e))
       in
-      match
-        Array.to_list verdicts
-        |> List.filter (fun (_, v) -> not v.Racedetect.Condition.holds)
-      with
+      (match
+         Array.to_list verdicts
+         |> List.filter (fun (_, v) -> not v.Racedetect.Condition.holds)
+       with
       | [] -> Cond_pass { weak_runs = seeds; sc_pool = List.length pool }
       | (seed, v) :: _ ->
         Cond_fail
-          (Format.asprintf "seed %d: %a" seed Racedetect.Condition.pp_verdict v)
-    end
+          (Format.asprintf "seed %d: %a" seed Racedetect.Condition.pp_verdict v))
   in
   { plan; models; checks; cond34 }
 

@@ -1,0 +1,167 @@
+module Exec = Memsim.Exec
+module Op = Memsim.Op
+module Enumerate = Memsim.Enumerate
+module Trace = Tracing.Trace
+module Event = Tracing.Event
+
+(* One enumerated SC pool, shared by Vcampaign, Repaircheck and
+   Robustcheck.  The pool carries a memoised behaviour index so checking
+   many executions against one pool does not re-hash the executions
+   list each time:
+   - complete runs are decided by a hash-set lookup of their full
+     per-proc behaviour signature (threads are deterministic given the
+     values their reads returned, so a complete run matching an SC
+     prefix coincides with that SC run entirely);
+   - truncated runs (the prefixes minimization produces) scan the
+     signature-deduped pool with a per-proc prefix comparison. *)
+
+(* per processor, per op: identity plus the value read (writes carry
+   None — their values are not part of behaviour, §2.1) *)
+type signature =
+  ((Op.proc * int * Op.loc * Op.kind * Op.op_class) * Op.value option)
+  array array
+
+(* trace-granularity projection of one processor's event sequence: a
+   computation event keeps only its read/write location sets (a v2 trace
+   records no data values), a sync event keeps location, kind, class and
+   the value transferred *)
+type evsig =
+  | Comp of int list * int list
+  | Syncop of Op.loc * Op.kind * Op.op_class * Op.value
+
+type t = {
+  executions : Exec.t list;
+  signatures : signature list;  (** deduped, for truncated-prefix scans *)
+  complete : (signature, unit) Hashtbl.t;
+  mutable traces : evsig array array list option;  (** lazy trace index *)
+}
+
+let signature_of (e : Exec.t) : signature =
+  Array.map
+    (Array.map (fun (o : Op.t) ->
+         ( Op.identity o,
+           if o.Op.kind = Op.Read then Some o.Op.value else None )))
+    e.Exec.by_proc
+
+let of_executions execs =
+  let complete = Hashtbl.create 64 in
+  let signatures =
+    List.fold_left
+      (fun acc e ->
+        let s = signature_of e in
+        if Hashtbl.mem complete s then acc
+        else begin
+          Hashtbl.add complete s ();
+          s :: acc
+        end)
+      [] execs
+  in
+  { executions = execs; signatures = List.rev signatures; complete; traces = None }
+
+let default_limit = 2_000_000
+
+let build ?(limit = default_limit) (p : Minilang.Ast.program) =
+  let r = Enumerate.explore ~limit (fun () -> Minilang.Interp.source p) in
+  if not r.Enumerate.complete then
+    Error
+      (Printf.sprintf
+         "SC enumeration incomplete after %d executions (spinning program?)"
+         (List.length r.Enumerate.executions))
+  else Ok (of_executions r.Enumerate.executions)
+
+let build_exn ?limit (p : Minilang.Ast.program) =
+  match build ?limit p with
+  | Ok t -> t
+  | Error _ ->
+    invalid_arg
+      (Printf.sprintf "Scpool: SC pool for %s did not enumerate completely"
+         p.Minilang.Ast.name)
+
+let executions t = t.executions
+let size t = List.length t.signatures
+
+(* -- prefix-aware SC-explainability ------------------------------------ *)
+
+(* [Exec.same_program_behaviour] needs complete, equal-length runs, so it
+   cannot judge the truncated replays minimization produces.  A partial
+   execution is SC-prefix-explainable when some complete SC execution
+   extends it: per processor, the operations issued so far match an SC
+   prefix in identity, and reads saw the same values.  On complete
+   executions this coincides with [same_program_behaviour]. *)
+let sig_extends (es : signature) (ss : signature) =
+  Array.length es = Array.length ss
+  &&
+  try
+    Array.iteri
+      (fun p ep ->
+        let sp = ss.(p) in
+        if Array.length ep > Array.length sp then raise Exit;
+        Array.iteri (fun i o -> if o <> sp.(i) then raise Exit) ep)
+      es;
+    true
+  with Exit -> false
+
+let explainable t (e : Exec.t) =
+  let s = signature_of e in
+  if not e.Exec.truncated then Hashtbl.mem t.complete s
+  else List.exists (sig_extends s) t.signatures
+
+let prefix_explainable ~sc (e : Exec.t) =
+  let es = signature_of e in
+  List.exists (fun s -> sig_extends es (signature_of s)) sc
+
+(* -- trace-granularity explainability ---------------------------------- *)
+
+let evsig_of (ev : Event.t) =
+  match ev.Event.body with
+  | Event.Computation { reads; writes; _ } ->
+    Comp (Graphlib.Bitset.elements reads, Graphlib.Bitset.elements writes)
+  | Event.Sync { op; _ } ->
+    Syncop (op.Op.loc, op.Op.kind, op.Op.cls, op.Op.value)
+
+let trace_sig (tr : Trace.t) = Array.map (Array.map evsig_of) tr.Trace.by_proc
+
+let trace_index t =
+  match t.traces with
+  | Some idx -> idx
+  | None ->
+    let idx =
+      List.map (fun e -> trace_sig (Trace.of_execution e)) t.executions
+    in
+    t.traces <- Some idx;
+    idx
+
+(* a truncated trace's final computation event per processor may be a
+   partial event — the run stopped mid-computation — so it only needs to
+   be a sub-event (location subsets) of the SC counterpart *)
+let ev_matches ~last (e : evsig) (s : evsig) =
+  match (e, s) with
+  | Syncop _, _ | _, Syncop _ -> e = s
+  | Comp (er, ew), Comp (sr, sw) ->
+    if last then
+      List.for_all (fun l -> List.mem l sr) er
+      && List.for_all (fun l -> List.mem l sw) ew
+    else e = s
+
+let trace_explainable t (tr : Trace.t) =
+  let es = trace_sig tr in
+  let extends ss =
+    Array.length es = Array.length ss
+    &&
+    try
+      Array.iteri
+        (fun p ep ->
+          let sp = ss.(p) in
+          let ne = Array.length ep in
+          if ne > Array.length sp then raise Exit;
+          if (not tr.Trace.truncated) && ne < Array.length sp then raise Exit;
+          Array.iteri
+            (fun i e ->
+              let last = tr.Trace.truncated && i = ne - 1 in
+              if not (ev_matches ~last e sp.(i)) then raise Exit)
+            ep)
+        es;
+      true
+    with Exit -> false
+  in
+  List.exists extends (trace_index t)

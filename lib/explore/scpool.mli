@@ -1,0 +1,59 @@
+(** Enumerated SC execution pools with a memoised behaviour index.
+
+    Deciding SC-explainability is the core primitive of Condition 3.4
+    checking ({!Vcampaign}), repair verification ({!Repaircheck}) and
+    robustness verification ({!Robustcheck}).  All three enumerate the
+    complete SC behaviour pool of a program once and then test many weak
+    executions against it; this module owns that pool and indexes it so
+    a membership test does not re-walk the executions list:
+
+    - a {e complete} weak run is explainable iff its full per-processor
+      behaviour signature (operation identities plus the values reads
+      returned) is in the pool's hash set — threads are deterministic
+      given their read values, so a complete run matching an SC prefix
+      coincides with that SC execution entirely;
+    - a {e truncated} run (the prefixes minimization produces) scans the
+      signature-deduped pool with a per-processor prefix comparison. *)
+
+type t
+
+val build : ?limit:int -> Minilang.Ast.program -> (t, string) result
+(** Enumerate the program's complete SC pool (limit defaults to
+    2,000,000 executions).  [Error msg] when enumeration hits the limit
+    — the message reads ["SC enumeration incomplete after %d executions
+    (spinning program?)"], suitable for verbatim display. *)
+
+val build_exn : ?limit:int -> Minilang.Ast.program -> t
+(** @raise Invalid_argument when the pool does not enumerate completely. *)
+
+val of_executions : Memsim.Exec.t list -> t
+(** Index a pre-enumerated pool (the executions are trusted to be the
+    complete SC set). *)
+
+val executions : t -> Memsim.Exec.t list
+(** The raw pool, e.g. for {!Racedetect.Condition.check}'s [~sc]. *)
+
+val size : t -> int
+(** Number of distinct SC behaviours (signature-deduped), the count to
+    report to users. *)
+
+val explainable : t -> Memsim.Exec.t -> bool
+(** Whether some complete SC execution extends the given (possibly
+    truncated) execution: per processor the issued operations match an
+    SC prefix in identity and reads saw the same values.  On complete
+    executions this coincides with
+    {!Memsim.Exec.same_program_behaviour} against some pool member. *)
+
+val prefix_explainable : sc:Memsim.Exec.t list -> Memsim.Exec.t -> bool
+(** List-based one-shot form of {!explainable} (no index reuse), kept
+    for callers holding a raw pool list. *)
+
+val trace_explainable : t -> Tracing.Trace.t -> bool
+(** Explainability at trace granularity, for observed (possibly
+    decoded) traces: per processor, the sequence of computation
+    read/write location sets and sync operations (location, kind,
+    class, value) must match those of one SC execution — exactly for a
+    complete trace, as a prefix (final computation event allowed
+    partial) for a truncated one.  A v2 trace records no data values,
+    so this decides explainability of exactly the information the
+    paper's traces carry. *)

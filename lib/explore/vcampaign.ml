@@ -77,46 +77,17 @@ let programs =
 
 let fence_litmus = Minilang.Programs.dekker_fenced
 
-let sc_pool p =
-  let r =
-    Memsim.Enumerate.explore ~limit:2_000_000 (fun () -> Minilang.Interp.source p)
-  in
-  if not r.Memsim.Enumerate.complete then
-    invalid_arg
-      (Printf.sprintf "Vcampaign: SC pool for %s did not enumerate completely"
-         p.Minilang.Ast.name);
-  r.Memsim.Enumerate.executions
+let sc_pool p = Scpool.build_exn p
 
 let sched_for seed =
   if seed mod 2 = 0 then Sched.adversarial ~seed () else Sched.random ~seed
 
 (* -- prefix-aware SC-explainability ---------------------------------- *)
 
-(* [Exec.same_program_behaviour] needs complete, equal-length runs, so it
-   cannot judge the truncated replays minimization produces.  A partial
-   execution is SC-prefix-explainable when some complete SC execution
-   extends it: per processor, the operations issued so far match an SC
-   prefix in identity, and reads saw the same values.  On complete
-   executions this coincides with [same_program_behaviour]. *)
-let prefix_explainable ~sc (e : Exec.t) =
-  let extends (s : Exec.t) =
-    e.Exec.n_procs = s.Exec.n_procs
-    &&
-    try
-      for p = 0 to e.Exec.n_procs - 1 do
-        let ep = e.Exec.by_proc.(p) and sp = s.Exec.by_proc.(p) in
-        if Array.length ep > Array.length sp then raise Exit;
-        Array.iteri
-          (fun i (o : Op.t) ->
-            let so = sp.(i) in
-            if Op.identity o <> Op.identity so then raise Exit;
-            if o.Op.kind = Op.Read && o.Op.value <> so.Op.value then raise Exit)
-          ep
-      done;
-      true
-    with Exit -> false
-  in
-  List.exists extends sc
+(* The index-free form lives in {!Scpool}; the campaign itself runs on
+   indexed pools ({!Scpool.explainable}) so the per-seed checks do not
+   re-hash the pool. *)
+let prefix_explainable = Scpool.prefix_explainable
 
 let race_free e = Ophb.data_races (Ophb.build e) = []
 
@@ -137,7 +108,7 @@ let replay ~model mk prefix =
 let minimize ~model ~sc ~require_racefree mk sched =
   let n = List.length sched in
   let violates e =
-    (not (prefix_explainable ~sc e))
+    (not (Scpool.explainable sc e))
     && ((not require_racefree) || race_free e)
   in
   let rec go k =
@@ -213,7 +184,7 @@ let sweep_cell ~seeds ~pool (vname, model) (p : Minilang.Ast.program) =
   for seed = 0 to seeds - 1 do
     if !violation = None then begin
       let e = Machine.run ~model ~sched:(sched_for seed) (mk ()) in
-      let v = Condition.check ~sc:pool e in
+      let v = Condition.check ~sc:(Scpool.executions pool) e in
       if not v.Condition.holds then violation := Some (seed, e)
     end
   done;
@@ -256,9 +227,7 @@ let run ?(seeds = 16) ?jobs ?witness_dir () =
       (fun (vname, model) ->
         let execs = fence_envelope model in
         let bad =
-          List.find_opt
-            (fun e -> not (prefix_explainable ~sc:fence_pool e))
-            execs
+          List.find_opt (fun e -> not (Scpool.explainable fence_pool e)) execs
         in
         (vname, List.length execs, bad))
       roster

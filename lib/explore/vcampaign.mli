@@ -62,6 +62,37 @@ val prefix_explainable : sc:Memsim.Exec.t list -> Memsim.Exec.t -> bool
     {!Memsim.Exec.same_program_behaviour} (equal lengths) cannot; on
     complete executions the two coincide. *)
 
+val replay :
+  model:Memsim.Model.t ->
+  (unit -> Memsim.Thread_intf.source) ->
+  Memsim.Exec.decision list ->
+  Memsim.Exec.t
+(** Re-perform a schedule prefix on a fresh machine, mark it truncated
+    if threads remain, drain, and return the resulting execution. *)
+
+val minimize :
+  model:Memsim.Model.t ->
+  sc:Scpool.t ->
+  require_racefree:bool ->
+  (unit -> Memsim.Thread_intf.source) ->
+  Memsim.Exec.decision list ->
+  Memsim.Exec.decision list * Memsim.Exec.t
+(** Greedy triage-style minimization: the shortest schedule prefix whose
+    drained replay is still SC-inexplicable (and race-free, when
+    [require_racefree]).  @raise Invalid_argument when the full schedule
+    no longer violates. *)
+
+val verify :
+  model:Memsim.Model.t ->
+  (unit -> Memsim.Thread_intf.source) ->
+  ?path:string ->
+  Memsim.Exec.decision list ->
+  Memsim.Exec.t ->
+  (unit, string) result
+(** The witness discipline shared with {!Robustcheck}: re-performing the
+    schedule must yield a byte-identical v2 trace, and the (optionally
+    written) trace must decode and re-analyze identically. *)
+
 val run :
   ?seeds:int -> ?jobs:int -> ?witness_dir:string -> unit -> report
 (** Run the campaign: [seeds] (default 16) schedules per variant x

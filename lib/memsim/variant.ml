@@ -63,6 +63,28 @@ let preserves_condition v =
    contract, which the campaign checks separately. *)
 let honors_fences v = (not (has_buffer v)) || v.on_fence <> Nop
 
+(* The reorderings the buffer machinery can physically produce,
+   independent of any particular program.  These are the raw delay kinds
+   the static robustness pass ({!Staticcheck.Robust}) maps critical-cycle
+   edges onto; per-edge refinements (drain knobs, same-location
+   enforcement) live there because they need the accesses' classes and
+   abstract addresses. *)
+type delay_kind = Delay_wr | Delay_ww | Delay_own_read
+
+let admits v = function
+  (* a buffered data write performs after any program-later read issues *)
+  | Delay_wr -> has_buffer v
+  (* two buffered writes to different locations retire out of order; a
+     depth-1 buffer holds one write at a time, so issue order is
+     retirement order *)
+  | Delay_ww -> (
+    has_buffer v && v.retire = OutOfOrder
+    && match v.depth with Unbounded -> true | Bounded n -> n >= 2)
+  (* a read overtakes the processor's own buffered write to the same
+     location — only the bypass defect does this; forwarding returns the
+     newest buffered value and stalling waits it out *)
+  | Delay_own_read -> has_buffer v && v.read = Bypass
+
 let equal (a : t) (b : t) = a = b
 
 (* -- spec syntax ------------------------------------------------------- *)

@@ -76,6 +76,23 @@ val honors_fences : t -> bool
     invisible to the detector — it violates the hardware fence contract,
     which the variants campaign checks separately. *)
 
+type delay_kind =
+  | Delay_wr  (** a buffered data write performs after a later read *)
+  | Delay_ww
+      (** two buffered data writes to different locations retire out of
+          issue order *)
+  | Delay_own_read
+      (** a read overtakes the processor's own pending same-location
+          write (the [Bypass] coherence defect) *)
+
+val admits : t -> delay_kind -> bool
+(** Whether the variant's knobs can physically produce the delay,
+    independent of any program: [Delay_wr] needs a buffer at all,
+    [Delay_ww] additionally needs [retire = OutOfOrder] and room for two
+    writes, [Delay_own_read] needs [read = Bypass].  The static
+    robustness pass ({!Staticcheck.Robust}) layers per-edge drain-knob
+    and same-location refinements on top of these. *)
+
 val equal : t -> t -> bool
 
 val aliases : (string * t) list

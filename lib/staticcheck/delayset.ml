@@ -51,17 +51,25 @@ let conflicting (a : Absint.access) (b : Absint.access) =
   && not (Absdom.is_bot (Absdom.meet a.Absint.addr b.Absint.addr))
 
 (* canonical form of a cyclic node sequence: the lexicographically
-   smallest rotation, so every enumeration order of one cycle dedups *)
+   smallest rotation of the sequence or of its reversal, so every
+   enumeration order of one cycle dedups.  Reversal matters because
+   loop-carried program order runs in both directions: a loop-carried
+   cycle and its mirror are the same set of orderings, yet the segment
+   enumeration discovers both *)
 let canonical (nodes : int list) =
+  let best_rot arr =
+    let n = Array.length arr in
+    let rot k = List.init n (fun i -> arr.((i + k) mod n)) in
+    let best = ref (rot 0) in
+    for k = 1 to n - 1 do
+      let r = rot k in
+      if r < !best then best := r
+    done;
+    !best
+  in
   let arr = Array.of_list nodes in
-  let n = Array.length arr in
-  let rot k = List.init n (fun i -> arr.((i + k) mod n)) in
-  let best = ref (rot 0) in
-  for k = 1 to n - 1 do
-    let r = rot k in
-    if r < !best then best := r
-  done;
-  !best
+  let rev = Array.of_list (List.rev nodes) in
+  min (best_rot arr) (best_rot rev)
 
 let analyze (p : Ast.program) (results : Absint.proc_result array) =
   let accesses =
@@ -185,10 +193,23 @@ let analyze (p : Ast.program) (results : Absint.proc_result array) =
   List.iter
     (fun c ->
       let len = Array.length c in
+      (* a cycle whose po edges are all bidirectional (loop-carried) is
+         its own mirror; the mirror's delay pairs are the reversed ones,
+         and dedup keeps only one orientation, so emit both *)
+      let reversible = ref true in
       for i = 0 to len - 1 do
         let u = c.(i) and v = c.((i + 1) mod len) in
-        if accesses.(u).Absint.proc = accesses.(v).Absint.proc then
-          Hashtbl.replace delay_tbl (u, v) ()
+        if
+          accesses.(u).Absint.proc = accesses.(v).Absint.proc
+          && not po.(v).(u)
+        then reversible := false
+      done;
+      for i = 0 to len - 1 do
+        let u = c.(i) and v = c.((i + 1) mod len) in
+        if accesses.(u).Absint.proc = accesses.(v).Absint.proc then begin
+          Hashtbl.replace delay_tbl (u, v) ();
+          if !reversible then Hashtbl.replace delay_tbl (v, u) ()
+        end
       done)
     cycles;
   let delays =

@@ -38,8 +38,23 @@ type t = {
 }
 
 val analyze : Minilang.Ast.program -> Absint.proc_result array -> t
+(** Cycles are canonicalised up to rotation {e and} reversal before the
+    [max_cycles] budget counter, so one critical cycle is reported once
+    no matter how many enumeration orders reach it.  The delay set still
+    contains both orientations of a pair when the cycle is loop-carried
+    in both directions (the mirror cycle's orderings are real). *)
 
 val access : t -> int -> Absint.access
+
+val loop_carried : Absint.access -> Absint.access -> bool
+(** Both accesses sit under a common enclosing loop, so program order
+    connects their instances in both directions across iterations. *)
+
+val po_within :
+  Minilang.Ast.instr list -> Absint.access -> Absint.access -> bool
+(** Program order between two accesses of one processor: structural
+    {!Cfg.always_before} order, read-before-write within one RMW, or
+    {!loop_carried}. *)
 
 val cycle_for : t -> Candidates.pair -> cycle option
 (** The shortest critical cycle crossing the pair's conflict edge

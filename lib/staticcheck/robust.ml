@@ -1,0 +1,373 @@
+module Ast = Minilang.Ast
+module Op = Memsim.Op
+module Model = Memsim.Model
+module Variant = Memsim.Variant
+
+(* Static robustness: classify every Shasha–Snir critical cycle as
+   feasible or infeasible under one {!Memsim.Variant} by mapping each of
+   its program-order edges to the delay kind the hardware would need to
+   violate it, then checking whether the variant's knobs can produce
+   that delay.  A cycle none of whose po edges is breakable cannot be
+   realized (realizing a critical cycle requires performing at least one
+   of its po edges out of order), so a program all of whose delay pairs
+   are enforced — plus, under [read=bypass], no same-processor stale-read
+   hazard — admits only SC-explainable behaviours: statically ROBUST.
+
+   Every rule errs on the side of *feasible* (breakable): a pair is
+   declared enforced only when the machine semantics provably order it
+   on every run, so ROBUST verdicts are sound and feasibility is the
+   over-approximation the dynamic closure ({!Explore.Robustcheck})
+   discharges or confirms with a witness. *)
+
+type edge = {
+  e_u : int;  (** delayed access (a buffered data write), index into [ds] *)
+  e_v : int;  (** program-later access it can overtake *)
+  e_breakable : bool;
+  e_kind : Variant.delay_kind option;  (** when breakable *)
+  e_reason : string;  (** why enforced / how the hardware breaks it *)
+}
+
+type cycle_verdict = {
+  c_cycle : Delayset.cycle;
+  c_feasible : bool;
+  c_edges : edge list;
+      (** the cycle's po edges — stored orientation, plus the reversed
+          orientation when the cycle is loop-carried both ways *)
+}
+
+type hazard = { h_write : int; h_read : int }
+
+type t = {
+  variant : Variant.t;
+  ds : Delayset.t;
+  results : Absint.proc_result array;
+  edges : edge list;  (** one verdict per delay pair *)
+  cycles : cycle_verdict list;
+  hazards : hazard list;
+      (** same-processor stale-read pairs under [read=bypass]; critical
+          cycles assume uniprocessor coherence, so this is checked
+          separately *)
+  robust : bool;
+  truncated : bool;  (** cycle enumeration was cut: ROBUST not provable *)
+}
+
+let is_rmw (a : Absint.access) =
+  match a.Absint.op_name with "test&set" | "fetch&add" -> true | _ -> false
+
+(* both addresses resolve to the same single concrete location — the
+   only situation in which same-location machine guarantees (in-order
+   retirement, forwarding, partial drains) provably apply *)
+let certainly_eq (a : Absint.access) (b : Absint.access) =
+  match (Absdom.singleton a.Absint.addr, Absdom.singleton b.Absint.addr) with
+  | Some x, Some y -> x = y
+  | _ -> false
+
+(* the only operations the buffer delays: plain data stores (sync-class
+   writes and RMWs write memory at issue) *)
+let delayable (a : Absint.access) =
+  a.Absint.kind = Op.Write && a.Absint.cls = Op.Data && not (is_rmw a)
+
+(* -- intervening suppression ------------------------------------------- *)
+
+(* [w] executes strictly between [u] and [v] on every path that runs
+   both: ordered after [u], before [v], and not merely
+   vacuously ordered ([Cfg.always_before] also holds for exclusive If
+   arms, in both directions — the negative checks reject that). *)
+let strictly_between body (up : Ast.path) (wp : Ast.path) (vp : Ast.path) =
+  wp <> up && wp <> vp
+  && Cfg.always_before body up wp
+  && Cfg.always_before body wp vp
+  && not (Cfg.always_before body wp up)
+  && not (Cfg.always_before body vp wp)
+
+(* would access [b] refuse to issue while [u]'s write is still pending? *)
+let access_blocks (v : Variant.t) (u : Absint.access) (b : Absint.access) =
+  let d = Variant.drain_on v b.Absint.cls in
+  d = Variant.Drain
+  || (d = Variant.Partial && certainly_eq b u)
+  || (is_rmw b && certainly_eq b u)
+  || (b.Absint.kind = Op.Read && v.Variant.read = Variant.Stall
+     && certainly_eq b u)
+  || (b.Absint.kind = Op.Write && b.Absint.cls <> Op.Data && certainly_eq b u)
+
+(* an always-executed blocking operation between the pair keeps the
+   write from staying pending across [v]: the edge is enforced.  Skipped
+   for loop-carried pairs (the blocker sits elsewhere in the iteration
+   cycle), which errs feasible. *)
+let suppressed (p : Ast.program) (t_res : Absint.proc_result array)
+    (v : Variant.t) (u : Absint.access) (vv : Absint.access) =
+  if Delayset.loop_carried u vv then None
+  else begin
+    let r = t_res.(u.Absint.proc) in
+    let body = p.Ast.procs.(u.Absint.proc) in
+    let up = u.Absint.path and vp = vv.Absint.path in
+    let fence_blocker =
+      List.find_opt
+        (fun (f : Absint.fence) ->
+          v.Variant.on_fence <> Variant.Nop
+          && strictly_between body up f.Absint.f_path vp)
+        r.Absint.fences
+    in
+    match fence_blocker with
+    | Some f ->
+      Some
+        (Printf.sprintf "fence at %s drains the buffer in between"
+           (Ast.path_to_string f.Absint.f_path))
+    | None ->
+      List.find_opt
+        (fun (b : Absint.access) ->
+          access_blocks v u b && strictly_between body up b.Absint.path vp)
+        r.Absint.accesses
+      |> Option.map (fun (b : Absint.access) ->
+             Printf.sprintf "%s at %s blocks on the pending write in between"
+               b.Absint.op_name
+               (Ast.path_to_string b.Absint.path))
+  end
+
+(* -- per-edge feasibility ---------------------------------------------- *)
+
+(* verdict for po pair [u ->> v] before intervening suppression *)
+let sink_verdict (w : Variant.t) (au : Absint.access) (av : Absint.access) =
+  let enforced r = (false, None, r) in
+  let breakable k r = (true, Some k, r) in
+  if is_rmw av then
+    if certainly_eq au av then
+      enforced "the RMW waits for pending writes to its own location"
+    else if Variant.drain_on w av.Absint.cls = Variant.Drain then
+      enforced "the RMW's class drains the buffer before it issues"
+    else
+      breakable Variant.Delay_wr
+        "the RMW runs at memory while the older write is still buffered"
+  else
+    match av.Absint.kind with
+    | Op.Read -> (
+      match Variant.drain_on w av.Absint.cls with
+      | Variant.Drain -> enforced "the read's class drains the buffer"
+      | (Variant.Partial | Variant.Nop) as d ->
+        if d = Variant.Partial && certainly_eq au av then
+          enforced "a partial drain covers the pending same-location write"
+        else if certainly_eq au av then (
+          match w.Variant.read with
+          | Variant.Stall ->
+            enforced "a same-location read stalls until the write retires"
+          | Variant.Forward ->
+            enforced "a same-location read forwards the buffered value"
+          | Variant.Bypass ->
+            breakable Variant.Delay_own_read
+              "the read bypasses the processor's own pending write")
+        else
+          breakable Variant.Delay_wr
+            "the read performs while the older write is still buffered")
+    | Op.Write ->
+      if av.Absint.cls = Op.Data then
+        if certainly_eq au av then
+          enforced "same-location writes retire in order"
+        else if Variant.admits w Variant.Delay_ww then
+          breakable Variant.Delay_ww "the writes retire out of issue order"
+        else if w.Variant.retire = Variant.Fifo then
+          enforced "FIFO retirement preserves write order"
+        else enforced "the buffer cannot hold two writes at once"
+      else if certainly_eq au av then
+        enforced "the sync write waits for pending writes to its location"
+      else if Variant.drain_on w av.Absint.cls = Variant.Drain then
+        enforced "the sync write's class drains the buffer"
+      else
+        breakable Variant.Delay_wr
+          "the sync write performs at issue while the data write is buffered"
+
+let edge_verdict results (w : Variant.t) (ds : Delayset.t) (u, v) =
+  let au = ds.Delayset.accesses.(u) and av = ds.Delayset.accesses.(v) in
+  let breakable, kind, reason =
+    if not (Variant.has_buffer w) then
+      (false, None, "no store buffer: nothing is delayed")
+    else if not (delayable au) then
+      ( false,
+        None,
+        if au.Absint.kind <> Op.Write then
+          "reads perform at issue: nothing to delay"
+        else "the write performs at issue (sync class or RMW): never buffered"
+      )
+    else
+      let b, k, r = sink_verdict w au av in
+      if not b then (b, k, r)
+      else
+        match suppressed ds.Delayset.program results w au av with
+        | Some why -> (false, None, why)
+        | None -> (b, k, r)
+  in
+  { e_u = u; e_v = v; e_breakable = breakable; e_kind = kind; e_reason = reason }
+
+(* -- bypass coherence hazards ------------------------------------------ *)
+
+(* Critical cycles only cover cross-processor interaction; [read=bypass]
+   additionally breaks a single processor's own coherence (a read misses
+   its own pending write), which no SC execution can explain.  Flag every
+   same-processor (data write, later overlapping read) pair the drain
+   knobs do not provably cover.  A [Partial]-draining read waits for
+   pending writes to its own concrete location — exactly the hazard
+   location — so only [Nop] classes are exposed. *)
+let bypass_hazards results (w : Variant.t) (ds : Delayset.t) =
+  if not (Variant.admits w Variant.Delay_own_read) then []
+  else begin
+    let acc = ds.Delayset.accesses in
+    let n = Array.length acc in
+    let out = ref [] in
+    for iu = 0 to n - 1 do
+      for iv = 0 to n - 1 do
+        let u = acc.(iu) and r = acc.(iv) in
+        if
+          iu <> iv
+          && u.Absint.proc = r.Absint.proc
+          && delayable u
+          && r.Absint.kind = Op.Read
+          && (not (is_rmw r))
+          && Variant.drain_on w r.Absint.cls = Variant.Nop
+          && (not (Absdom.is_bot (Absdom.meet u.Absint.addr r.Absint.addr)))
+          && Delayset.po_within
+               ds.Delayset.program.Ast.procs.(u.Absint.proc)
+               u r
+          && suppressed ds.Delayset.program results w u r = None
+        then out := { h_write = iu; h_read = iv } :: !out
+      done
+    done;
+    List.rev !out
+  end
+
+(* -- whole-program verdicts -------------------------------------------- *)
+
+let check (variant : Variant.t) (results : Absint.proc_result array)
+    (ds : Delayset.t) =
+  let edges = List.map (edge_verdict results variant ds) ds.Delayset.delays in
+  let acc = ds.Delayset.accesses in
+  let po u v =
+    acc.(u).Absint.proc = acc.(v).Absint.proc
+    && Delayset.po_within
+         ds.Delayset.program.Ast.procs.(acc.(u).Absint.proc)
+         acc.(u) acc.(v)
+  in
+  let cycles =
+    List.map
+      (fun c ->
+        let len = Array.length c in
+        let pairs = ref [] in
+        let reversible = ref true in
+        for i = 0 to len - 1 do
+          let u = c.(i) and v = c.((i + 1) mod len) in
+          if acc.(u).Absint.proc = acc.(v).Absint.proc then begin
+            pairs := (u, v) :: !pairs;
+            if not (po v u) then reversible := false
+          end
+        done;
+        let pairs = List.rev !pairs in
+        let pairs =
+          if !reversible then pairs @ List.map (fun (u, v) -> (v, u)) pairs
+          else pairs
+        in
+        let c_edges = List.map (edge_verdict results variant ds) pairs in
+        {
+          c_cycle = c;
+          c_feasible = List.exists (fun e -> e.e_breakable) c_edges;
+          c_edges;
+        })
+      ds.Delayset.cycles
+  in
+  let hazards = bypass_hazards results variant ds in
+  {
+    variant;
+    ds;
+    results;
+    edges;
+    cycles;
+    hazards;
+    robust =
+      (not ds.Delayset.truncated)
+      && (not (List.exists (fun e -> e.e_breakable) edges))
+      && hazards = [];
+    truncated = ds.Delayset.truncated;
+  }
+
+let analyze (variant : Variant.t) (p : Ast.program) =
+  let lint = Lint.analyze p in
+  let ds = Delayset.analyze p lint.Lint.results in
+  check variant lint.Lint.results ds
+
+(* -- the lattice frontier ---------------------------------------------- *)
+
+type frontier_entry = { f_name : string; f_variant : Variant.t; f_robust : bool }
+
+(* same lattice points the variants campaign sweeps: the six named
+   models as canonical variants, then the named off-lattice knobs *)
+let roster () =
+  List.map
+    (fun m -> (String.lowercase_ascii (Model.name m), Model.variant m))
+    Model.all
+  @ Variant.aliases
+
+let frontier (results : Absint.proc_result array) (ds : Delayset.t) =
+  List.map
+    (fun (n, v) ->
+      { f_name = n; f_variant = v; f_robust = (check v results ds).robust })
+    (roster ())
+
+(* -- rendering --------------------------------------------------------- *)
+
+let feasible_cycles t = List.filter (fun c -> c.c_feasible) t.cycles
+
+let verdict_str t =
+  if t.robust then "ROBUST"
+  else if t.truncated then "UNKNOWN"
+  else "NOT PROVEN"
+
+let pp_edge t ppf e =
+  Format.fprintf ppf "%a  [%s: %s]"
+    (Delayset.pp_delay t.ds)
+    (e.e_u, e.e_v)
+    (if e.e_breakable then
+       match e.e_kind with
+       | Some Variant.Delay_wr -> "breakable W->R"
+       | Some Variant.Delay_ww -> "breakable W->W"
+       | Some Variant.Delay_own_read -> "breakable own-read"
+       | None -> "breakable"
+     else "enforced")
+    e.e_reason
+
+let pp_hazard t ppf h =
+  Format.fprintf ppf
+    "%a  can read stale data over  %a  [read=bypass ignores the buffer]"
+    (Delayset.pp_access t.ds) h.h_read (Delayset.pp_access t.ds) h.h_write
+
+let pp ppf t =
+  let feas = List.length (feasible_cycles t) in
+  Format.fprintf ppf
+    "static robustness under %s: %s — %d critical cycle(s), %d feasible, %d \
+     delay pair(s) breakable, %d coherence hazard(s)%s"
+    (Variant.name t.variant) (verdict_str t)
+    (List.length t.cycles)
+    feas
+    (List.length (List.filter (fun e -> e.e_breakable) t.edges))
+    (List.length t.hazards)
+    (if t.truncated then " (cycle enumeration truncated)" else "")
+
+let pp_explain ppf t =
+  Format.fprintf ppf "@[<v>%a@," pp t;
+  List.iteri
+    (fun i cv ->
+      Format.fprintf ppf "cycle %d: %s@,  %a@," (i + 1)
+        (if cv.c_feasible then "FEASIBLE" else "infeasible")
+        (Delayset.pp_cycle t.ds) cv.c_cycle;
+      List.iter
+        (fun e -> Format.fprintf ppf "    %a@," (pp_edge t) e)
+        cv.c_edges)
+    t.cycles;
+  List.iter (fun h -> Format.fprintf ppf "  hazard: %a@," (pp_hazard t) h) t.hazards;
+  Format.fprintf ppf "@]"
+
+let pp_frontier ppf entries =
+  Format.pp_open_vbox ppf 0;
+  Format.fprintf ppf "lattice frontier:";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@,  %-20s %s" f.f_name
+        (if f.f_robust then "ROBUST" else "not proven"))
+    entries;
+  Format.pp_close_box ppf ()

@@ -1,0 +1,86 @@
+(** Static robustness certification: per-variant critical-cycle
+    feasibility.
+
+    A program is {e robust} against a weak model when every behaviour
+    the model admits is SC-explainable — orthogonal to racy/race-free
+    (the sb litmus is racy {e and} non-robust; lb is racy yet robust).
+    Realizing a {!Delayset} critical cycle requires the hardware to
+    perform at least one of its program-order edges out of order, so a
+    cycle every po edge of which is provably enforced by the
+    {!Memsim.Variant}'s knobs is infeasible; a program with no feasible
+    cycle — and, under the [read=bypass] coherence defect, no
+    same-processor stale-read hazard — is statically ROBUST for that
+    variant.
+
+    Each po edge [u ->> v] is mapped to the delay kind the hardware
+    would need ({!Memsim.Variant.delay_kind}): the source must be a
+    buffered plain data write at all, the sink's class/location decides
+    between a W→R delay, an out-of-order W→W retirement, or the bypass
+    own-read defect, and an always-executed draining operation strictly
+    between the pair suppresses it.  Every rule errs on the side of
+    {e feasible}, so ROBUST is sound; feasible cycles are handed to the
+    dynamic closure ({!Explore.Robustcheck}) for a witness or a
+    refutation.  See DESIGN.md §11 for the soundness argument. *)
+
+type edge = {
+  e_u : int;  (** delayed access (a buffered data write), {!Delayset} index *)
+  e_v : int;  (** program-later access it can overtake *)
+  e_breakable : bool;
+  e_kind : Memsim.Variant.delay_kind option;  (** when breakable *)
+  e_reason : string;  (** why enforced / how the hardware breaks it *)
+}
+
+type cycle_verdict = {
+  c_cycle : Delayset.cycle;
+  c_feasible : bool;  (** some po edge of the cycle is breakable *)
+  c_edges : edge list;
+      (** the cycle's po edges — stored orientation plus the reversed
+          one when the cycle is loop-carried in both directions *)
+}
+
+type hazard = { h_write : int; h_read : int }
+(** A same-processor (pending data write, later overlapping read) pair
+    that [read=bypass] lets read stale memory — single-processor
+    incoherence no SC execution explains, checked separately because
+    critical cycles assume uniprocessor coherence. *)
+
+type t = {
+  variant : Memsim.Variant.t;
+  ds : Delayset.t;
+  results : Absint.proc_result array;
+  edges : edge list;  (** one verdict per delay pair *)
+  cycles : cycle_verdict list;
+  hazards : hazard list;
+  robust : bool;
+      (** enumeration complete, no breakable delay pair, no hazard *)
+  truncated : bool;
+}
+
+val check : Memsim.Variant.t -> Absint.proc_result array -> Delayset.t -> t
+(** Classify a precomputed delay-set analysis under one variant. *)
+
+val analyze : Memsim.Variant.t -> Minilang.Ast.program -> t
+(** Run {!Lint.analyze} + {!Delayset.analyze} + {!check}. *)
+
+type frontier_entry = {
+  f_name : string;
+  f_variant : Memsim.Variant.t;
+  f_robust : bool;
+}
+
+val frontier : Absint.proc_result array -> Delayset.t -> frontier_entry list
+(** The static verdict at every lattice point the variants campaign
+    sweeps: the six named models as canonical variants, then
+    {!Memsim.Variant.aliases}. *)
+
+val feasible_cycles : t -> cycle_verdict list
+
+val verdict_str : t -> string
+(** ["ROBUST"], ["NOT PROVEN"] (some feasible cycle or hazard), or
+    ["UNKNOWN"] (cycle enumeration truncated). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_explain : Format.formatter -> t -> unit
+val pp_edge : t -> Format.formatter -> edge -> unit
+val pp_hazard : t -> Format.formatter -> hazard -> unit
+val pp_frontier : Format.formatter -> frontier_entry list -> unit

@@ -186,14 +186,13 @@ An already data-race-free program needs nothing, under any model:
   program fig1b: 2 processors, 3 locations
   
   delay-set analysis (model TSO):
-    7 access(es), 4 cross-processor conflict edge(s), 7 critical cycle(s), 10 delay pair(s)
+    7 access(es), 4 cross-processor conflict edge(s), 6 critical cycle(s), 10 delay pair(s)
     cycle 1: P0 unset s @2 -cf-> P1 test&set (read) s @1.body.0 -po-> P1 test&set (write) s @1.body.0 -cf-> P0 unset s @2
-    cycle 2: P0 unset s @2 -cf-> P1 test&set (write) s @1.body.0 -po-> P1 test&set (read) s @1.body.0 -cf-> P0 unset s @2
-    cycle 3: P0 store x @0 -po-> P0 store y @1 -cf-> P1 load y @2 -po-> P1 load x @3 -cf-> P0 store x @0
-    cycle 4: P0 store x @0 -po-> P0 unset s @2 -cf-> P1 test&set (read) s @1.body.0 -po-> P1 load x @3 -cf-> P0 store x @0
-    cycle 5: P0 store x @0 -po-> P0 unset s @2 -cf-> P1 test&set (write) s @1.body.0 -po-> P1 load x @3 -cf-> P0 store x @0
-    cycle 6: P0 store y @1 -po-> P0 unset s @2 -cf-> P1 test&set (read) s @1.body.0 -po-> P1 load y @2 -cf-> P0 store y @1
-    cycle 7: P0 store y @1 -po-> P0 unset s @2 -cf-> P1 test&set (write) s @1.body.0 -po-> P1 load y @2 -cf-> P0 store y @1
+    cycle 2: P0 store x @0 -po-> P0 store y @1 -cf-> P1 load y @2 -po-> P1 load x @3 -cf-> P0 store x @0
+    cycle 3: P0 store x @0 -po-> P0 unset s @2 -cf-> P1 test&set (read) s @1.body.0 -po-> P1 load x @3 -cf-> P0 store x @0
+    cycle 4: P0 store x @0 -po-> P0 unset s @2 -cf-> P1 test&set (write) s @1.body.0 -po-> P1 load x @3 -cf-> P0 store x @0
+    cycle 5: P0 store y @1 -po-> P0 unset s @2 -cf-> P1 test&set (read) s @1.body.0 -po-> P1 load y @2 -cf-> P0 store y @1
+    cycle 6: P0 store y @1 -po-> P0 unset s @2 -cf-> P1 test&set (write) s @1.body.0 -po-> P1 load y @2 -cf-> P0 store y @1
     delay pairs:
       P0: store x @0  ->>  store y @1
       P0: store x @0  ->>  unset s @2

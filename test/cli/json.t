@@ -360,3 +360,179 @@ streaming report):
   $ racedet lint sb.race --json --triage
   racedet: --json and --triage are mutually exclusive
   [1]
+
+`robust --json` locks the robustness report the same way: the static
+per-cycle edge verdicts, the dynamic closure with its witness, and the
+lattice frontier:
+
+  $ racedet robust sb.race -m tso --json
+  {
+    "schema": 1,
+    "program": "sb",
+    "model": "TSO",
+    "verdict": "NOT ROBUST",
+    "exit": 2,
+    "static": {
+      "robust": false,
+      "truncated": false,
+      "breakable": 2,
+      "cycles": [
+        {
+          "feasible": true,
+          "cycle": [
+            {
+              "proc": 0,
+              "path": "0",
+              "label": "P0:L5",
+              "op": "store",
+              "kind": "write",
+              "class": "data",
+              "locs": "x",
+              "edge_to_next": "po"
+            },
+            {
+              "proc": 0,
+              "path": "1",
+              "label": "P0:L6",
+              "op": "load",
+              "kind": "read",
+              "class": "data",
+              "locs": "y",
+              "edge_to_next": "cf"
+            },
+            {
+              "proc": 1,
+              "path": "0",
+              "label": "P1:L9",
+              "op": "store",
+              "kind": "write",
+              "class": "data",
+              "locs": "y",
+              "edge_to_next": "po"
+            },
+            {
+              "proc": 1,
+              "path": "1",
+              "label": "P1:L10",
+              "op": "load",
+              "kind": "read",
+              "class": "data",
+              "locs": "x",
+              "edge_to_next": "cf"
+            }
+          ],
+          "edges": [
+            {
+              "from": {
+                "proc": 0,
+                "path": "0",
+                "label": "P0:L5",
+                "op": "store",
+                "kind": "write",
+                "class": "data",
+                "locs": "x"
+              },
+              "to": {
+                "proc": 0,
+                "path": "1",
+                "label": "P0:L6",
+                "op": "load",
+                "kind": "read",
+                "class": "data",
+                "locs": "y"
+              },
+              "breakable": true,
+              "kind": "wr",
+              "reason": "the read performs while the older write is still buffered"
+            },
+            {
+              "from": {
+                "proc": 1,
+                "path": "0",
+                "label": "P1:L9",
+                "op": "store",
+                "kind": "write",
+                "class": "data",
+                "locs": "y"
+              },
+              "to": {
+                "proc": 1,
+                "path": "1",
+                "label": "P1:L10",
+                "op": "load",
+                "kind": "read",
+                "class": "data",
+                "locs": "x"
+              },
+              "breakable": true,
+              "kind": "wr",
+              "reason": "the read performs while the older write is still buffered"
+            }
+          ]
+        }
+      ],
+      "hazards": []
+    },
+    "closure": {
+      "sc_behaviours": 3,
+      "schedules": 1,
+      "complete": false,
+      "witness": {
+        "schedule_steps": 4,
+        "operations": 4,
+        "verified": true,
+        "path": null
+      }
+    },
+    "frontier": [
+      {
+        "point": "sc",
+        "robust": true
+      },
+      {
+        "point": "tso",
+        "robust": false
+      },
+      {
+        "point": "wo",
+        "robust": false
+      },
+      {
+        "point": "rcsc",
+        "robust": false
+      },
+      {
+        "point": "drf0",
+        "robust": false
+      },
+      {
+        "point": "drf1",
+        "robust": false
+      },
+      {
+        "point": "sb-fence-nop",
+        "robust": false
+      },
+      {
+        "point": "sb-release-nop",
+        "robust": false
+      },
+      {
+        "point": "sb-release-partial",
+        "robust": false
+      },
+      {
+        "point": "sb-bypass",
+        "robust": false
+      },
+      {
+        "point": "sb-stall",
+        "robust": false
+      },
+      {
+        "point": "sb-bounded-2",
+        "robust": false
+      }
+    ]
+  }
+  [2]

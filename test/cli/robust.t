@@ -1,0 +1,163 @@
+Static robustness certification with a dynamic closure.  A program is
+robust against a weak model when every behaviour the model admits is
+SC-explainable — orthogonal to racy/race-free.  On the store-buffering
+litmus test `racedet robust` classifies the critical cycle as feasible,
+hunts down a minimal non-SC execution and reports the static verdict at
+every lattice point:
+
+  $ cat > sb.race <<'EOF'
+  > program sb
+  > loc x
+  > loc y
+  > proc P0 {
+  >   x := 1
+  >   r0 := y
+  > }
+  > proc P1 {
+  >   y := 1
+  >   r1 := x
+  > }
+  > EOF
+
+  $ racedet robust sb.race
+  robustness of sb under WO: NOT ROBUST
+    static robustness under sb: NOT PROVEN — 1 critical cycle(s), 1 feasible, 2 delay pair(s) breakable, 0 coherence hazard(s)
+    dynamic closure: 1 schedule(s) explored
+    non-SC witness: 4-step schedule, 4 operation(s) performed, replay + round-trip verified
+  lattice frontier:
+    sc                   ROBUST
+    tso                  not proven
+    wo                   not proven
+    rcsc                 not proven
+    drf0                 not proven
+    drf1                 not proven
+    sb-fence-nop         not proven
+    sb-release-nop       not proven
+    sb-release-partial   not proven
+    sb-bypass            not proven
+    sb-stall             not proven
+    sb-bounded-2         not proven
+  [2]
+
+Under SC the same program is proved robust without running anything:
+
+  $ racedet robust sb.race -m sc | head -n 2
+  robustness of sb under SC: ROBUST (static)
+    static robustness under sb:depth=0: ROBUST — 1 critical cycle(s), 0 feasible, 0 delay pair(s) breakable, 0 coherence hazard(s)
+
+IRIW is the classic racy-yet-robust litmus: four race candidates, but
+each reader's load->load pair starts at a read, so no store-buffer
+delay kind can break its cycles — ROBUST at every lattice point:
+
+  $ cat > iriw.race <<'EOF'
+  > program iriw
+  > loc x
+  > loc y
+  > proc P0 {
+  >   x := 1
+  > }
+  > proc P1 {
+  >   y := 1
+  > }
+  > proc P2 {
+  >   r0 := x
+  >   r1 := y
+  > }
+  > proc P3 {
+  >   r2 := y
+  >   r3 := x
+  > }
+  > EOF
+
+  $ racedet robust iriw.race | head -n 2
+  robustness of iriw under WO: ROBUST (static)
+    static robustness under sb: ROBUST — 1 critical cycle(s), 0 feasible, 0 delay pair(s) breakable, 0 coherence hazard(s)
+
+--explain attaches the per-edge verdicts: which program-order edge the
+hardware can break (and with which delay kind), and which knob enforces
+the rest.  Message passing through an RMW consumer is broken only by a
+release that does not drain the data write:
+
+  $ cat > mp_rmw.race <<'EOF'
+  > program mp_rmw
+  > loc d
+  > loc f
+  > proc P0 {
+  >   d := 1
+  >   release f := 1
+  > }
+  > proc P1 {
+  >   rf := acquire f
+  >   old := faa(d, 0)
+  > }
+  > EOF
+
+  $ racedet robust mp_rmw.race -m sb-release-nop --explain
+  robustness of mp_rmw under sb-release-nop: NOT ROBUST
+  static robustness under sb-release-nop: NOT PROVEN — 3 critical cycle(s), 2 feasible, 1 delay pair(s) breakable, 0 coherence hazard(s)
+  cycle 1: infeasible
+    P0 store d @0 -cf-> P1 fetch&add (read) d @1 -po-> P1 fetch&add (write) d @1 -cf-> P0 store d @0
+      P1: fetch&add (read) d @1  ->>  fetch&add (write) d @1  [enforced: reads perform at issue: nothing to delay]
+  cycle 2: FEASIBLE
+    P0 store d @0 -po-> P0 release f @1 -cf-> P1 acquire f @0 -po-> P1 fetch&add (read) d @1 -cf-> P0 store d @0
+      P0: store d @0  ->>  release f @1  [breakable W->R: the sync write performs at issue while the data write is buffered]
+      P1: acquire f @0  ->>  fetch&add (read) d @1  [enforced: reads perform at issue: nothing to delay]
+  cycle 3: FEASIBLE
+    P0 store d @0 -po-> P0 release f @1 -cf-> P1 acquire f @0 -po-> P1 fetch&add (write) d @1 -cf-> P0 store d @0
+      P0: store d @0  ->>  release f @1  [breakable W->R: the sync write performs at issue while the data write is buffered]
+      P1: acquire f @0  ->>  fetch&add (write) d @1  [enforced: reads perform at issue: nothing to delay]
+    dynamic closure: 1 schedule(s) explored
+    non-SC witness: 4-step schedule, 5 operation(s) performed, replay + round-trip verified
+  lattice frontier:
+    sc                   ROBUST
+    tso                  ROBUST
+    wo                   ROBUST
+    rcsc                 ROBUST
+    drf0                 ROBUST
+    drf1                 ROBUST
+    sb-fence-nop         ROBUST
+    sb-release-nop       not proven
+    sb-release-partial   not proven
+    sb-bypass            ROBUST
+    sb-stall             ROBUST
+    sb-bounded-2         ROBUST
+  [2]
+
+--witness-dir writes the minimized witness as a checksummed v2 trace;
+it replays through the ordinary analysis pipeline:
+
+  $ racedet robust sb.race --witness-dir wd >/dev/null; echo "exit $?"
+  exit 2
+  $ racedet analyze wd/sb.robust.trace
+  1 data race(s) in 1 first partition(s) — each contains at least
+  one race that also occurs in a sequentially consistent execution:
+  
+  partition #0 (2 events, 1 data races)
+    E0(P0 comp) <-> E1(P1 comp) on loc0, loc1
+  [2]
+
+
+`analyze --robust PROGRAM` asks the question of an *observed* trace:
+does some SC interleaving of the program produce this trace's exact
+event structure and synchronization values?  An SC run is explainable;
+the mp_rmw violation (acquire saw f=1 but the fetch&add read stale 0,
+both sync-valued operations the trace records) is not:
+
+  $ racedet trace mp_rmw.race -m sc -o sc.trace --v2
+  wrote 5 events (1 computation, 4 sync) to sc.trace
+  $ racedet analyze sc.trace --robust mp_rmw.race
+  trace sc.trace: 5 event(s) across 2 processor(s)
+  SC explainability against mp_rmw (3 SC behaviour(s)): explainable — some SC interleaving produces this trace
+
+  $ racedet trace mp_rmw.race -m sb-release-nop -s 14 --v2 -o weak.trace
+  wrote 5 events (1 computation, 4 sync) to weak.trace
+  $ racedet analyze weak.trace --robust mp_rmw.race
+  trace weak.trace: 5 event(s) across 2 processor(s)
+  SC explainability against mp_rmw (3 SC behaviour(s)): NOT explainable — no SC interleaving produces this trace
+  [2]
+
+The check needs the whole trace at once — streaming mode refuses it:
+
+  $ racedet analyze weak.trace --robust mp_rmw.race --stream
+  racedet: --robust needs the whole trace at once and is not available with --stream
+  [1]

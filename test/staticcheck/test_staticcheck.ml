@@ -431,6 +431,44 @@ let test_delayset_litmus () =
   Alcotest.(check int) "disjoint conflicts" 0 (List.length ds.Delayset.conflicts);
   Alcotest.(check int) "disjoint cycles" 0 (List.length ds.Delayset.cycles)
 
+(* cycles identical up to rotation/reversal must be reported once: the
+   loop-carried work region of queue_bug used to enumerate each mirror
+   orientation as its own "cycle" *)
+let test_delayset_dedup () =
+  let check name p exp_cycles exp_delays =
+    let ds = delays_of p in
+    Alcotest.(check int)
+      (name ^ " cycles") exp_cycles
+      (List.length ds.Delayset.cycles);
+    Alcotest.(check int)
+      (name ^ " delays") exp_delays
+      (List.length ds.Delayset.delays)
+  in
+  check "sb" litmus_sb 1 2;
+  let qb = Option.get (Programs.find "queue_bug") in
+  check "queue_bug" qb 2 4;
+  (* no two reported cycles are the same up to rotation+reversal *)
+  List.iter
+    (fun (pname, p) ->
+      let ds = delays_of p in
+      let canon (c : Delayset.cycle) =
+        let nodes = Array.to_list c in
+        let best_rot arr =
+          let n = Array.length arr in
+          let rot k = List.init n (fun i -> arr.((i + k) mod n)) in
+          List.fold_left min (rot 0) (List.init n rot)
+        in
+        min
+          (best_rot (Array.of_list nodes))
+          (best_rot (Array.of_list (List.rev nodes)))
+      in
+      let keys = List.map canon ds.Delayset.cycles in
+      Alcotest.(check int)
+        (pname ^ " unique cycles")
+        (List.length keys)
+        (List.length (List.sort_uniq compare keys)))
+    Programs.all
+
 let test_repair_shapes () =
   (* sb: both pairs promote — four promotions, or two fences if one only
      wants SC without DRF *)
@@ -580,6 +618,8 @@ let () =
       ( "delayset",
         [
           Alcotest.test_case "litmus cycle counts" `Quick test_delayset_litmus;
+          Alcotest.test_case "rotation+reversal dedup" `Quick
+            test_delayset_dedup;
           Alcotest.test_case "repair shapes" `Quick test_repair_shapes;
           Alcotest.test_case "stock repairs converge" `Quick
             test_repair_stock_converges;
